@@ -1,0 +1,30 @@
+//! E10 — lengths of controlled bad sequences (Lemma 4.4) in small dimension,
+//! the combinatorial engine behind the Theorem 4.5 bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e10;
+use popproto_vas::{longest_bad_sequence, ControlledSearch};
+use std::time::Duration;
+
+fn bench_e10(c: &mut Criterion) {
+    let rows = experiment_e10(2, 3, 2_000_000);
+    println!("\n[E10] controlled bad sequence lengths");
+    println!("| dimension | δ | length | exact |");
+    println!("|---|---|---|---|");
+    for r in &rows {
+        println!("| {} | {} | {} | {} |", r.dimension, r.delta, r.length, r.exact);
+    }
+
+    let mut group = c.benchmark_group("e10_longest_bad_sequence");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (dim, delta) in [(1usize, 4u64), (2, 1), (2, 2)] {
+        let id = format!("d{dim}_delta{delta}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(dim, delta), |b, &(dim, delta)| {
+            b.iter(|| longest_bad_sequence(&ControlledSearch::new(dim, delta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e10);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E1 — busy beaver witness families: regenerate the states-vs-threshold
+//! table (Theorem 2.2 / Example 2.1) and benchmark the exhaustive
+//! verification behind it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e1;
+use popproto::report::render_e1;
+use popproto_reach::{verify_unary_threshold, ExploreLimits};
+use popproto_zoo::binary_counter;
+use std::time::Duration;
+
+fn bench_e1(c: &mut Criterion) {
+    // Print the experiment table once (this is the artefact EXPERIMENTS.md records).
+    let report = experiment_e1(6, 6, 3, 16);
+    println!("\n[E1] busy beaver witness families\n{}", render_e1(&report.records));
+
+    let mut group = c.benchmark_group("e1_verify_binary_counter");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [1u32, 2, 3] {
+        let p = binary_counter(k);
+        let eta = 1u64 << k;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| verify_unary_threshold(p, eta, eta + 3, &ExploreLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 — stable sets and their small bases (Lemma 3.1/3.2): regenerate the
+//! empirical-norm-vs-β table and benchmark the stable-set extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e2;
+use popproto::report::render_e2;
+use popproto_model::Output;
+use popproto_reach::{extract_stable_basis, ExploreLimits};
+use popproto_zoo::{binary_counter, flock};
+use std::time::Duration;
+
+fn bench_e2(c: &mut Criterion) {
+    let rows = experiment_e2(&[flock(3), binary_counter(2)], 6);
+    println!("\n[E2] stable-set bases vs β\n{}", render_e2(&rows));
+
+    let mut group = c.benchmark_group("e2_extract_stable_basis");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for size in [4u64, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let p = binary_counter(2);
+            b.iter(|| extract_stable_basis(&p, Output::True, size, 2, &ExploreLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 — Lemma 4.1/4.2 pumping certificates and the Theorem 4.5 bound:
+//! regenerate the certificate table and benchmark the Dickson-style search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::certificate::search_pumping_certificate;
+use popproto::experiments::experiment_e3;
+use popproto_bench::standard_instances;
+use popproto_reach::ExploreLimits;
+use std::time::Duration;
+
+fn bench_e3(c: &mut Criterion) {
+    let rows = experiment_e3(&standard_instances(), 12);
+    println!("\n[E3] pumping certificates (empirical anchor a vs true η)");
+    for row in &rows {
+        println!(
+            "  {}: true η = {}, certificate anchor = {:?}, Theorem 4.5 ϑ(n) = {}",
+            row.protocol,
+            row.true_eta,
+            row.certificate.as_ref().map(|c| c.a),
+            row.ackermann_bound.basis_size_bound
+        );
+    }
+
+    let mut group = c.benchmark_group("e3_search_certificate");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (p, eta) in standard_instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(p.name().to_string()), &p, |b, p| {
+            b.iter(|| search_pumping_certificate(p, eta + 6, &ExploreLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E4 — reaching 1-saturated configurations (Lemmas 5.3/5.4): regenerate the
+//! empirical-input-vs-3^n table and benchmark the saturation search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e4;
+use popproto::report::render_e4;
+use popproto_reach::{min_input_for_saturation, ExploreLimits};
+use popproto_zoo::{binary_counter, flock};
+use std::time::Duration;
+
+fn bench_e4(c: &mut Criterion) {
+    let rows = experiment_e4(&[flock(3), flock(5), binary_counter(2), binary_counter(3)], 40);
+    println!("\n[E4] saturation vs 3^n\n{}", render_e4(&rows));
+
+    let mut group = c.benchmark_group("e4_min_input_for_saturation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [2u32, 3] {
+        let p = binary_counter(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| min_input_for_saturation(p, 1, 40, &ExploreLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 — Hilbert bases of potentially realisable multisets vs Pottier's bound
+//! (Corollary 5.7): regenerate the norm table and benchmark the
+//! Contejean–Devie computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e5;
+use popproto::report::render_e5;
+use popproto_vas::{HilbertOptions, RealisabilitySystem};
+use popproto_zoo::{binary_counter, flock};
+use std::time::Duration;
+
+fn bench_e5(c: &mut Criterion) {
+    let rows = experiment_e5(&[flock(3), flock(4), binary_counter(2), binary_counter(3)]);
+    println!("\n[E5] Pottier bases\n{}", render_e5(&rows));
+
+    let mut group = c.benchmark_group("e5_hilbert_basis");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, p) in [
+        ("flock3", flock(3)),
+        ("counter2", binary_counter(2)),
+        ("counter3", binary_counter(3)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| RealisabilitySystem::new(p).basis(&HilbertOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

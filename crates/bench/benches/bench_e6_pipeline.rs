@@ -1,0 +1,26 @@
+//! E6 — the full Section 5 pipeline (Lemma 5.2 / Theorem 5.9): regenerate the
+//! empirical-bound-vs-theorem-bound table and benchmark the pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e6;
+use popproto::pipeline::{analyze_leaderless_protocol, PipelineOptions};
+use popproto::report::render_e6;
+use popproto_bench::standard_instances;
+use std::time::Duration;
+
+fn bench_e6(c: &mut Criterion) {
+    let rows = experiment_e6(&standard_instances(), &PipelineOptions::default());
+    println!("\n[E6] leaderless pipeline\n{}", render_e6(&rows));
+
+    let mut group = c.benchmark_group("e6_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (p, _) in standard_instances() {
+        group.bench_with_input(BenchmarkId::from_parameter(p.name().to_string()), &p, |b, p| {
+            b.iter(|| analyze_leaderless_protocol(p, &PipelineOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

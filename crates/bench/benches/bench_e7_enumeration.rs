@@ -1,0 +1,30 @@
+//! E7 — exact busy-beaver values for tiny state counts by exhaustive
+//! enumeration of deterministic leaderless protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::enumeration::busy_beaver_search;
+use popproto_reach::ExploreLimits;
+use std::time::Duration;
+
+fn bench_e7(c: &mut Criterion) {
+    // Print the exact values for n = 1, 2 (the artefact EXPERIMENTS.md records).
+    for n in 1..=2usize {
+        let result = busy_beaver_search(n, 6, 1_000_000, &ExploreLimits::default());
+        println!(
+            "[E7] BB_det({n}) = {:?} ({} protocols examined, {} compute a threshold)",
+            result.best_eta, result.protocols_examined, result.threshold_protocols
+        );
+    }
+
+    let mut group = c.benchmark_group("e7_busy_beaver_search");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| busy_beaver_search(n, 6, 1_000_000, &ExploreLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

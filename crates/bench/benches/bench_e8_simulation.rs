@@ -1,0 +1,29 @@
+//! E8 — simulated parallel convergence time of the zoo families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popproto::experiments::experiment_e8;
+use popproto::report::render_e8;
+use popproto_sim::{run_until_convergence, ConvergenceCriterion, Simulator};
+use popproto_zoo::binary_counter;
+use std::time::Duration;
+
+fn bench_e8(c: &mut Criterion) {
+    let rows = experiment_e8(&[32, 64, 128], 3, 3_000_000);
+    println!("\n[E8] simulated parallel time\n{}", render_e8(&rows));
+
+    let mut group = c.benchmark_group("e8_simulate_to_silence");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64u64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = binary_counter(3);
+            b.iter(|| {
+                let mut sim = Simulator::new(p.clone(), p.initial_config_unary(n), 42);
+                run_until_convergence(&mut sim, ConvergenceCriterion::Silent, 10_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

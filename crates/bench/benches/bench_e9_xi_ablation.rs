@@ -1,0 +1,53 @@
+//! E9 — ablation of the Pottier constant (Remark 1): the general constant
+//! `ξ = 2(2|T|+1)^|Q|` versus the deterministic-protocol constant
+//! `2(|Q|+2)^|Q|`, across the zoo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popproto_numerics::BigNat;
+use popproto_vas::{pottier_constant, pottier_constant_deterministic};
+use popproto_zoo::catalog;
+use std::time::Duration;
+
+fn bench_e9(c: &mut Criterion) {
+    println!("\n[E9] Pottier constant ablation (general vs deterministic, Remark 1)");
+    println!("| protocol | |Q| | |T| | deterministic? | ξ | ξ_det |");
+    println!("|---|---|---|---|---|---|");
+    for instance in catalog() {
+        let p = &instance.protocol;
+        let xi = pottier_constant(p);
+        let xi_det = pottier_constant_deterministic(p);
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            p.name(),
+            p.num_states(),
+            p.num_transitions(),
+            p.is_deterministic(),
+            shorten(&xi),
+            shorten(&xi_det)
+        );
+    }
+
+    let mut group = c.benchmark_group("e9_xi_constants");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group.bench_function("catalog_constants", |b| {
+        b.iter(|| {
+            catalog()
+                .iter()
+                .map(|i| pottier_constant(&i.protocol))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn shorten(v: &BigNat) -> String {
+    let s = v.to_decimal_string();
+    if s.len() > 12 {
+        format!("≈10^{}", s.len() - 1)
+    } else {
+        s
+    }
+}
+
+criterion_group!(benches, bench_e9);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Shared helpers for the Criterion benchmark harness reproducing the
+//! experiments E1–E10 (see DESIGN.md and EXPERIMENTS.md).
+//!
+//! Every bench uses a short measurement window: the quantities of interest
+//! are the *shapes* reported in EXPERIMENTS.md (who wins, by what factor),
+//! not absolute nanoseconds.
+
+use popproto_model::Protocol;
+use popproto_zoo::{binary_counter, flock, leader_counter, modulo};
+
+/// The standard small protocol instances benchmarked across experiments.
+pub fn standard_instances() -> Vec<(Protocol, u64)> {
+    vec![
+        (flock(3), 3),
+        (flock(5), 5),
+        (binary_counter(2), 4),
+        (binary_counter(3), 8),
+    ]
+}
+
+/// A slightly larger set used by the simulation benches.
+pub fn simulation_instances() -> Vec<Protocol> {
+    vec![flock(4), binary_counter(3), modulo(3, 1), leader_counter(3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_nonempty_and_leaderless_where_expected() {
+        assert!(standard_instances().iter().all(|(p, _)| p.is_leaderless()));
+        assert_eq!(simulation_instances().len(), 4);
+    }
+}

@@ -1,0 +1,381 @@
+//! The experiment drivers E1–E10 behind EXPERIMENTS.md and the benchmark
+//! harness.
+//!
+//! The paper has no tables or figures (it is a theory paper); each experiment
+//! instead makes one of its quantitative claims executable.  Every driver
+//! returns a serialisable report and is exercised both by the integration
+//! tests (small parameters) and by the Criterion benches in
+//! `crates/bench` (larger parameters).
+
+use crate::ackermann_bound::{theorem_4_5_bound, AckermannBound};
+use crate::busy_beaver::{lower_bound_witnesses, BusyBeaverRecord};
+use crate::certificate::{search_pumping_certificate, PumpingCertificate};
+use crate::concentration::{find_zero_concentrated_multiset, ConcentrationReport};
+use crate::constants::small_basis_constant;
+use crate::enumeration::{busy_beaver_search, EnumerationResult};
+use crate::pipeline::{analyze_leaderless_protocol, LeaderlessAnalysis, PipelineOptions};
+use crate::saturation::{analyze_saturation, SaturationAnalysis};
+use popproto_model::{Input, Output, Protocol};
+use popproto_numerics::Magnitude;
+use popproto_reach::{extract_stable_basis, ExploreLimits};
+use popproto_sim::{run_experiment, SimulationExperiment};
+use popproto_vas::{longest_bad_sequence, ControlledSearch, HilbertOptions, RealisabilitySystem};
+use popproto_zoo::{binary_counter, flock, modulo};
+use serde::{Deserialize, Serialize};
+
+/// E1 — busy beaver witness families (Theorem 2.2 / Example 2.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E1Report {
+    /// The witness records (states, threshold, verification status).
+    pub records: Vec<BusyBeaverRecord>,
+}
+
+/// Runs E1 with the given family caps.
+pub fn experiment_e1(
+    max_flock_eta: u64,
+    max_counter_k: u64,
+    max_leader_k: u64,
+    verify_up_to_eta: u64,
+) -> E1Report {
+    E1Report {
+        records: lower_bound_witnesses(
+            max_flock_eta,
+            max_counter_k,
+            max_leader_k,
+            verify_up_to_eta,
+            &ExploreLimits::default(),
+        ),
+    }
+}
+
+/// One row of the E2 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E2Row {
+    /// Protocol analysed.
+    pub protocol: String,
+    /// Output class of the stable set analysed.
+    pub output: Output,
+    /// Empirical norm of the extracted basis.
+    pub empirical_norm: u64,
+    /// Number of basis elements extracted.
+    pub elements: usize,
+    /// Whether all stability spot-checks passed.
+    pub verified: bool,
+    /// The paper's bound β for this protocol's state count (as a magnitude).
+    pub beta: Magnitude,
+}
+
+/// E2 — small bases of stable sets (Lemma 3.2): empirical norm vs β.
+///
+/// The truncation threshold 2 is enough for the zoo protocols' rejecting
+/// stable sets (whose per-state counts are bounded by the threshold minus
+/// one) while still producing ω-states for the states that genuinely grow.
+pub fn experiment_e2(protocols: &[Protocol], slice_size: u64) -> Vec<E2Row> {
+    let limits = ExploreLimits::default();
+    let mut rows = Vec::new();
+    for p in protocols {
+        for output in [Output::False, Output::True] {
+            let basis = extract_stable_basis(p, output, slice_size, 2, &limits);
+            rows.push(E2Row {
+                protocol: p.name().to_string(),
+                output,
+                empirical_norm: basis.max_norm(),
+                elements: basis.elements.len(),
+                verified: basis.verified,
+                beta: small_basis_constant(p.num_states()),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the E3 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E3Row {
+    /// Protocol analysed.
+    pub protocol: String,
+    /// The true threshold the protocol computes.
+    pub true_eta: u64,
+    /// The pumping certificate found (Lemma 4.1 search).
+    pub certificate: Option<PumpingCertificate>,
+    /// The Theorem 4.5 ingredients for this protocol.
+    pub ackermann_bound: AckermannBound,
+}
+
+/// E3 — Lemma 4.1/4.2 pumping certificates and the Theorem 4.5 bound.
+pub fn experiment_e3(instances: &[(Protocol, u64)], max_input: u64) -> Vec<E3Row> {
+    let limits = ExploreLimits::default();
+    instances
+        .iter()
+        .map(|(p, eta)| E3Row {
+            protocol: p.name().to_string(),
+            true_eta: *eta,
+            certificate: search_pumping_certificate(p, max_input, &limits),
+            ackermann_bound: theorem_4_5_bound(p),
+        })
+        .collect()
+}
+
+/// One row of the E4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E4Row {
+    /// Protocol analysed.
+    pub protocol: String,
+    /// The saturation analysis (empirical input vs `3^n`).
+    pub analysis: SaturationAnalysis,
+}
+
+/// E4 — reaching 1-saturated configurations (Lemma 5.4) vs the `3^n` bound.
+pub fn experiment_e4(protocols: &[Protocol], max_input: u64) -> Vec<E4Row> {
+    let limits = ExploreLimits::default();
+    protocols
+        .iter()
+        .map(|p| E4Row {
+            protocol: p.name().to_string(),
+            analysis: analyze_saturation(p, max_input, &limits),
+        })
+        .collect()
+}
+
+/// One row of the E5 / E9 reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E5Row {
+    /// Protocol analysed.
+    pub protocol: String,
+    /// Number of transitions.
+    pub transitions: usize,
+    /// Whether the Hilbert-basis computation completed.
+    pub complete: bool,
+    /// Number of generators found.
+    pub basis_size: usize,
+    /// Largest 1-norm over the generators.
+    pub max_norm: u64,
+    /// The Pottier bound ξ/2.
+    pub pottier_half_bound: u64,
+    /// The Pottier constant for deterministic protocols (Remark 1), if applicable.
+    pub deterministic_bound: Option<u64>,
+}
+
+/// E5/E9 — Hilbert bases of potentially realisable multisets vs Pottier's bound.
+pub fn experiment_e5(protocols: &[Protocol]) -> Vec<E5Row> {
+    let options = HilbertOptions::default();
+    protocols
+        .iter()
+        .map(|p| {
+            let system = RealisabilitySystem::new(p);
+            let basis = system.basis(&options);
+            E5Row {
+                protocol: p.name().to_string(),
+                transitions: p.num_transitions(),
+                complete: basis.complete,
+                basis_size: basis.len(),
+                max_norm: basis.max_norm1(),
+                pottier_half_bound: system.pottier_bound_u64(),
+                deterministic_bound: if p.is_deterministic() {
+                    popproto_vas::pottier_constant_deterministic(p)
+                        .to_u64()
+                        .map(|v| v / 2)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect()
+}
+
+/// One row of the E6 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E6Row {
+    /// The true threshold of the analysed protocol.
+    pub true_eta: u64,
+    /// The full pipeline analysis.
+    pub analysis: LeaderlessAnalysis,
+}
+
+/// E6 — the Section 5 pipeline (Lemma 5.2 + Theorem 5.9) on leaderless protocols.
+pub fn experiment_e6(instances: &[(Protocol, u64)], options: &PipelineOptions) -> Vec<E6Row> {
+    instances
+        .iter()
+        .map(|(p, eta)| E6Row {
+            true_eta: *eta,
+            analysis: analyze_leaderless_protocol(p, options),
+        })
+        .collect()
+}
+
+/// E7 — exact busy-beaver search for tiny state counts.
+pub fn experiment_e7(max_states: usize, max_input: u64, max_protocols: u64) -> Vec<EnumerationResult> {
+    let limits = ExploreLimits::default();
+    (1..=max_states)
+        .map(|n| busy_beaver_search(n, max_input, max_protocols, &limits))
+        .collect()
+}
+
+/// One row of the E8 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E8Row {
+    /// Protocol simulated.
+    pub protocol: String,
+    /// Number of agents.
+    pub population: u64,
+    /// Number of runs.
+    pub runs: usize,
+    /// How many runs converged.
+    pub converged: usize,
+    /// Mean parallel time to convergence.
+    pub mean_parallel_time: f64,
+}
+
+/// E8 — expected parallel convergence time of the zoo families (simulation).
+pub fn experiment_e8(populations: &[u64], runs: u64, max_interactions: u64) -> Vec<E8Row> {
+    let mut rows = Vec::new();
+    for &n in populations {
+        for protocol in [flock(4), binary_counter(3), modulo(3, 1)] {
+            let exp = SimulationExperiment::new(protocol.clone(), Input::unary(n), runs, max_interactions);
+            let result = run_experiment(&exp);
+            rows.push(E8Row {
+                protocol: protocol.name().to_string(),
+                population: n,
+                runs: result.stats.runs,
+                converged: result.stats.converged_runs,
+                mean_parallel_time: result.stats.parallel_time.mean,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the E10 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E10Row {
+    /// Dimension of the vectors.
+    pub dimension: usize,
+    /// Control offset δ.
+    pub delta: u64,
+    /// Length of the longest controlled bad sequence found.
+    pub length: usize,
+    /// Whether the search was exhaustive.
+    pub exact: bool,
+}
+
+/// E10 — lengths of controlled bad sequences (Lemma 4.4) in small dimension.
+pub fn experiment_e10(max_dimension: usize, max_delta: u64, node_budget: u64) -> Vec<E10Row> {
+    let mut rows = Vec::new();
+    for dim in 1..=max_dimension {
+        for delta in 0..=max_delta {
+            let mut search = ControlledSearch::new(dim, delta);
+            search.node_budget = node_budget;
+            let result = longest_bad_sequence(&search);
+            rows.push(E10Row {
+                dimension: dim,
+                delta,
+                length: result.len(),
+                exact: result.exact,
+            });
+        }
+    }
+    rows
+}
+
+/// E6 companion: the Lemma 5.8 concentration search on its own (also used by E5).
+pub fn experiment_concentration(protocol: &Protocol) -> ConcentrationReport {
+    let accepting = protocol.states_with_output(Output::True);
+    find_zero_concentrated_multiset(protocol, &accepting, &HilbertOptions::default())
+}
+
+/// A convenience bundle used by the `state_complexity_report` example: runs
+/// every experiment at small scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullReport {
+    /// E1 — witness families.
+    pub e1: E1Report,
+    /// E2 — stable-set bases.
+    pub e2: Vec<E2Row>,
+    /// E3 — pumping certificates.
+    pub e3: Vec<E3Row>,
+    /// E4 — saturation.
+    pub e4: Vec<E4Row>,
+    /// E5 — Pottier bases.
+    pub e5: Vec<E5Row>,
+    /// E6 — leaderless pipeline.
+    pub e6: Vec<E6Row>,
+    /// E7 — exact enumeration.
+    pub e7: Vec<EnumerationResult>,
+    /// E8 — simulation runtimes.
+    pub e8: Vec<E8Row>,
+    /// E10 — controlled bad sequences.
+    pub e10: Vec<E10Row>,
+}
+
+/// Runs every experiment at a small, test-friendly scale.
+pub fn run_all_small() -> FullReport {
+    let small: Vec<Protocol> = vec![flock(3), binary_counter(2)];
+    let with_eta: Vec<(Protocol, u64)> = vec![(flock(3), 3), (binary_counter(2), 4)];
+    FullReport {
+        e1: experiment_e1(4, 3, 2, 8),
+        e2: experiment_e2(&small, 4),
+        e3: experiment_e3(&with_eta, 10),
+        e4: experiment_e4(&small, 20),
+        e5: experiment_e5(&small),
+        e6: experiment_e6(&with_eta, &PipelineOptions::default()),
+        e7: experiment_e7(2, 6, 5_000),
+        e8: experiment_e8(&[16, 32], 3, 200_000),
+        e10: experiment_e10(2, 2, 200_000),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_small() {
+        let report = experiment_e1(3, 2, 1, 8);
+        assert_eq!(report.records.len(), 2 + 2 + 1);
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.verified != Some(false)));
+    }
+
+    #[test]
+    fn e2_norms_are_tiny_compared_to_beta() {
+        let rows = experiment_e2(&[flock(3)], 4);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(Magnitude::from_u64(row.empirical_norm.max(1)) < row.beta);
+        }
+    }
+
+    #[test]
+    fn e5_respects_pottier() {
+        let rows = experiment_e5(&[flock(3), binary_counter(2)]);
+        for row in &rows {
+            assert!(row.complete);
+            assert!(row.max_norm <= row.pottier_half_bound);
+        }
+    }
+
+    #[test]
+    fn e10_lengths_grow_with_dimension() {
+        let rows = experiment_e10(2, 2, 500_000);
+        let len = |dim: usize, delta: u64| {
+            rows.iter()
+                .find(|r| r.dimension == dim && r.delta == delta)
+                .unwrap()
+                .length
+        };
+        assert_eq!(len(1, 2), 3);
+        assert!(len(2, 2) > len(1, 2));
+    }
+
+    #[test]
+    fn e8_reports_converged_runs() {
+        let rows = experiment_e8(&[12], 2, 200_000);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.converged, row.runs, "{} must converge", row.protocol);
+            assert!(row.mean_parallel_time > 0.0);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text / markdown rendering of experiment reports.
+
+use crate::busy_beaver::BusyBeaverRecord;
+use crate::experiments::{E2Row, E4Row, E5Row, E6Row, E8Row, FullReport};
+
+/// Renders the E1 witness table as a markdown table.
+pub fn render_e1(records: &[BusyBeaverRecord]) -> String {
+    let mut out = String::from(
+        "| family | parameter | states | leaders | η | log₂η / state | verified |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "| {:?} | {} | {} | {} | {} | {:.3} | {} |\n",
+            r.family,
+            r.parameter,
+            r.states,
+            r.leaders,
+            r.eta,
+            r.log2_eta_per_state(),
+            match r.verified {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "skipped",
+            }
+        ));
+    }
+    out
+}
+
+/// Renders the E2 stable-basis table.
+pub fn render_e2(rows: &[E2Row]) -> String {
+    let mut out = String::from(
+        "| protocol | output | empirical norm | elements | verified | β |\n|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.protocol, r.output, r.empirical_norm, r.elements, r.verified, r.beta
+        ));
+    }
+    out
+}
+
+/// Renders the E4 saturation table.
+pub fn render_e4(rows: &[E4Row]) -> String {
+    let mut out = String::from(
+        "| protocol | states | 3^n bound | min saturating input | path length |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let (input, path) = r
+            .analysis
+            .witness
+            .as_ref()
+            .map(|w| (w.input.to_string(), w.path_length.to_string()))
+            .unwrap_or_else(|| ("—".into(), "—".into()));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.protocol, r.analysis.num_states, r.analysis.bound_3n, input, path
+        ));
+    }
+    out
+}
+
+/// Renders the E5 Pottier table.
+pub fn render_e5(rows: &[E5Row]) -> String {
+    let mut out = String::from(
+        "| protocol | |T| | basis size | max ‖π‖₁ | ξ/2 | ξ_det/2 | complete |\n|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            r.protocol,
+            r.transitions,
+            r.basis_size,
+            r.max_norm,
+            r.pottier_half_bound,
+            r.deterministic_bound
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "—".into()),
+            r.complete
+        ));
+    }
+    out
+}
+
+/// Renders the E6 pipeline table.
+pub fn render_e6(rows: &[E6Row]) -> String {
+    let mut out = String::from(
+        "| protocol | states | true η | empirical bound a | Theorem 5.9 bound |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.analysis.protocol,
+            r.analysis.num_states,
+            r.true_eta,
+            r.analysis
+                .empirical_bound
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "—".into()),
+            r.analysis.theorem_bound
+        ));
+    }
+    out
+}
+
+/// Renders the E8 simulation table.
+pub fn render_e8(rows: &[E8Row]) -> String {
+    let mut out = String::from(
+        "| protocol | population | runs | converged | mean parallel time |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1} |\n",
+            r.protocol, r.population, r.runs, r.converged, r.mean_parallel_time
+        ));
+    }
+    out
+}
+
+/// Renders the full small-scale report.
+pub fn render_full(report: &FullReport) -> String {
+    let mut out = String::new();
+    out.push_str("# State complexity of population protocols — experiment report\n\n");
+    out.push_str("## E1 — busy beaver witness families\n\n");
+    out.push_str(&render_e1(&report.e1.records));
+    out.push_str("\n## E2 — small bases of stable sets\n\n");
+    out.push_str(&render_e2(&report.e2));
+    out.push_str("\n## E4 — saturation vs 3^n\n\n");
+    out.push_str(&render_e4(&report.e4));
+    out.push_str("\n## E5 — Pottier bases\n\n");
+    out.push_str(&render_e5(&report.e5));
+    out.push_str("\n## E6 — leaderless pipeline\n\n");
+    out.push_str(&render_e6(&report.e6));
+    out.push_str("\n## E8 — simulated parallel time\n\n");
+    out.push_str(&render_e8(&report.e8));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn tables_have_header_and_rows() {
+        let e1 = experiments::experiment_e1(3, 2, 1, 8);
+        let table = render_e1(&e1.records);
+        assert!(table.starts_with("| family"));
+        assert_eq!(table.lines().count(), 2 + e1.records.len());
+        assert!(table.contains("BinaryCounter"));
+    }
+
+    #[test]
+    fn e5_table_renders_bounds() {
+        let rows = experiments::experiment_e5(&[popproto_zoo::flock(3)]);
+        let table = render_e5(&rows);
+        assert!(table.contains("flock(3)"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors produced while building or validating protocols.
+
+use crate::state::StateId;
+use std::fmt;
+
+/// Error raised when a protocol description is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A transition or leader refers to a state that was never declared.
+    UnknownState(StateId),
+    /// Two states were declared with the same name.
+    DuplicateStateName(String),
+    /// An input variable was declared twice.
+    DuplicateInputVariable(String),
+    /// The protocol has no states.
+    NoStates,
+    /// The protocol has no input variables.
+    NoInputVariables,
+    /// The same transition was added twice.
+    DuplicateTransition(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownState(q) => write!(f, "unknown state {q}"),
+            ProtocolError::DuplicateStateName(n) => write!(f, "duplicate state name {n:?}"),
+            ProtocolError::DuplicateInputVariable(n) => {
+                write!(f, "duplicate input variable {n:?}")
+            }
+            ProtocolError::NoStates => write!(f, "protocol has no states"),
+            ProtocolError::NoInputVariables => write!(f, "protocol has no input variables"),
+            ProtocolError::DuplicateTransition(t) => write!(f, "duplicate transition {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ProtocolError::UnknownState(StateId::new(4)).to_string(),
+            "unknown state q4"
+        );
+        assert_eq!(
+            ProtocolError::DuplicateStateName("a".into()).to_string(),
+            "duplicate state name \"a\""
+        );
+        assert_eq!(ProtocolError::NoStates.to_string(), "protocol has no states");
+        assert_eq!(
+            ProtocolError::NoInputVariables.to_string(),
+            "protocol has no input variables"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ProtocolError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Inputs: multisets over the input variables of a protocol.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An input to a protocol: a multiset over its input variables `X`.
+///
+/// Inputs are indexed positionally, in the order the variables were declared
+/// on the [`ProtocolBuilder`](crate::ProtocolBuilder).  Most protocols in this
+/// workspace are *unary* (a single variable `x`), for which
+/// [`Input::unary`] is the convenient constructor.
+///
+/// # Examples
+///
+/// ```
+/// use popproto_model::Input;
+///
+/// let i = Input::unary(7);
+/// assert_eq!(i.total(), 7);
+/// let j = Input::from_counts(vec![3, 4]);
+/// assert_eq!(j.get(1), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Input {
+    counts: Vec<u64>,
+}
+
+impl Input {
+    /// An input for a protocol with a single input variable `x`.
+    pub fn unary(count: u64) -> Self {
+        Input { counts: vec![count] }
+    }
+
+    /// An input with explicit per-variable counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Input { counts }
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The multiplicity of variable `var`.
+    pub fn get(&self, var: usize) -> u64 {
+        self.counts[var]
+    }
+
+    /// The total number of input agents `|m|`.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The per-variable counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Pointwise sum of two inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have different numbers of variables.
+    pub fn plus(&self, other: &Input) -> Input {
+        assert_eq!(self.num_vars(), other.num_vars(), "input dimension mismatch");
+        Input {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Scalar multiple of an input.
+    pub fn scaled(&self, k: u64) -> Input {
+        Input {
+            counts: self.counts.iter().map(|c| c * k).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Input {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<u64> for Input {
+    fn from(count: u64) -> Self {
+        Input::unary(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_inputs() {
+        let i = Input::unary(5);
+        assert_eq!(i.num_vars(), 1);
+        assert_eq!(i.get(0), 5);
+        assert_eq!(i.total(), 5);
+        assert_eq!(Input::from(3u64), Input::unary(3));
+    }
+
+    #[test]
+    fn multivariate_inputs() {
+        let i = Input::from_counts(vec![2, 3, 0]);
+        assert_eq!(i.num_vars(), 3);
+        assert_eq!(i.total(), 5);
+        assert_eq!(i.counts(), &[2, 3, 0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Input::from_counts(vec![1, 2]);
+        let b = Input::from_counts(vec![3, 1]);
+        assert_eq!(a.plus(&b), Input::from_counts(vec![4, 3]));
+        assert_eq!(a.scaled(4), Input::from_counts(vec![4, 8]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Input::from_counts(vec![1, 2]).to_string(), "(1, 2)");
+        assert_eq!(Input::unary(9).to_string(), "(9)");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn plus_dimension_mismatch_panics() {
+        let _ = Input::unary(1).plus(&Input::from_counts(vec![1, 2]));
+    }
+}

@@ -1,0 +1,61 @@
+//! The population protocol model of Angluin et al., as used in
+//! "Lower Bounds on the State Complexity of Population Protocols"
+//! (Czerner, Esparza, Leroux; PODC 2021).
+//!
+//! A population protocol is a tuple `P = (Q, T, L, X, I, O)`:
+//!
+//! * `Q` — a finite set of states ([`StateId`], described by [`Protocol`]);
+//! * `T ⊆ Q² × Q²` — transitions between unordered pairs ([`Transition`]);
+//! * `L ∈ N^Q` — the leader multiset ([`Config`]);
+//! * `X` — input variables with an input mapping `I : X → Q`;
+//! * `O : Q → {0, 1}` — the output mapping ([`Output`]).
+//!
+//! Configurations are multisets of agents over `Q` ([`Config`]); inputs are
+//! multisets over `X` ([`Input`]); the initial configuration for input `m` is
+//! `IC(m) = L + Σ_x m(x)·I(x)`.  Predicates computed by protocols are
+//! Presburger-definable; this crate provides the threshold / modulo /
+//! boolean-combination fragment as [`Predicate`].
+//!
+//! # Examples
+//!
+//! Build the 3-state protocol `P'_1` of Example 2.1 (threshold `x ≥ 2`):
+//!
+//! ```
+//! use popproto_model::{Output, ProtocolBuilder};
+//!
+//! # fn main() -> Result<(), popproto_model::ProtocolError> {
+//! let mut b = ProtocolBuilder::new("x >= 2");
+//! let zero = b.add_state("0", Output::False);
+//! let one = b.add_state("1", Output::False);
+//! let two = b.add_state("2", Output::True);
+//! b.add_transition((one, one), (zero, two))?;
+//! b.add_transition((zero, two), (two, two))?;
+//! b.add_transition((one, two), (two, two))?;
+//! b.set_input_state("x", one);
+//! let protocol = b.build()?;
+//! assert_eq!(protocol.num_states(), 3);
+//! assert!(protocol.is_leaderless());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod config;
+pub mod error;
+pub mod input;
+pub mod predicate;
+pub mod protocol;
+pub mod state;
+pub mod transition;
+
+pub use builder::ProtocolBuilder;
+pub use config::Config;
+pub use error::ProtocolError;
+pub use input::Input;
+pub use predicate::Predicate;
+pub use protocol::Protocol;
+pub use state::{Output, StateId, StateInfo};
+pub use transition::{Pair, Transition};

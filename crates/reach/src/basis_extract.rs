@@ -1,0 +1,207 @@
+//! Empirical extraction of small bases of stable sets (Lemma 3.2).
+//!
+//! Lemma 3.2 guarantees that `SC_b` has a basis of elements `(B, S)` with
+//! norm at most `β = 2^(2(2n+1)!+1)`.  The constant is astronomically loose;
+//! this module extracts *actual* basis elements from the stable
+//! configurations computed on bounded slices, so experiment E2 can report the
+//! empirically required norm.
+//!
+//! The extraction follows the recipe of the Lemma 3.2 proof: given a
+//! b-stable configuration `C` and a threshold `θ`, let
+//! `S = {q | C(q) > θ}` and truncate `C` to `θ` on `S`; the candidate
+//! `(B, S)` is kept if `B` itself is b-stable (a necessary condition that is
+//! also sufficient for the protocols and slices we explore, and which we
+//! additionally spot-check on larger members of `B + N^S`).
+
+use crate::graph::ExploreLimits;
+use crate::stable::is_stable_config;
+use popproto_model::{Config, Output, Protocol};
+use popproto_vas::BasisElement;
+use serde::{Deserialize, Serialize};
+
+/// An empirically extracted basis of a stable set, with provenance data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmpiricalBasis {
+    /// The output `b` of the stable set `SC_b` the basis was extracted for.
+    pub output: Output,
+    /// The truncation threshold used for the extraction.
+    pub threshold: u64,
+    /// The extracted basis elements.
+    pub elements: Vec<BasisElement>,
+    /// Stable configurations (from the explored slices) used as seeds.
+    pub seed_count: usize,
+    /// `true` if every retained element passed the stability spot-checks.
+    pub verified: bool,
+    /// Number of seeds whose thresholded candidate failed the spot-checks and
+    /// was therefore demoted to an exact (ω-free) element.
+    pub fallback_count: usize,
+}
+
+impl EmpiricalBasis {
+    /// The maximal norm `‖B‖_∞` over the extracted elements.
+    pub fn max_norm(&self) -> u64 {
+        self.elements.iter().map(BasisElement::norm).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if every seed configuration is covered by some element.
+    pub fn covers(&self, seeds: &[Config]) -> bool {
+        seeds
+            .iter()
+            .all(|c| self.elements.iter().any(|e| e.contains(c)))
+    }
+}
+
+/// Enumerates all b-stable configurations of the protocol with exactly
+/// `size` agents.
+pub fn stable_configs_of_size(
+    protocol: &Protocol,
+    b: Output,
+    size: u64,
+    limits: &ExploreLimits,
+) -> Vec<Config> {
+    let mut out = Vec::new();
+    let mut current = Config::empty(protocol.num_states());
+    enumerate(protocol, b, size, 0, &mut current, limits, &mut out);
+    out
+}
+
+fn enumerate(
+    protocol: &Protocol,
+    b: Output,
+    remaining: u64,
+    state: usize,
+    current: &mut Config,
+    limits: &ExploreLimits,
+    out: &mut Vec<Config>,
+) {
+    let n = protocol.num_states();
+    if state == n {
+        if remaining == 0 && is_stable_config(protocol, current, b, limits) == Some(true) {
+            out.push(current.clone());
+        }
+        return;
+    }
+    if state == n - 1 {
+        current.set(popproto_model::StateId::new(state), remaining);
+        enumerate(protocol, b, 0, n, current, limits, out);
+        current.set(popproto_model::StateId::new(state), 0);
+        return;
+    }
+    for count in 0..=remaining {
+        current.set(popproto_model::StateId::new(state), count);
+        enumerate(protocol, b, remaining - count, state + 1, current, limits, out);
+        current.set(popproto_model::StateId::new(state), 0);
+    }
+}
+
+/// Extracts an empirical basis of `SC_b` from all b-stable configurations of
+/// size `max_size`, truncating at `threshold`.
+pub fn extract_stable_basis(
+    protocol: &Protocol,
+    b: Output,
+    max_size: u64,
+    threshold: u64,
+    limits: &ExploreLimits,
+) -> EmpiricalBasis {
+    let seeds = stable_configs_of_size(protocol, b, max_size, limits);
+    let mut elements: Vec<BasisElement> = Vec::new();
+    let mut verified = true;
+    let mut fallback_count = 0;
+    for seed in &seeds {
+        let mut candidate = BasisElement::from_config_with_threshold(seed, threshold);
+        // Spot-check the candidate: its base must be b-stable (Lemma 3.1 makes
+        // this necessary) and pumping every ω-state by a few agents must stay
+        // b-stable.  If either check fails, the threshold was too aggressive
+        // for this seed: demote the candidate to the exact (ω-free) element,
+        // which trivially passes because the seed itself is b-stable.
+        let base_ok = is_stable_config(protocol, candidate.base(), b, limits) == Some(true);
+        let mut pumped = candidate.base().clone();
+        for q in candidate.omega_states() {
+            pumped.add(q, 3);
+        }
+        let pump_ok = is_stable_config(protocol, &pumped, b, limits) == Some(true);
+        if !(base_ok && pump_ok) {
+            candidate = BasisElement::new(seed.clone(), std::iter::empty::<popproto_model::StateId>());
+            fallback_count += 1;
+            if is_stable_config(protocol, candidate.base(), b, limits) != Some(true) {
+                verified = false;
+            }
+        }
+        if !elements.contains(&candidate) {
+            elements.push(candidate);
+        }
+    }
+    EmpiricalBasis {
+        output: b,
+        threshold,
+        elements,
+        seed_count: seeds.len(),
+        verified,
+        fallback_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Output, ProtocolBuilder};
+
+    fn threshold2_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("x >= 2");
+        let zero = b.add_state("0", Output::False);
+        let one = b.add_state("1", Output::False);
+        let two = b.add_state("2", Output::True);
+        b.add_transition((one, one), (zero, two)).unwrap();
+        b.add_transition((zero, two), (two, two)).unwrap();
+        b.add_transition((one, two), (two, two)).unwrap();
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stable_configs_enumeration() {
+        let p = threshold2_protocol();
+        let limits = ExploreLimits::default();
+        let ones = stable_configs_of_size(&p, Output::True, 4, &limits);
+        // The only 1-stable configurations of size 4 are all agents in state 2.
+        assert_eq!(ones.len(), 1);
+        assert_eq!(ones[0].counts(), &[0, 0, 4]);
+        let zeros = stable_configs_of_size(&p, Output::False, 4, &limits);
+        // 0-stable configurations of size 4: all agents in state 0 or exactly
+        // one agent in state 1 and the rest in state 0 (a single 1 can never grow).
+        assert_eq!(zeros.len(), 2);
+        for c in &zeros {
+            assert!(c.get(popproto_model::StateId::new(2)) == 0);
+            assert!(c.get(popproto_model::StateId::new(1)) <= 1);
+        }
+    }
+
+    #[test]
+    fn extracted_basis_covers_seeds_and_has_small_norm() {
+        let p = threshold2_protocol();
+        let limits = ExploreLimits::default();
+        let basis = extract_stable_basis(&p, Output::True, 5, 1, &limits);
+        assert!(basis.verified);
+        assert_eq!(basis.seed_count, 1);
+        assert_eq!(basis.elements.len(), 1);
+        let seeds = stable_configs_of_size(&p, Output::True, 5, &limits);
+        assert!(basis.covers(&seeds));
+        // The empirical norm is 1 — vastly smaller than β = 2^(2·5!+1).
+        assert_eq!(basis.max_norm(), 1);
+    }
+
+    #[test]
+    fn zero_stable_basis_extraction() {
+        let p = threshold2_protocol();
+        let limits = ExploreLimits::default();
+        let basis = extract_stable_basis(&p, Output::False, 5, 1, &limits);
+        assert!(basis.verified);
+        assert!(!basis.elements.is_empty());
+        // Elements must only involve 0-output states in their ω-sets.
+        for e in &basis.elements {
+            for q in e.omega_states() {
+                assert_eq!(p.output_of(q), Output::False);
+            }
+        }
+    }
+}

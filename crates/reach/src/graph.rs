@@ -1,0 +1,344 @@
+//! Exhaustive forward exploration of the configuration space of a fixed
+//! population size.
+
+use popproto_model::{Config, Protocol};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Limits for the exhaustive exploration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct configurations to explore.
+    pub max_configs: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_configs: 200_000,
+        }
+    }
+}
+
+impl ExploreLimits {
+    /// Creates limits with the given configuration cap.
+    pub fn with_max_configs(max_configs: usize) -> Self {
+        ExploreLimits { max_configs }
+    }
+}
+
+/// The reachability graph of a protocol restricted to the configurations
+/// reachable from a set of initial configurations (all of the same size).
+///
+/// # Examples
+///
+/// ```
+/// use popproto_model::{Output, ProtocolBuilder};
+/// use popproto_reach::{ExploreLimits, ReachabilityGraph};
+///
+/// # fn main() -> Result<(), popproto_model::ProtocolError> {
+/// let mut b = ProtocolBuilder::new("x >= 2");
+/// let zero = b.add_state("0", Output::False);
+/// let one = b.add_state("1", Output::False);
+/// let two = b.add_state("2", Output::True);
+/// b.add_transition((one, one), (zero, two))?;
+/// b.add_transition((zero, two), (two, two))?;
+/// b.add_transition((one, two), (two, two))?;
+/// b.set_input_state("x", one);
+/// let p = b.build()?;
+///
+/// let graph = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+/// assert!(graph.is_complete());
+/// assert_eq!(graph.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    configs: Vec<Config>,
+    index: HashMap<Config, usize>,
+    successors: Vec<Vec<usize>>,
+    predecessors: Vec<Vec<usize>>,
+    initial: Vec<usize>,
+    complete: bool,
+}
+
+impl ReachabilityGraph {
+    /// Explores the configuration space reachable from `initial` under
+    /// `protocol`, up to the given limits.
+    pub fn explore(protocol: &Protocol, initial: &[Config], limits: &ExploreLimits) -> Self {
+        let mut graph = ReachabilityGraph {
+            configs: Vec::new(),
+            index: HashMap::new(),
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+            initial: Vec::new(),
+            complete: true,
+        };
+        let mut queue: Vec<usize> = Vec::new();
+        for c in initial {
+            let id = graph.intern(c.clone());
+            if !graph.initial.contains(&id) {
+                graph.initial.push(id);
+            }
+            queue.push(id);
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            if graph.configs.len() > limits.max_configs {
+                graph.complete = false;
+                break;
+            }
+            let current = graph.configs[id].clone();
+            for next in protocol.successors(&current) {
+                let known = graph.index.contains_key(&next);
+                let next_id = graph.intern(next);
+                if !graph.successors[id].contains(&next_id) {
+                    graph.successors[id].push(next_id);
+                    graph.predecessors[next_id].push(id);
+                }
+                if !known {
+                    queue.push(next_id);
+                }
+            }
+        }
+        graph
+    }
+
+    fn intern(&mut self, c: Config) -> usize {
+        if let Some(&id) = self.index.get(&c) {
+            return id;
+        }
+        let id = self.configs.len();
+        self.index.insert(c.clone(), id);
+        self.configs.push(c);
+        self.successors.push(Vec::new());
+        self.predecessors.push(Vec::new());
+        id
+    }
+
+    /// Number of configurations explored.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Returns `true` if no configuration was explored.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Returns `true` if the exploration terminated without hitting limits.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The configuration with internal identifier `id`.
+    pub fn config(&self, id: usize) -> &Config {
+        &self.configs[id]
+    }
+
+    /// All explored configurations.
+    pub fn configs(&self) -> &[Config] {
+        &self.configs
+    }
+
+    /// The internal identifier of a configuration, if it was explored.
+    pub fn id_of(&self, c: &Config) -> Option<usize> {
+        self.index.get(c).copied()
+    }
+
+    /// Identifiers of the initial configurations.
+    pub fn initial_ids(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Successor identifiers of a configuration.
+    pub fn successors_of(&self, id: usize) -> &[usize] {
+        &self.successors[id]
+    }
+
+    /// Predecessor identifiers of a configuration.
+    pub fn predecessors_of(&self, id: usize) -> &[usize] {
+        &self.predecessors[id]
+    }
+
+    /// Identifiers of terminal (silent) configurations: no outgoing edge.
+    pub fn terminal_ids(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.successors[i].is_empty())
+            .collect()
+    }
+
+    /// The set of identifiers forward-reachable from `start` (including it).
+    pub fn forward_closure(&self, start: &[usize]) -> Vec<bool> {
+        self.closure(start, &self.successors)
+    }
+
+    /// The set of identifiers backward-reachable from `targets` (including
+    /// them): configurations that *can reach* a target.
+    pub fn backward_closure(&self, targets: &[usize]) -> Vec<bool> {
+        self.closure(targets, &self.predecessors)
+    }
+
+    fn closure(&self, seeds: &[usize], edges: &[Vec<usize>]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = seeds.to_vec();
+        for &s in seeds {
+            seen[s] = true;
+        }
+        while let Some(id) = stack.pop() {
+            for &next in &edges[id] {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A shortest path (sequence of configuration identifiers) from some
+    /// identifier in `start` to some identifier satisfying `goal`, if one exists.
+    pub fn shortest_path_to(
+        &self,
+        start: &[usize],
+        goal: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        use std::collections::VecDeque;
+        let mut prev = vec![usize::MAX; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        for &s in start {
+            seen[s] = true;
+            queue.push_back(s);
+        }
+        while let Some(id) = queue.pop_front() {
+            if goal(id) {
+                let mut path = vec![id];
+                let mut cur = id;
+                while prev[cur] != usize::MAX {
+                    cur = prev[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in &self.successors[id] {
+                if !seen[next] {
+                    seen[next] = true;
+                    prev[next] = id;
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Output, ProtocolBuilder, StateId};
+
+    fn threshold2_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("x >= 2");
+        let zero = b.add_state("0", Output::False);
+        let one = b.add_state("1", Output::False);
+        let two = b.add_state("2", Output::True);
+        b.add_transition((one, one), (zero, two)).unwrap();
+        b.add_transition((zero, two), (two, two)).unwrap();
+        b.add_transition((one, two), (two, two)).unwrap();
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explores_small_space_completely() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+        assert!(g.is_complete());
+        // Reachable configurations from ⟨3·q1⟩:
+        // ⟨3·1⟩, ⟨1·0,1·1,1·2⟩, ⟨1·1,2·2⟩, ⟨3·2⟩  (and ⟨1·0, 2·2⟩? let's check: from
+        // ⟨1·0,1·1,1·2⟩ we can fire (0,2↦2,2) giving ⟨1·1,2·2⟩ or (1,2↦2,2) giving ⟨1·0,2·2⟩).
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.initial_ids().len(), 1);
+        // Every explored configuration has the same population size.
+        for c in g.configs() {
+            assert_eq!(c.size(), 3);
+        }
+    }
+
+    #[test]
+    fn terminal_configurations_are_silent() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+        let terminals = g.terminal_ids();
+        assert_eq!(terminals.len(), 1);
+        let t = g.config(terminals[0]);
+        assert_eq!(t.get(StateId::new(2)), 3);
+        assert!(p.is_silent_config(t));
+    }
+
+    #[test]
+    fn forward_and_backward_closures() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+        let fwd = g.forward_closure(g.initial_ids());
+        assert!(fwd.iter().all(|&b| b), "everything is forward-reachable from the initial config");
+        let terminal = g.terminal_ids();
+        let bwd = g.backward_closure(&terminal);
+        assert!(bwd.iter().all(|&b| b), "every configuration can reach the terminal one");
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+        let terminal = g.terminal_ids()[0];
+        let path = g
+            .shortest_path_to(g.initial_ids(), |id| id == terminal)
+            .unwrap();
+        assert_eq!(path.first(), Some(&g.initial_ids()[0]));
+        assert_eq!(path.last(), Some(&terminal));
+        // From ⟨3·q1⟩ the fastest stabilisation takes 3 interactions.
+        assert_eq!(path.len(), 4);
+        // A goal that never holds yields no path.
+        assert!(g.shortest_path_to(g.initial_ids(), |_| false).is_none());
+    }
+
+    #[test]
+    fn limit_truncates_exploration() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(
+            &p,
+            &[p.initial_config_unary(30)],
+            &ExploreLimits::with_max_configs(3),
+        );
+        assert!(!g.is_complete());
+        assert!(g.len() <= 5);
+    }
+
+    #[test]
+    fn id_lookup_roundtrip() {
+        let p = threshold2_protocol();
+        let ic = p.initial_config_unary(2);
+        let g = ReachabilityGraph::explore(&p, &[ic.clone()], &ExploreLimits::default());
+        let id = g.id_of(&ic).unwrap();
+        assert_eq!(g.config(id), &ic);
+        assert!(g.id_of(&Config::from_counts(vec![9, 9, 9])).is_none());
+    }
+
+    #[test]
+    fn multiple_initial_configurations() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(
+            &p,
+            &[p.initial_config_unary(2), p.initial_config_unary(2)],
+            &ExploreLimits::default(),
+        );
+        // Duplicate initial configurations are collapsed.
+        assert_eq!(g.initial_ids().len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Exhaustive reachability analysis of population protocols on bounded
+//! population slices.
+//!
+//! Because interactions preserve the number of agents, the set of
+//! configurations reachable from an initial configuration of size `n` is
+//! finite (at most `C(n+|Q|-1, |Q|-1)` configurations).  This crate explores
+//! that space exactly and derives from it the notions the paper reasons
+//! about:
+//!
+//! * the reachability graph itself — module [`graph`];
+//! * the sets `SC_0`, `SC_1`, `SC` of b-stable configurations (Definition 2)
+//!   — module [`stable`];
+//! * *correctness*: does the protocol compute a given predicate?  The paper's
+//!   characterisation — for every input `v` and every `C` reachable from
+//!   `IC(v)`, `C` can reach `SC_{φ(v)}` — is decidable on each slice and is
+//!   implemented in [`verify`];
+//! * coverability of individual states — module [`coverability`];
+//! * reachability of `j`-saturated configurations (Lemmas 5.3/5.4) — module
+//!   [`saturation`];
+//! * empirical extraction of small bases of stable sets (Lemma 3.2) — module
+//!   [`basis_extract`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basis_extract;
+pub mod coverability;
+pub mod graph;
+pub mod saturation;
+pub mod stable;
+pub mod verify;
+
+pub use basis_extract::{extract_stable_basis, EmpiricalBasis};
+pub use coverability::{coverable_states, min_input_covering_state};
+pub use graph::{ExploreLimits, ReachabilityGraph};
+pub use saturation::{min_input_for_saturation, SaturationWitness};
+pub use stable::{is_stable_config, StableSets};
+pub use verify::{verify_predicate, verify_unary_threshold, InputVerdict, VerificationReport};

@@ -1,0 +1,210 @@
+//! Stable configurations and the sets `SC_0`, `SC_1`, `SC` (Definition 2).
+//!
+//! A configuration `C` is *b-stable* if every configuration reachable from
+//! `C` has output `b` (all agents populate states of output `b`).  On a fixed
+//! population slice this is computable exactly: `C` is b-stable iff no
+//! configuration containing an agent of output `≠ b` is reachable from `C`.
+
+use crate::graph::{ExploreLimits, ReachabilityGraph};
+use popproto_model::{Config, Output, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// The b-stable configurations of a reachability graph, for both outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StableSets {
+    /// `stable0[id]` is `true` iff configuration `id` is 0-stable.
+    pub stable0: Vec<bool>,
+    /// `stable1[id]` is `true` iff configuration `id` is 1-stable.
+    pub stable1: Vec<bool>,
+}
+
+impl StableSets {
+    /// Computes the stable sets of all configurations in the graph.
+    pub fn compute(protocol: &Protocol, graph: &ReachabilityGraph) -> Self {
+        StableSets {
+            stable0: Self::compute_for(protocol, graph, Output::False),
+            stable1: Self::compute_for(protocol, graph, Output::True),
+        }
+    }
+
+    fn compute_for(protocol: &Protocol, graph: &ReachabilityGraph, b: Output) -> Vec<bool> {
+        // "Bad" configurations contain an agent with the wrong output.
+        let bad: Vec<usize> = (0..graph.len())
+            .filter(|&id| {
+                graph
+                    .config(id)
+                    .iter()
+                    .any(|(q, _)| protocol.output_of(q) != b)
+            })
+            .collect();
+        // A configuration is b-stable iff it cannot reach a bad configuration.
+        let can_reach_bad = graph.backward_closure(&bad);
+        can_reach_bad.iter().map(|&r| !r).collect()
+    }
+
+    /// Returns whether configuration `id` is b-stable.
+    pub fn is_stable(&self, id: usize, b: Output) -> bool {
+        match b {
+            Output::False => self.stable0[id],
+            Output::True => self.stable1[id],
+        }
+    }
+
+    /// Identifiers of the b-stable configurations.
+    pub fn stable_ids(&self, b: Output) -> Vec<usize> {
+        let v = match b {
+            Output::False => &self.stable0,
+            Output::True => &self.stable1,
+        };
+        v.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Identifiers of the configurations in `SC = SC_0 ∪ SC_1`.
+    pub fn all_stable_ids(&self) -> Vec<usize> {
+        (0..self.stable0.len())
+            .filter(|&id| self.stable0[id] || self.stable1[id])
+            .collect()
+    }
+
+    /// Number of b-stable configurations.
+    pub fn count(&self, b: Output) -> usize {
+        self.stable_ids(b).len()
+    }
+}
+
+/// Standalone b-stability check of a single configuration: explores forward
+/// from `c` and reports whether every reachable configuration has output `b`.
+///
+/// Returns `None` if the exploration hits its limits before deciding.
+pub fn is_stable_config(
+    protocol: &Protocol,
+    c: &Config,
+    b: Output,
+    limits: &ExploreLimits,
+) -> Option<bool> {
+    let graph = ReachabilityGraph::explore(protocol, &[c.clone()], limits);
+    let offending = (0..graph.len()).find(|&id| {
+        graph
+            .config(id)
+            .iter()
+            .any(|(q, _)| protocol.output_of(q) != b)
+    });
+    match offending {
+        Some(_) => Some(false),
+        None if graph.is_complete() => Some(true),
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Output, ProtocolBuilder};
+
+    fn threshold2_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("x >= 2");
+        let zero = b.add_state("0", Output::False);
+        let one = b.add_state("1", Output::False);
+        let two = b.add_state("2", Output::True);
+        b.add_transition((one, one), (zero, two)).unwrap();
+        b.add_transition((zero, two), (two, two)).unwrap();
+        b.add_transition((one, two), (two, two)).unwrap();
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stable_sets_of_threshold_protocol() {
+        let p = threshold2_protocol();
+        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+        let stable = StableSets::compute(&p, &g);
+        // From ⟨3·q1⟩ every configuration can still reach ⟨3·q2⟩ (output 1),
+        // so no reachable configuration is 0-stable...
+        assert_eq!(stable.count(Output::False), 0);
+        // ...and the only 1-stable configuration is ⟨3·q2⟩ itself.
+        let ones = stable.stable_ids(Output::True);
+        assert_eq!(ones.len(), 1);
+        assert_eq!(g.config(ones[0]).counts(), &[0, 0, 3]);
+        assert_eq!(stable.all_stable_ids(), ones);
+        assert!(stable.is_stable(ones[0], Output::True));
+        assert!(!stable.is_stable(ones[0], Output::False));
+    }
+
+    #[test]
+    fn input_one_is_zero_stable() {
+        let p = threshold2_protocol();
+        // A single agent in state 1 can never change state: it is 0-stable.
+        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(1)], &ExploreLimits::default());
+        let stable = StableSets::compute(&p, &g);
+        assert_eq!(stable.count(Output::False), 1);
+        assert_eq!(stable.count(Output::True), 0);
+    }
+
+    #[test]
+    fn standalone_stability_check() {
+        let p = threshold2_protocol();
+        let all_two = Config::from_counts(vec![0, 0, 4]);
+        assert_eq!(
+            is_stable_config(&p, &all_two, Output::True, &ExploreLimits::default()),
+            Some(true)
+        );
+        assert_eq!(
+            is_stable_config(&p, &all_two, Output::False, &ExploreLimits::default()),
+            Some(false)
+        );
+        // A mixed configuration is not 0-stable (it already contains a 1-output agent)
+        // and not 1-stable either... actually ⟨1·q0, 1·q2⟩ can only move to ⟨2·q2⟩,
+        // so it IS 1-stable? No: it contains q0 with output 0, but 1-stability asks
+        // that every *reachable* configuration has output 1 — including itself.
+        let mixed = Config::from_counts(vec![1, 0, 1]);
+        assert_eq!(
+            is_stable_config(&p, &mixed, Output::True, &ExploreLimits::default()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn downward_closedness_of_stable_sets_lemma_31() {
+        // Lemma 3.1: SC_b is downward closed.  Check it empirically on the
+        // slice of size ≤ 4: for every 1-stable C and every C' ≤ C, C' is 1-stable.
+        let p = threshold2_protocol();
+        let limits = ExploreLimits::default();
+        let mut stable_configs: Vec<Config> = Vec::new();
+        // Enumerate all configurations with at most 4 agents and record the stable ones.
+        for a in 0..=4u64 {
+            for b in 0..=(4 - a) {
+                for c in 0..=(4 - a - b) {
+                    let cfg = Config::from_counts(vec![a, b, c]);
+                    if cfg.size() < 2 {
+                        continue; // configurations have at least 2 agents
+                    }
+                    if is_stable_config(&p, &cfg, Output::True, &limits) == Some(true) {
+                        stable_configs.push(cfg);
+                    }
+                }
+            }
+        }
+        assert!(!stable_configs.is_empty());
+        for c in &stable_configs {
+            for a in 0..=c.counts()[0] {
+                for b in 0..=c.counts()[1] {
+                    for d in 0..=c.counts()[2] {
+                        let smaller = Config::from_counts(vec![a, b, d]);
+                        if smaller.size() < 2 {
+                            continue;
+                        }
+                        assert_eq!(
+                            is_stable_config(&p, &smaller, Output::True, &limits),
+                            Some(true),
+                            "downward closure violated at {smaller} ≤ {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Verification that a protocol computes a predicate, on bounded slices.
+//!
+//! The paper (Section 3) characterises correctness as follows: a protocol
+//! computes `φ` iff for every input `v` and every configuration `C` reachable
+//! from `IC(v)`, `C` can reach `SC_{φ(v)}`.  On each population slice both
+//! conditions are decidable by exhaustive exploration; this module applies
+//! the characterisation to all inputs up to a bound.
+
+use crate::graph::{ExploreLimits, ReachabilityGraph};
+use crate::stable::StableSets;
+use popproto_model::{Config, Input, Output, Predicate, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// The verdict for a single input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InputVerdict {
+    /// The input that was checked.
+    pub input: Input,
+    /// The expected output `φ(v)`.
+    pub expected: bool,
+    /// `true` if every reachable configuration can reach a `φ(v)`-stable one.
+    pub correct: bool,
+    /// `true` if the exploration was exhaustive (the verdict is definitive).
+    pub exhaustive: bool,
+    /// Number of configurations reachable from `IC(v)`.
+    pub reachable_configs: usize,
+    /// Number of reachable configurations that are `φ(v)`-stable.
+    pub stable_configs: usize,
+    /// A configuration from which the correct stable set is unreachable, if any.
+    pub counterexample: Option<Config>,
+}
+
+/// The aggregated result of verifying a protocol against a predicate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Name of the verified protocol.
+    pub protocol: String,
+    /// Rendering of the verified predicate.
+    pub predicate: String,
+    /// Per-input verdicts.
+    pub verdicts: Vec<InputVerdict>,
+}
+
+impl VerificationReport {
+    /// Returns `true` if every checked input was verified correct.
+    pub fn all_correct(&self) -> bool {
+        self.verdicts.iter().all(|v| v.correct)
+    }
+
+    /// Returns `true` if every verdict was reached by exhaustive exploration.
+    pub fn all_exhaustive(&self) -> bool {
+        self.verdicts.iter().all(|v| v.exhaustive)
+    }
+
+    /// The verdicts that failed, if any.
+    pub fn failures(&self) -> Vec<&InputVerdict> {
+        self.verdicts.iter().filter(|v| !v.correct).collect()
+    }
+}
+
+/// Verifies one input: explores the slice, computes the stable sets and checks
+/// the paper's correctness characterisation.
+pub fn verify_input(
+    protocol: &Protocol,
+    predicate: &Predicate,
+    input: &Input,
+    limits: &ExploreLimits,
+) -> InputVerdict {
+    let expected = predicate.eval(input);
+    let expected_output = Output::from_bool(expected);
+    let ic = protocol.initial_config(input);
+    let graph = ReachabilityGraph::explore(protocol, &[ic], limits);
+    let stable = StableSets::compute(protocol, &graph);
+    let target_ids = stable.stable_ids(expected_output);
+    let can_reach_target = graph.backward_closure(&target_ids);
+    let counterexample_id = (0..graph.len()).find(|&id| !can_reach_target[id]);
+    InputVerdict {
+        input: input.clone(),
+        expected,
+        correct: counterexample_id.is_none() && !target_ids.is_empty(),
+        exhaustive: graph.is_complete(),
+        reachable_configs: graph.len(),
+        stable_configs: target_ids.len(),
+        counterexample: counterexample_id.map(|id| graph.config(id).clone()),
+    }
+}
+
+/// Verifies a protocol against a predicate on an explicit list of inputs.
+pub fn verify_predicate(
+    protocol: &Protocol,
+    predicate: &Predicate,
+    inputs: &[Input],
+    limits: &ExploreLimits,
+) -> VerificationReport {
+    VerificationReport {
+        protocol: protocol.name().to_string(),
+        predicate: predicate.to_string(),
+        verdicts: inputs
+            .iter()
+            .map(|input| verify_input(protocol, predicate, input, limits))
+            .collect(),
+    }
+}
+
+/// Verifies a unary protocol against the threshold predicate `x ≥ eta` on all
+/// inputs `2 ≤ i ≤ max_input` (the model requires populations of size ≥ 2).
+pub fn verify_unary_threshold(
+    protocol: &Protocol,
+    eta: u64,
+    max_input: u64,
+    limits: &ExploreLimits,
+) -> VerificationReport {
+    let predicate = Predicate::threshold_at_least(eta);
+    let inputs: Vec<Input> = (2..=max_input).map(Input::unary).collect();
+    verify_predicate(protocol, &predicate, &inputs, limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Output, ProtocolBuilder};
+
+    fn threshold2_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("x >= 2");
+        let zero = b.add_state("0", Output::False);
+        let one = b.add_state("1", Output::False);
+        let two = b.add_state("2", Output::True);
+        b.add_transition((one, one), (zero, two)).unwrap();
+        b.add_transition((zero, two), (two, two)).unwrap();
+        b.add_transition((one, two), (two, two)).unwrap();
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    /// A deliberately broken protocol: claims x ≥ 2 but never flips output.
+    fn broken_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("broken");
+        let one = b.add_state("1", Output::False);
+        let _two = b.add_state("2", Output::True);
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn correct_protocol_verifies() {
+        let p = threshold2_protocol();
+        let report = verify_unary_threshold(&p, 2, 8, &ExploreLimits::default());
+        assert!(report.all_correct(), "failures: {:?}", report.failures());
+        assert!(report.all_exhaustive());
+        assert_eq!(report.verdicts.len(), 7);
+        for v in &report.verdicts {
+            assert_eq!(v.expected, v.input.total() >= 2);
+            assert!(v.stable_configs >= 1);
+        }
+    }
+
+    #[test]
+    fn broken_protocol_fails() {
+        let p = broken_protocol();
+        let report = verify_unary_threshold(&p, 2, 4, &ExploreLimits::default());
+        assert!(!report.all_correct());
+        // Inputs ≥ 2 should accept but the protocol cannot: each such verdict fails.
+        for v in &report.verdicts {
+            assert!(!v.correct);
+        }
+        assert_eq!(report.failures().len(), 3);
+    }
+
+    #[test]
+    fn wrong_threshold_is_detected() {
+        // The protocol computes x ≥ 2; claiming it computes x ≥ 3 must fail at input 2.
+        let p = threshold2_protocol();
+        let report = verify_unary_threshold(&p, 3, 5, &ExploreLimits::default());
+        assert!(!report.all_correct());
+        let failing: Vec<u64> = report
+            .failures()
+            .iter()
+            .map(|v| v.input.total())
+            .collect();
+        assert!(failing.contains(&2));
+    }
+
+    #[test]
+    fn verdicts_report_counterexamples() {
+        let p = broken_protocol();
+        let verdict = verify_input(
+            &p,
+            &Predicate::threshold_at_least(2),
+            &Input::unary(3),
+            &ExploreLimits::default(),
+        );
+        assert!(!verdict.correct);
+        // The initial configuration itself cannot reach a 1-stable configuration.
+        assert!(verdict.counterexample.is_some() || verdict.stable_configs == 0);
+    }
+
+    #[test]
+    fn multivariate_predicate_verification() {
+        // A trivial 2-variable protocol computing "true": all states have output 1.
+        let mut b = ProtocolBuilder::new("always true");
+        let a = b.add_state("a", Output::True);
+        let c = b.add_state("c", Output::True);
+        b.set_input_state("x", a);
+        b.set_input_state("y", c);
+        let p = b.build().unwrap();
+        let inputs = vec![
+            Input::from_counts(vec![1, 1]),
+            Input::from_counts(vec![2, 3]),
+        ];
+        let report = verify_predicate(&p, &Predicate::Const(true), &inputs, &ExploreLimits::default());
+        assert!(report.all_correct());
+    }
+}

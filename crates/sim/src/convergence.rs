@@ -1,0 +1,170 @@
+//! Convergence detection for simulated executions.
+
+use crate::engine::Simulator;
+use popproto_model::Output;
+use serde::{Deserialize, Serialize};
+
+/// Strategies for deciding that a simulated execution has (very likely)
+/// stabilised.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum ConvergenceCriterion {
+    /// The configuration is *silent*: no transition can change it.  This is a
+    /// proof of stabilisation, but some protocols never become silent.
+    Silent,
+    /// All agents agree on an output and keep agreeing for the given number of
+    /// further interactions.
+    ///
+    /// This is a *heuristic*: for threshold protocols the initial
+    /// configuration is already a (false) consensus, so a short window can
+    /// declare convergence before the protocol has had time to flip the
+    /// answer.  Use [`ConvergenceCriterion::Silent`] whenever the protocol
+    /// stabilises into silent configurations (all protocols in
+    /// `popproto-zoo` do), and reserve this criterion for measuring how long
+    /// an already-formed consensus persists.
+    ConsensusPersistence {
+        /// Number of consecutive interactions the consensus must persist.
+        window: u64,
+    },
+}
+
+impl Default for ConvergenceCriterion {
+    fn default() -> Self {
+        ConvergenceCriterion::ConsensusPersistence { window: 1_000 }
+    }
+}
+
+/// The outcome of running a simulation until convergence (or a step budget).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergenceOutcome {
+    /// `true` if the criterion was met before the budget ran out.
+    pub converged: bool,
+    /// The consensus output at the end, if any.
+    pub output: Option<bool>,
+    /// Total number of interactions simulated.
+    pub interactions: u64,
+    /// Number of interactions until the criterion was first met (if it was).
+    pub interactions_to_convergence: Option<u64>,
+    /// Parallel time until convergence (interactions / agents), if converged.
+    pub parallel_time: Option<f64>,
+    /// Number of agents in the population.
+    pub population: u64,
+}
+
+/// Runs the simulator until the convergence criterion holds or
+/// `max_interactions` interactions have been simulated.
+pub fn run_until_convergence(
+    sim: &mut Simulator,
+    criterion: ConvergenceCriterion,
+    max_interactions: u64,
+) -> ConvergenceOutcome {
+    let population = sim.config().size();
+    let mut consensus_since: Option<u64> = None;
+    let mut converged_at: Option<u64> = None;
+
+    loop {
+        let interactions = sim.interactions();
+        if converged_at.is_none() {
+            match criterion {
+                ConvergenceCriterion::Silent => {
+                    if sim.protocol().is_silent_config(sim.config()) {
+                        converged_at = Some(interactions);
+                    }
+                }
+                ConvergenceCriterion::ConsensusPersistence { window } => {
+                    if sim.protocol().output(sim.config()).is_some() {
+                        let since = *consensus_since.get_or_insert(interactions);
+                        if interactions - since >= window {
+                            converged_at = Some(since);
+                        }
+                    } else {
+                        consensus_since = None;
+                    }
+                }
+            }
+        }
+        if converged_at.is_some() || interactions >= max_interactions {
+            break;
+        }
+        sim.step();
+    }
+
+    let output = sim
+        .protocol()
+        .output(sim.config())
+        .map(Output::as_bool);
+    ConvergenceOutcome {
+        converged: converged_at.is_some(),
+        output,
+        interactions: sim.interactions(),
+        interactions_to_convergence: converged_at,
+        parallel_time: converged_at.map(|i| i as f64 / population as f64),
+        population,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_zoo::{binary_counter, flock};
+
+    #[test]
+    fn silent_criterion_on_flock() {
+        let p = flock(3);
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(5), 21);
+        let outcome = run_until_convergence(&mut sim, ConvergenceCriterion::Silent, 200_000);
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(true)); // 5 ≥ 3
+        assert_eq!(outcome.population, 5);
+        assert!(outcome.parallel_time.unwrap() > 0.0);
+        assert!(outcome.interactions_to_convergence.unwrap() <= outcome.interactions);
+    }
+
+    #[test]
+    fn silent_criterion_on_binary_counter_accepting_input() {
+        let p = binary_counter(3); // x ≥ 8
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(20), 3);
+        let outcome = run_until_convergence(&mut sim, ConvergenceCriterion::Silent, 500_000);
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(true));
+    }
+
+    #[test]
+    fn consensus_persistence_is_a_one_sided_heuristic() {
+        // With a tiny window the heuristic fires on the initial (false)
+        // consensus of an accepting input — this documents why Silent is the
+        // criterion of choice for threshold protocols.
+        let p = binary_counter(3);
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(20), 3);
+        let outcome = run_until_convergence(
+            &mut sim,
+            ConvergenceCriterion::ConsensusPersistence { window: 1 },
+            500_000,
+        );
+        assert!(outcome.converged);
+        assert_eq!(outcome.interactions_to_convergence, Some(0));
+    }
+
+    #[test]
+    fn rejecting_inputs_converge_to_false() {
+        let p = binary_counter(3); // x ≥ 8
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(5), 17);
+        let outcome = run_until_convergence(
+            &mut sim,
+            ConvergenceCriterion::ConsensusPersistence { window: 500 },
+            200_000,
+        );
+        // 5 < 8: the consensus (all agents in 0-output states) is reached and persists.
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(false));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_no_convergence() {
+        let p = binary_counter(4);
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(100), 5);
+        let outcome = run_until_convergence(&mut sim, ConvergenceCriterion::Silent, 10);
+        assert!(!outcome.converged);
+        assert_eq!(outcome.interactions, 10);
+        assert!(outcome.parallel_time.is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! The simulation engine: step semantics on configuration counts.
+
+use crate::scheduler::{PairScheduler, UniformScheduler};
+use popproto_model::{Config, Pair, Protocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stochastic simulator for a population protocol.
+///
+/// The simulator owns a copy of the protocol, the current configuration and a
+/// seeded random number generator, so runs are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use popproto_model::{Input, Output};
+/// use popproto_sim::Simulator;
+/// use popproto_zoo::binary_counter;
+///
+/// let protocol = binary_counter(3); // x ≥ 8
+/// let mut sim = Simulator::new(protocol.clone(), protocol.initial_config_unary(20), 42);
+/// sim.run(20_000);
+/// assert_eq!(protocol.output(sim.config()), Some(Output::True));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    protocol: Protocol,
+    config: Config,
+    rng: StdRng,
+    scheduler: UniformScheduler,
+    interactions: u64,
+    effective_interactions: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for `protocol` starting at `initial` with a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial configuration holds fewer than two agents.
+    pub fn new(protocol: Protocol, initial: Config, seed: u64) -> Self {
+        assert!(
+            initial.size() >= 2,
+            "population protocols require at least two agents"
+        );
+        Simulator {
+            protocol,
+            config: initial,
+            rng: StdRng::seed_from_u64(seed),
+            scheduler: UniformScheduler::new(),
+            interactions: 0,
+            effective_interactions: 0,
+        }
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The number of interactions simulated so far (including no-ops).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// The number of interactions that changed the configuration.
+    pub fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    /// The parallel time elapsed so far: interactions divided by the number
+    /// of agents.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.config.size() as f64
+    }
+
+    /// Simulates a single interaction.  Returns `true` if the configuration changed.
+    pub fn step(&mut self) -> bool {
+        self.interactions += 1;
+        let (a, b) = self.scheduler.select_pair(&self.config, &mut self.rng);
+        let pair = Pair::new(a, b);
+        let candidates = self.protocol.transitions_from(pair);
+        if candidates.is_empty() {
+            return false;
+        }
+        let t_idx = candidates[self.rng.gen_range(0..candidates.len())];
+        let transition = self.protocol.transitions()[t_idx];
+        match transition.fire(&self.config) {
+            Some(next) if next != self.config => {
+                self.config = next;
+                self.effective_interactions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Simulates up to `max_interactions` interactions.
+    /// Returns the number of interactions performed.
+    pub fn run(&mut self, max_interactions: u64) -> u64 {
+        for i in 0..max_interactions {
+            if self.protocol.is_silent_config(&self.config) {
+                return i;
+            }
+            self.step();
+        }
+        max_interactions
+    }
+
+    /// Simulates until `predicate` holds for the current configuration or
+    /// `max_interactions` interactions have elapsed.  Returns `true` if the
+    /// predicate was satisfied.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&Protocol, &Config) -> bool,
+        max_interactions: u64,
+    ) -> bool {
+        for _ in 0..max_interactions {
+            if predicate(&self.protocol, &self.config) {
+                return true;
+            }
+            self.step();
+        }
+        predicate(&self.protocol, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::Output;
+    use popproto_zoo::{binary_counter, flock, majority};
+
+    #[test]
+    fn population_size_is_invariant() {
+        let p = flock(4);
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(10), 1);
+        for _ in 0..1000 {
+            sim.step();
+            assert_eq!(sim.config().size(), 10);
+        }
+    }
+
+    #[test]
+    fn flock_converges_to_the_correct_output() {
+        let p = flock(4);
+        // 6 ≥ 4: all agents eventually report true.
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(6), 3);
+        let converged = sim.run_until(|pr, c| pr.output(c) == Some(Output::True), 100_000);
+        assert!(converged);
+        // 3 < 4: the protocol must never report a true consensus.
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(3), 3);
+        sim.run(50_000);
+        assert_ne!(p.output(sim.config()), Some(Output::True));
+    }
+
+    #[test]
+    fn binary_counter_accepts_large_inputs() {
+        let p = binary_counter(4); // x ≥ 16
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(40), 7);
+        let converged = sim.run_until(|pr, c| pr.output(c) == Some(Output::True), 500_000);
+        assert!(converged, "40 ≥ 16 should eventually reach a true consensus");
+    }
+
+    #[test]
+    fn majority_simulation_reaches_a_consensus() {
+        let p = majority();
+        // x₁-majority is the fast direction of the 4-state protocol (the
+        // passive tie-breaking rule also pushes towards "no").
+        let input = popproto_model::Input::from_counts(vec![3, 8]);
+        let mut sim = Simulator::new(p.clone(), p.initial_config(&input), 11);
+        let converged = sim.run_until(|pr, c| pr.output(c).is_some(), 500_000);
+        assert!(converged);
+        assert_eq!(p.output(sim.config()), Some(Output::False));
+
+        // A slim x₀-majority on a tiny population also converges, albeit slowly.
+        let input = popproto_model::Input::from_counts(vec![4, 2]);
+        let mut sim = Simulator::new(p.clone(), p.initial_config(&input), 13);
+        let converged = sim.run_until(|pr, c| pr.output(c) == Some(Output::True), 2_000_000);
+        assert!(converged);
+    }
+
+    #[test]
+    fn counters_and_parallel_time() {
+        let p = flock(2);
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(4), 9);
+        sim.run(100);
+        assert!(sim.interactions() <= 100);
+        assert!(sim.effective_interactions() <= sim.interactions());
+        assert!(sim.parallel_time() <= 25.0);
+        assert_eq!(sim.protocol().name(), "flock(2)");
+    }
+
+    #[test]
+    fn run_stops_early_on_silent_configurations() {
+        let p = flock(2);
+        // Input 2: after one effective interaction everything is in state 2.
+        let mut sim = Simulator::new(p.clone(), p.initial_config_unary(2), 5);
+        let steps = sim.run(10_000);
+        assert!(steps < 10_000);
+        assert!(p.is_silent_config(sim.config()));
+        assert_eq!(p.output(sim.config()), Some(Output::True));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn tiny_population_panics() {
+        let p = flock(2);
+        let _ = Simulator::new(p.clone(), p.initial_config_unary(1), 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let p = binary_counter(3);
+        let mut a = Simulator::new(p.clone(), p.initial_config_unary(12), 99);
+        let mut b = Simulator::new(p.clone(), p.initial_config_unary(12), 99);
+        for _ in 0..2000 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.config(), b.config());
+        assert_eq!(a.effective_interactions(), b.effective_interactions());
+    }
+}

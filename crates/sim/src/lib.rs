@@ -1,0 +1,35 @@
+//! Stochastic simulation of population protocols.
+//!
+//! At each step the scheduler picks an ordered pair of distinct agents
+//! uniformly at random; if the protocol has a transition for the pair of
+//! states, one is fired (chosen uniformly among the applicable ones),
+//! otherwise the interaction is a no-op.  Uniform random scheduling is fair
+//! with probability 1, so simulated executions converge to the semantics of
+//! Section 2 almost surely.
+//!
+//! The *parallel time* of an execution is its number of interactions divided
+//! by the number of agents — the standard measure used in the runtime
+//! results quoted in the paper's introduction.
+//!
+//! Modules:
+//!
+//! * [`scheduler`] — pair-selection strategies;
+//! * [`engine`] — the step semantics on configuration counts;
+//! * [`convergence`] — stabilisation / consensus detection;
+//! * [`stats`] — aggregation over repeated runs;
+//! * [`runner`] — multi-seed experiment driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod engine;
+pub mod runner;
+pub mod scheduler;
+pub mod stats;
+
+pub use convergence::{run_until_convergence, ConvergenceCriterion, ConvergenceOutcome};
+pub use engine::Simulator;
+pub use runner::{run_experiment, SimulationExperiment};
+pub use scheduler::{PairScheduler, UniformScheduler};
+pub use stats::{aggregate_outcomes, ConvergenceStats, SummaryStats};

@@ -1,0 +1,97 @@
+//! Multi-seed simulation experiments.
+
+use crate::convergence::{run_until_convergence, ConvergenceCriterion, ConvergenceOutcome};
+use crate::engine::Simulator;
+use crate::stats::{aggregate_outcomes, ConvergenceStats};
+use popproto_model::{Input, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Description of a repeated simulation experiment: the same protocol and
+/// input simulated with several seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationExperiment {
+    /// The protocol to simulate.
+    pub protocol: Protocol,
+    /// The input to start from.
+    pub input: Input,
+    /// Seeds, one per run.
+    pub seeds: Vec<u64>,
+    /// The convergence criterion.
+    pub criterion: ConvergenceCriterion,
+    /// Interaction budget per run.
+    pub max_interactions: u64,
+}
+
+impl SimulationExperiment {
+    /// Creates an experiment with `runs` consecutive seeds starting at 0.
+    pub fn new(protocol: Protocol, input: Input, runs: u64, max_interactions: u64) -> Self {
+        SimulationExperiment {
+            protocol,
+            input,
+            seeds: (0..runs).collect(),
+            criterion: ConvergenceCriterion::Silent,
+            max_interactions,
+        }
+    }
+}
+
+/// The result of a [`SimulationExperiment`]: all per-run outcomes plus their
+/// aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Per-run outcomes, in seed order.
+    pub outcomes: Vec<ConvergenceOutcome>,
+    /// Aggregated statistics.
+    pub stats: ConvergenceStats,
+}
+
+/// Runs the experiment.
+pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
+    let ic = experiment.protocol.initial_config(&experiment.input);
+    let outcomes: Vec<ConvergenceOutcome> = experiment
+        .seeds
+        .iter()
+        .map(|&seed| {
+            let mut sim = Simulator::new(experiment.protocol.clone(), ic.clone(), seed);
+            run_until_convergence(&mut sim, experiment.criterion, experiment.max_interactions)
+        })
+        .collect();
+    let stats = aggregate_outcomes(&outcomes);
+    ExperimentResult { outcomes, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_zoo::{binary_counter, majority};
+
+    #[test]
+    fn repeated_runs_agree_on_the_answer() {
+        let p = binary_counter(3); // x ≥ 8
+        let exp = SimulationExperiment::new(p, Input::unary(12), 5, 300_000);
+        let result = run_experiment(&exp);
+        assert_eq!(result.outcomes.len(), 5);
+        assert_eq!(result.stats.converged_runs, 5);
+        assert_eq!(result.stats.true_outputs, 5);
+        assert_eq!(result.stats.false_outputs, 0);
+        assert!(result.stats.parallel_time.mean > 0.0);
+    }
+
+    #[test]
+    fn majority_experiment() {
+        let p = majority();
+        let exp = SimulationExperiment::new(p, Input::from_counts(vec![4, 7]), 4, 300_000);
+        let result = run_experiment(&exp);
+        assert_eq!(result.stats.converged_runs, 4);
+        // 4 > 7 is false: every run must answer false.
+        assert_eq!(result.stats.false_outputs, 4);
+    }
+
+    #[test]
+    fn experiment_descriptions_serialise() {
+        let p = binary_counter(2);
+        let exp = SimulationExperiment::new(p, Input::unary(6), 2, 10_000);
+        let json = serde_json::to_string(&exp).unwrap();
+        assert!(json.contains("binary_counter"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Pair-selection strategies for the simulator.
+
+use popproto_model::{Config, StateId};
+use rand::Rng;
+
+/// A strategy for selecting the ordered pair of agents that interact next.
+///
+/// Implementations receive the current configuration and must return the
+/// states of two *distinct* agents (the states themselves may coincide when
+/// the state holds at least two agents).
+pub trait PairScheduler {
+    /// Selects the states of the two interacting agents.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the configuration holds fewer than two agents.
+    fn select_pair<R: Rng + ?Sized>(&mut self, config: &Config, rng: &mut R) -> (StateId, StateId);
+}
+
+/// The uniform scheduler of the standard model: the ordered pair of agents is
+/// chosen uniformly at random among all `n(n-1)` ordered pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformScheduler;
+
+impl UniformScheduler {
+    /// Creates a uniform scheduler.
+    pub fn new() -> Self {
+        UniformScheduler
+    }
+}
+
+impl PairScheduler for UniformScheduler {
+    fn select_pair<R: Rng + ?Sized>(&mut self, config: &Config, rng: &mut R) -> (StateId, StateId) {
+        let n = config.size();
+        assert!(n >= 2, "a configuration must hold at least two agents to interact");
+        // Pick the first agent uniformly among n agents.
+        let first = sample_agent(config, rng.gen_range(0..n));
+        // Pick the second among the remaining n-1 agents, skipping over the
+        // already-selected first agent by index arithmetic on its state bucket.
+        let mut remaining = rng.gen_range(0..n - 1);
+        let mut second = None;
+        for (q, count) in config.iter() {
+            let available = if q == first { count - 1 } else { count };
+            if remaining < available {
+                second = Some(q);
+                break;
+            }
+            remaining -= available;
+        }
+        // The loop always finds a bucket because the adjusted counts sum to n-1.
+        let second = second.expect("second agent must exist in a population of size >= 2");
+        (first, second)
+    }
+}
+
+/// Maps a uniformly chosen agent index to its state.
+fn sample_agent(config: &Config, mut index: u64) -> StateId {
+    for (q, count) in config.iter() {
+        if index < count {
+            return q;
+        }
+        index -= count;
+    }
+    unreachable!("agent index out of range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selected_agents_exist() {
+        let config = Config::from_counts(vec![3, 0, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scheduler = UniformScheduler::new();
+        for _ in 0..500 {
+            let (a, b) = scheduler.select_pair(&config, &mut rng);
+            assert!(config.get(a) > 0);
+            assert!(config.get(b) > 0);
+            if a == b {
+                assert!(config.get(a) >= 2, "same-state pair requires two agents");
+            }
+        }
+    }
+
+    #[test]
+    fn two_agent_population_always_selects_both() {
+        let config = Config::from_counts(vec![1, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scheduler = UniformScheduler::new();
+        for _ in 0..100 {
+            let (a, b) = scheduler.select_pair(&config, &mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn pair_distribution_is_roughly_uniform() {
+        // Two states with 5 agents each: P(both from the same state) = 2·(5·4)/(10·9) ≈ 0.444.
+        let config = Config::from_counts(vec![5, 5]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut scheduler = UniformScheduler::new();
+        let trials = 20_000;
+        let mut same = 0;
+        for _ in 0..trials {
+            let (a, b) = scheduler.select_pair(&config, &mut rng);
+            if a == b {
+                same += 1;
+            }
+        }
+        let freq = same as f64 / trials as f64;
+        assert!((freq - 0.444).abs() < 0.03, "same-state frequency {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn single_agent_panics() {
+        let config = Config::from_counts(vec![1, 0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        UniformScheduler::new().select_pair(&config, &mut rng);
+    }
+}

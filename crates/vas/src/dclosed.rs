@@ -1,0 +1,398 @@
+//! Downward-closed sets of configurations and their bases (Section 3).
+//!
+//! The paper represents a downward-closed set `C` by a finite *base* of
+//! elements `(B, S)` with `B + N^S ⊆ C` and `C = ⋃ (B + N^S)`; the norm of a
+//! basis element is `‖B‖_∞`.  An equivalent, often more convenient
+//! representation uses *ideals*: downward closures of `ω`-configurations
+//! `↓u` with `u ∈ (N ∪ {ω})^Q`.  Both representations are provided:
+//!
+//! * [`BasisElement`] — the paper's `(B, S)` pairs, used by the pumping
+//!   certificates of Lemmas 4.1 and 5.2;
+//! * [`Ideal`] and [`DownwardClosedSet`] — the ideal representation, used to
+//!   store and compare stable sets computed by the `reach` crate.
+
+use popproto_model::{Config, StateId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A basis element `(B, S)` of a downward-closed set: the set of
+/// configurations `B + N^S` (Section 3).
+///
+/// # Examples
+///
+/// ```
+/// use popproto_model::{Config, StateId};
+/// use popproto_vas::BasisElement;
+///
+/// let base = Config::from_counts(vec![1, 0, 2]);
+/// let elem = BasisElement::new(base, [StateId::new(2)]);
+/// assert!(elem.contains(&Config::from_counts(vec![1, 0, 7])));
+/// assert!(!elem.contains(&Config::from_counts(vec![2, 0, 7])));
+/// assert_eq!(elem.norm(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BasisElement {
+    base: Config,
+    omega: BTreeSet<StateId>,
+}
+
+impl BasisElement {
+    /// Creates the basis element `(B, S)`.
+    pub fn new(base: Config, omega: impl IntoIterator<Item = StateId>) -> Self {
+        BasisElement {
+            base,
+            omega: omega.into_iter().collect(),
+        }
+    }
+
+    /// The base configuration `B`.
+    pub fn base(&self) -> &Config {
+        &self.base
+    }
+
+    /// The set `S` of states whose counts may grow unboundedly.
+    pub fn omega_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.omega.iter().copied()
+    }
+
+    /// The set `S` as a vector.
+    pub fn omega_vec(&self) -> Vec<StateId> {
+        self.omega.iter().copied().collect()
+    }
+
+    /// The norm `‖(B, S)‖_∞ = ‖B‖_∞`.
+    pub fn norm(&self) -> u64 {
+        self.base.norm_inf()
+    }
+
+    /// Membership test: `c ∈ B + N^S`, i.e. `c(q) = B(q)` outside `S` and
+    /// `c(q) ≥ B(q)` on `S`.
+    pub fn contains(&self, c: &Config) -> bool {
+        if c.num_states() != self.base.num_states() {
+            return false;
+        }
+        for q in (0..c.num_states()).map(StateId::new) {
+            if self.omega.contains(&q) {
+                if c.get(q) < self.base.get(q) {
+                    return false;
+                }
+            } else if c.get(q) != self.base.get(q) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The "difference" `D = c − B ∈ N^S` witnessing membership, if `c`
+    /// belongs to the element.
+    pub fn witness(&self, c: &Config) -> Option<Config> {
+        if !self.contains(c) {
+            return None;
+        }
+        c.checked_minus(&self.base)
+    }
+
+    /// Constructs a basis element from a configuration by the Lemma 3.2
+    /// recipe: states with more than `threshold` agents become `ω`-states,
+    /// and their base count is truncated to `threshold`.
+    pub fn from_config_with_threshold(c: &Config, threshold: u64) -> Self {
+        let mut base = c.clone();
+        let mut omega = BTreeSet::new();
+        for (q, count) in c.iter() {
+            if count > threshold {
+                base.set(q, threshold);
+                omega.insert(q);
+            }
+        }
+        BasisElement { base, omega }
+    }
+}
+
+impl fmt::Display for BasisElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {{", self.base)?;
+        for (i, q) in self.omega.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+/// An ideal `↓u`: the set of configurations pointwise below an
+/// `ω`-configuration `u` (entries are either a finite bound or unbounded).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ideal {
+    /// `Some(k)` bounds the state by `k`; `None` means unbounded (ω).
+    bounds: Vec<Option<u64>>,
+}
+
+impl Ideal {
+    /// Creates an ideal from per-state bounds (`None` = ω).
+    pub fn new(bounds: Vec<Option<u64>>) -> Self {
+        Ideal { bounds }
+    }
+
+    /// The ideal containing exactly the downward closure of a configuration.
+    pub fn below(c: &Config) -> Self {
+        Ideal {
+            bounds: c.counts().iter().map(|&x| Some(x)).collect(),
+        }
+    }
+
+    /// The full ideal (no constraints) over `num_states` states.
+    pub fn full(num_states: usize) -> Self {
+        Ideal {
+            bounds: vec![None; num_states],
+        }
+    }
+
+    /// The per-state bounds.
+    pub fn bounds(&self) -> &[Option<u64>] {
+        &self.bounds
+    }
+
+    /// The dimension (number of states).
+    pub fn num_states(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: &Config) -> bool {
+        if c.num_states() != self.bounds.len() {
+            return false;
+        }
+        self.bounds
+            .iter()
+            .enumerate()
+            .all(|(q, b)| b.map_or(true, |limit| c.get(StateId::new(q)) <= limit))
+    }
+
+    /// Inclusion test `self ⊆ other`.
+    pub fn included_in(&self, other: &Ideal) -> bool {
+        assert_eq!(self.num_states(), other.num_states(), "dimension mismatch");
+        self.bounds.iter().zip(&other.bounds).all(|(a, b)| match (a, b) {
+            (_, None) => true,
+            (None, Some(_)) => false,
+            (Some(x), Some(y)) => x <= y,
+        })
+    }
+
+    /// The norm: the largest finite bound (0 if all bounds are ω or 0).
+    pub fn norm(&self) -> u64 {
+        self.bounds.iter().filter_map(|b| *b).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Ideal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "↓⟨")?;
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match b {
+                Some(k) => write!(f, "{k}")?,
+                None => write!(f, "ω")?,
+            }
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A downward-closed set represented as a finite union of ideals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DownwardClosedSet {
+    ideals: Vec<Ideal>,
+}
+
+impl DownwardClosedSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        DownwardClosedSet { ideals: Vec::new() }
+    }
+
+    /// A set consisting of a single ideal.
+    pub fn from_ideal(ideal: Ideal) -> Self {
+        DownwardClosedSet { ideals: vec![ideal] }
+    }
+
+    /// The ideals of the (minimised) representation.
+    pub fn ideals(&self) -> &[Ideal] {
+        &self.ideals
+    }
+
+    /// Number of ideals in the representation.
+    pub fn len(&self) -> usize {
+        self.ideals.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ideals.is_empty()
+    }
+
+    /// Adds an ideal, keeping the representation minimal (no ideal included
+    /// in another).
+    pub fn insert(&mut self, ideal: Ideal) {
+        if self.ideals.iter().any(|existing| ideal.included_in(existing)) {
+            return;
+        }
+        self.ideals.retain(|existing| !existing.included_in(&ideal));
+        self.ideals.push(ideal);
+    }
+
+    /// Adds the downward closure of a configuration.
+    pub fn insert_config(&mut self, c: &Config) {
+        self.insert(Ideal::below(c));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: &Config) -> bool {
+        self.ideals.iter().any(|i| i.contains(c))
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &DownwardClosedSet) -> DownwardClosedSet {
+        let mut out = self.clone();
+        for i in &other.ideals {
+            out.insert(i.clone());
+        }
+        out
+    }
+
+    /// Inclusion test `self ⊆ other`.
+    pub fn included_in(&self, other: &DownwardClosedSet) -> bool {
+        self.ideals
+            .iter()
+            .all(|i| other.ideals.iter().any(|j| i.included_in(j)))
+    }
+
+    /// The largest finite bound over all ideals (a norm for the representation).
+    pub fn norm(&self) -> u64 {
+        self.ideals.iter().map(Ideal::norm).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for DownwardClosedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ideals.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, ideal) in self.ideals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{ideal}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(counts: &[u64]) -> Config {
+        Config::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn basis_element_membership() {
+        let elem = BasisElement::new(cfg(&[1, 2, 0]), [StateId::new(1)]);
+        assert!(elem.contains(&cfg(&[1, 2, 0])));
+        assert!(elem.contains(&cfg(&[1, 9, 0])));
+        assert!(!elem.contains(&cfg(&[1, 1, 0]))); // below base on an ω-state
+        assert!(!elem.contains(&cfg(&[0, 2, 0]))); // differs outside S
+        assert!(!elem.contains(&cfg(&[1, 2, 1]))); // differs outside S
+        assert!(!elem.contains(&cfg(&[1, 2]))); // wrong dimension
+    }
+
+    #[test]
+    fn basis_element_witness() {
+        let elem = BasisElement::new(cfg(&[1, 2, 0]), [StateId::new(1)]);
+        let w = elem.witness(&cfg(&[1, 7, 0])).unwrap();
+        assert_eq!(w.counts(), &[0, 5, 0]);
+        assert!(elem.witness(&cfg(&[0, 7, 0])).is_none());
+    }
+
+    #[test]
+    fn basis_element_from_threshold() {
+        let c = cfg(&[1, 100, 3]);
+        let elem = BasisElement::from_config_with_threshold(&c, 10);
+        assert_eq!(elem.base().counts(), &[1, 10, 3]);
+        assert_eq!(elem.omega_vec(), vec![StateId::new(1)]);
+        assert!(elem.contains(&c));
+        assert_eq!(elem.norm(), 10);
+    }
+
+    #[test]
+    fn ideal_membership_and_inclusion() {
+        let i = Ideal::new(vec![Some(2), None]);
+        assert!(i.contains(&cfg(&[2, 100])));
+        assert!(!i.contains(&cfg(&[3, 0])));
+        let j = Ideal::new(vec![Some(5), None]);
+        assert!(i.included_in(&j));
+        assert!(!j.included_in(&i));
+        assert!(i.included_in(&Ideal::full(2)));
+        assert!(!Ideal::full(2).included_in(&i));
+        assert_eq!(i.norm(), 2);
+    }
+
+    #[test]
+    fn ideal_below_configuration() {
+        let i = Ideal::below(&cfg(&[1, 2]));
+        assert!(i.contains(&cfg(&[1, 2])));
+        assert!(i.contains(&cfg(&[0, 0])));
+        assert!(!i.contains(&cfg(&[2, 2])));
+    }
+
+    #[test]
+    fn set_insert_keeps_minimal_representation() {
+        let mut s = DownwardClosedSet::empty();
+        s.insert(Ideal::new(vec![Some(1), Some(1)]));
+        s.insert(Ideal::new(vec![Some(2), Some(2)])); // absorbs the first
+        assert_eq!(s.len(), 1);
+        s.insert(Ideal::new(vec![Some(1), Some(1)])); // already included
+        assert_eq!(s.len(), 1);
+        s.insert(Ideal::new(vec![Some(0), None])); // incomparable
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_membership_union_inclusion() {
+        let mut a = DownwardClosedSet::empty();
+        a.insert_config(&cfg(&[2, 0]));
+        let mut b = DownwardClosedSet::empty();
+        b.insert_config(&cfg(&[0, 2]));
+        assert!(a.contains(&cfg(&[1, 0])));
+        assert!(!a.contains(&cfg(&[0, 1])));
+        let u = a.union(&b);
+        assert!(u.contains(&cfg(&[1, 0])));
+        assert!(u.contains(&cfg(&[0, 1])));
+        assert!(a.included_in(&u));
+        assert!(b.included_in(&u));
+        assert!(!u.included_in(&a));
+        assert_eq!(u.norm(), 2);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = DownwardClosedSet::empty();
+        assert!(s.is_empty());
+        assert!(!s.contains(&cfg(&[0, 0])));
+        assert_eq!(s.to_string(), "∅");
+        assert_eq!(s.norm(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let elem = BasisElement::new(cfg(&[1, 0]), [StateId::new(1)]);
+        assert_eq!(elem.to_string(), "(⟨1·q0⟩, {q1})");
+        let i = Ideal::new(vec![Some(3), None]);
+        assert_eq!(i.to_string(), "↓⟨3, ω⟩");
+    }
+}

@@ -1,0 +1,414 @@
+//! Hilbert bases of homogeneous linear Diophantine systems.
+//!
+//! Pottier's small basis theorem (Theorem 5.6 of the paper) bounds the
+//! 1-norm of the minimal solutions of a homogeneous system `A·y ≥ 0` over the
+//! naturals.  This module computes those minimal solutions exactly with the
+//! Contejean–Devie algorithm, so that experiment E5 can compare the actual
+//! basis against the Pottier bound `(1 + max_i Σ_j |a_ij|)^e`.
+//!
+//! Two entry points are provided:
+//!
+//! * [`hilbert_basis_equalities`] — minimal non-zero solutions of `A·y = 0`;
+//! * [`hilbert_basis_inequalities`] — a generating set of the solutions of
+//!   `A·y ≥ 0`, obtained by introducing slack variables and projecting.
+
+use crate::vector::ZVec;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the Contejean–Devie search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HilbertOptions {
+    /// Maximum number of frontier extensions before the search gives up.
+    pub node_budget: u64,
+    /// Maximum 1-norm of candidate solutions (a safety net; `None` = unlimited).
+    pub norm_limit: Option<u64>,
+}
+
+impl Default for HilbertOptions {
+    fn default() -> Self {
+        HilbertOptions {
+            node_budget: 5_000_000,
+            norm_limit: None,
+        }
+    }
+}
+
+/// Result of a Hilbert-basis computation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HilbertBasis {
+    /// The minimal solutions found (each a vector over the variables).
+    pub solutions: Vec<Vec<u64>>,
+    /// `true` if the search completed within its budget (the basis is exact
+    /// and complete); `false` if it was truncated.
+    pub complete: bool,
+    /// Number of candidate vectors examined.
+    pub nodes_visited: u64,
+}
+
+impl HilbertBasis {
+    /// The largest 1-norm over all solutions in the basis.
+    pub fn max_norm1(&self) -> u64 {
+        self.solutions
+            .iter()
+            .map(|s| s.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of solutions in the basis.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// Returns `true` if the basis is empty (the only solution of the system is 0).
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+}
+
+/// Computes the minimal non-zero solutions of `A·y = 0`, `y ∈ N^v`, by the
+/// Contejean–Devie algorithm.
+///
+/// `matrix` is given row-major: `matrix[i][j]` is the coefficient of variable
+/// `j` in equation `i`.  All rows must have the same length.
+///
+/// # Examples
+///
+/// ```
+/// use popproto_vas::{hilbert_basis_equalities, HilbertOptions};
+///
+/// // x0 - x1 = 0 over N²: the unique minimal solution is (1, 1).
+/// let basis = hilbert_basis_equalities(&[vec![1, -1]], &HilbertOptions::default());
+/// assert!(basis.complete);
+/// assert_eq!(basis.solutions, vec![vec![1, 1]]);
+/// ```
+pub fn hilbert_basis_equalities(matrix: &[Vec<i64>], options: &HilbertOptions) -> HilbertBasis {
+    let num_vars = matrix.first().map_or(0, Vec::len);
+    if num_vars == 0 {
+        return HilbertBasis {
+            solutions: Vec::new(),
+            complete: true,
+            nodes_visited: 0,
+        };
+    }
+    // Column vectors a_j = A·e_j.
+    let columns: Vec<ZVec> = (0..num_vars)
+        .map(|j| ZVec::from(matrix.iter().map(|row| row[j]).collect::<Vec<_>>()))
+        .collect();
+
+    let mut minimal: Vec<Vec<u64>> = Vec::new();
+    // Frontier of (candidate, value A·candidate) pairs.
+    let mut frontier: Vec<(Vec<u64>, ZVec)> = (0..num_vars)
+        .map(|j| {
+            let mut t = vec![0u64; num_vars];
+            t[j] = 1;
+            (t, columns[j].clone())
+        })
+        .collect();
+
+    let mut nodes: u64 = 0;
+    let mut complete = true;
+
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for (t, value) in frontier {
+            nodes += 1;
+            if nodes > options.node_budget {
+                complete = false;
+                break;
+            }
+            if value.is_zero() {
+                if !minimal.iter().any(|m| dominated_by(&t, m)) {
+                    minimal.retain(|m| !dominated_by(m, &t));
+                    minimal.push(t);
+                }
+                continue;
+            }
+            // Branch: extend by e_j whenever the value moves toward the origin.
+            for (j, col) in columns.iter().enumerate() {
+                if value.dot(col) < 0 {
+                    let mut t2 = t.clone();
+                    t2[j] += 1;
+                    if let Some(limit) = options.norm_limit {
+                        if t2.iter().sum::<u64>() > limit {
+                            continue;
+                        }
+                    }
+                    if minimal.iter().any(|m| dominated_by(m, &t2)) {
+                        continue;
+                    }
+                    let mut v2 = value.clone();
+                    v2.add_scaled(col, 1);
+                    if !next.iter().any(|(existing, _): &(Vec<u64>, ZVec)| existing == &t2) {
+                        next.push((t2, v2));
+                    }
+                }
+            }
+        }
+        if !complete {
+            break;
+        }
+        frontier = next;
+    }
+
+    // The loop may have added non-minimal solutions before smaller ones were
+    // found; minimise once more for safety.
+    let mut result: Vec<Vec<u64>> = Vec::new();
+    for s in minimal {
+        if !result.iter().any(|m| dominated_by(m, &s) && *m != s) {
+            result.retain(|m| !(dominated_by(&s, m) && *m != s));
+            result.push(s);
+        }
+    }
+    result.sort();
+    HilbertBasis {
+        solutions: result,
+        complete,
+        nodes_visited: nodes,
+    }
+}
+
+/// Computes a generating set of the solutions of `A·y ≥ 0`, `y ∈ N^v`.
+///
+/// Slack variables turn the system into the equalities `A·y − s = 0`; the
+/// Hilbert basis of the extended system is computed and projected onto the
+/// `y` variables.  Every solution of `A·y ≥ 0` is a sum of projected basis
+/// elements (the property needed by Lemma 5.8); the projection is minimised
+/// and deduplicated before being returned.
+pub fn hilbert_basis_inequalities(matrix: &[Vec<i64>], options: &HilbertOptions) -> HilbertBasis {
+    let num_vars = matrix.first().map_or(0, Vec::len);
+    let num_eqs = matrix.len();
+    if num_eqs == 0 || num_vars == 0 {
+        // No constraints: the unit vectors generate everything.
+        let solutions = (0..num_vars)
+            .map(|j| {
+                let mut v = vec![0u64; num_vars];
+                v[j] = 1;
+                v
+            })
+            .collect();
+        return HilbertBasis {
+            solutions,
+            complete: true,
+            nodes_visited: 0,
+        };
+    }
+    // Extended system [A | -I]·(y, s) = 0.
+    let extended: Vec<Vec<i64>> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            for k in 0..num_eqs {
+                r.push(if k == i { -1 } else { 0 });
+            }
+            r
+        })
+        .collect();
+    let basis = hilbert_basis_equalities(&extended, options);
+    // Project onto the original variables and drop zero projections.  The
+    // projections are *not* minimised further: a dominated projection can
+    // still be needed as a generator, because the difference of two solutions
+    // of `A·y ≥ 0` need not be a solution.
+    let mut projected: Vec<Vec<u64>> = Vec::new();
+    for sol in &basis.solutions {
+        let y = sol[..num_vars].to_vec();
+        if y.iter().all(|&v| v == 0) {
+            continue;
+        }
+        if projected.contains(&y) {
+            continue;
+        }
+        projected.push(y);
+    }
+    projected.sort();
+    HilbertBasis {
+        solutions: projected,
+        complete: basis.complete,
+        nodes_visited: basis.nodes_visited,
+    }
+}
+
+/// Returns `true` if `smaller ≤ larger` pointwise.
+fn dominated_by(smaller: &[u64], larger: &[u64]) -> bool {
+    smaller.iter().zip(larger).all(|(a, b)| a <= b)
+}
+
+/// Checks that `candidate` is a solution of `A·y ≥ 0` (used by tests and
+/// property checks).
+pub fn is_solution_inequalities(matrix: &[Vec<i64>], candidate: &[u64]) -> bool {
+    matrix.iter().all(|row| {
+        row.iter()
+            .zip(candidate)
+            .map(|(&a, &x)| a as i128 * x as i128)
+            .sum::<i128>()
+            >= 0
+    })
+}
+
+/// Checks that `candidate` is a solution of `A·y = 0`.
+pub fn is_solution_equalities(matrix: &[Vec<i64>], candidate: &[u64]) -> bool {
+    matrix.iter().all(|row| {
+        row.iter()
+            .zip(candidate)
+            .map(|(&a, &x)| a as i128 * x as i128)
+            .sum::<i128>()
+            == 0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_equation_balance() {
+        // x0 - x1 = 0.
+        let basis = hilbert_basis_equalities(&[vec![1, -1]], &HilbertOptions::default());
+        assert!(basis.complete);
+        assert_eq!(basis.solutions, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn weighted_balance_equation() {
+        // 2·x0 - 3·x1 = 0: minimal solution (3, 2).
+        let basis = hilbert_basis_equalities(&[vec![2, -3]], &HilbertOptions::default());
+        assert!(basis.complete);
+        assert_eq!(basis.solutions, vec![vec![3, 2]]);
+    }
+
+    #[test]
+    fn two_equations() {
+        // x0 = x1 and x1 = x2: minimal solution (1,1,1).
+        let basis = hilbert_basis_equalities(
+            &[vec![1, -1, 0], vec![0, 1, -1]],
+            &HilbertOptions::default(),
+        );
+        assert!(basis.complete);
+        assert_eq!(basis.solutions, vec![vec![1, 1, 1]]);
+    }
+
+    #[test]
+    fn classic_three_variable_example() {
+        // x0 + x1 - x2 = 0: minimal solutions (1,0,1) and (0,1,1).
+        let basis =
+            hilbert_basis_equalities(&[vec![1, 1, -1]], &HilbertOptions::default());
+        assert!(basis.complete);
+        assert_eq!(basis.solutions, vec![vec![0, 1, 1], vec![1, 0, 1]]);
+    }
+
+    #[test]
+    fn infeasible_system_has_empty_basis() {
+        // x0 + 1·x1 = 0 has only the zero solution; with all-positive row no
+        // non-zero natural solution exists.
+        let basis = hilbert_basis_equalities(&[vec![1, 1]], &HilbertOptions::default());
+        assert!(basis.complete);
+        assert!(basis.is_empty());
+    }
+
+    #[test]
+    fn solutions_are_solutions_and_incomparable() {
+        let matrix = vec![vec![3, -1, -2, 0], vec![0, 1, -1, -1]];
+        let basis = hilbert_basis_equalities(&matrix, &HilbertOptions::default());
+        assert!(basis.complete);
+        assert!(!basis.is_empty());
+        for s in &basis.solutions {
+            assert!(is_solution_equalities(&matrix, s), "{s:?} is not a solution");
+        }
+        for a in &basis.solutions {
+            for b in &basis.solutions {
+                if a != b {
+                    assert!(!dominated_by(a, b), "{a:?} ≤ {b:?}: basis not minimal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inequalities_unconstrained() {
+        let basis = hilbert_basis_inequalities(&[], &HilbertOptions::default());
+        assert!(basis.complete);
+        assert!(basis.is_empty());
+    }
+
+    #[test]
+    fn inequalities_simple() {
+        // x0 - x1 ≥ 0: generators (1, 0) and (1, 1).
+        let basis = hilbert_basis_inequalities(&[vec![1, -1]], &HilbertOptions::default());
+        assert!(basis.complete);
+        for s in &basis.solutions {
+            assert!(is_solution_inequalities(&[vec![1, -1]], s));
+        }
+        assert!(basis.solutions.contains(&vec![1, 0]));
+        assert!(basis.solutions.contains(&vec![1, 1]));
+        assert_eq!(basis.len(), 2);
+    }
+
+    #[test]
+    fn inequalities_generate_all_small_solutions() {
+        // x0 + x1 - 2·x2 ≥ 0.  Every solution must decompose as a sum of
+        // generators; we check all solutions with entries ≤ 3.
+        let matrix = vec![vec![1, 1, -2]];
+        let basis = hilbert_basis_inequalities(&matrix, &HilbertOptions::default());
+        assert!(basis.complete);
+        for x0 in 0..=3u64 {
+            for x1 in 0..=3u64 {
+                for x2 in 0..=3u64 {
+                    let v = [x0, x1, x2];
+                    if !is_solution_inequalities(&matrix, &v) {
+                        continue;
+                    }
+                    assert!(
+                        decomposes(&v, &basis.solutions),
+                        "{v:?} is not a sum of generators {:?}",
+                        basis.solutions
+                    );
+                }
+            }
+        }
+    }
+
+    /// Checks whether `target` is a non-negative integer combination of `gens`
+    /// by bounded search.
+    fn decomposes(target: &[u64], gens: &[Vec<u64>]) -> bool {
+        fn rec(target: &[u64], gens: &[Vec<u64>]) -> bool {
+            if target.iter().all(|&x| x == 0) {
+                return true;
+            }
+            for g in gens {
+                if g.iter().zip(target).all(|(a, b)| a <= b) {
+                    let rest: Vec<u64> = target.iter().zip(g).map(|(a, b)| a - b).collect();
+                    if rec(&rest, gens) {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        rec(target, gens)
+    }
+
+    #[test]
+    fn budget_truncation_reported() {
+        let mut options = HilbertOptions::default();
+        options.node_budget = 3;
+        let basis = hilbert_basis_equalities(&[vec![5, -7, 3, -2]], &options);
+        assert!(!basis.complete);
+    }
+
+    #[test]
+    fn norm_limit_is_respected() {
+        let mut options = HilbertOptions::default();
+        options.norm_limit = Some(2);
+        // 2·x0 - 3·x1 = 0 needs norm 5, which the limit forbids.
+        let basis = hilbert_basis_equalities(&[vec![2, -3]], &options);
+        assert!(basis.is_empty());
+    }
+
+    #[test]
+    fn max_norm_reporting() {
+        let basis = hilbert_basis_equalities(&[vec![2, -3]], &HilbertOptions::default());
+        assert_eq!(basis.max_norm1(), 5);
+        assert_eq!(HilbertBasis { solutions: vec![], complete: true, nodes_visited: 0 }.max_norm1(), 0);
+    }
+}

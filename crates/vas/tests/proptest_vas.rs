@@ -1,0 +1,89 @@
+//! Property-based tests of the VAS substrate: Hilbert bases, Dickson's lemma
+//! and downward-closed sets.
+
+use popproto_model::Config;
+use popproto_vas::hilbert::{is_solution_equalities, is_solution_inequalities};
+use popproto_vas::{
+    find_increasing_pair, hilbert_basis_equalities, hilbert_basis_inequalities, DownwardClosedSet,
+    HilbertOptions, Ideal,
+};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(-3i64..=3, cols), rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every vector returned by the equality Hilbert basis solves the system
+    /// and is pairwise incomparable with the other solutions.
+    #[test]
+    fn hilbert_equality_solutions_are_sound_and_minimal(matrix in small_matrix(2, 3)) {
+        let mut options = HilbertOptions::default();
+        options.node_budget = 200_000;
+        options.norm_limit = Some(30);
+        let basis = hilbert_basis_equalities(&matrix, &options);
+        for s in &basis.solutions {
+            prop_assert!(is_solution_equalities(&matrix, s));
+            prop_assert!(s.iter().any(|&v| v > 0));
+        }
+        for a in &basis.solutions {
+            for b in &basis.solutions {
+                if a != b {
+                    prop_assert!(!a.iter().zip(b).all(|(x, y)| x <= y));
+                }
+            }
+        }
+    }
+
+    /// Every generator returned for an inequality system solves it.
+    #[test]
+    fn hilbert_inequality_generators_are_sound(matrix in small_matrix(2, 3)) {
+        let mut options = HilbertOptions::default();
+        options.node_budget = 200_000;
+        options.norm_limit = Some(30);
+        let basis = hilbert_basis_inequalities(&matrix, &options);
+        for s in &basis.solutions {
+            prop_assert!(is_solution_inequalities(&matrix, s));
+        }
+    }
+
+    /// Dickson's lemma: every sequence of 2-dimensional vectors with entries
+    /// bounded by 3 and length > 16 contains an increasing pair.
+    #[test]
+    fn bounded_sequences_are_good(seq in prop::collection::vec(prop::collection::vec(0u64..=3, 2), 17..24)) {
+        let configs: Vec<Config> = seq.into_iter().map(Config::from_counts).collect();
+        prop_assert!(find_increasing_pair(&configs).is_some());
+    }
+
+    /// An increasing pair reported by the search is indeed increasing.
+    #[test]
+    fn increasing_pairs_are_correct(seq in prop::collection::vec(prop::collection::vec(0u64..=5, 3), 1..12)) {
+        let configs: Vec<Config> = seq.into_iter().map(Config::from_counts).collect();
+        if let Some((i, j)) = find_increasing_pair(&configs) {
+            prop_assert!(i < j);
+            prop_assert!(configs[i].le(&configs[j]));
+        }
+    }
+
+    /// Downward-closed sets: membership is preserved downwards and the union
+    /// contains both operands.
+    #[test]
+    fn downward_closed_sets_behave(counts in prop::collection::vec(0u64..=6, 3), smaller in prop::collection::vec(0u64..=6, 3)) {
+        let c = Config::from_counts(counts);
+        let s = Config::from_counts(smaller);
+        let mut set = DownwardClosedSet::empty();
+        set.insert_config(&c);
+        prop_assert!(set.contains(&c));
+        if s.le(&c) {
+            prop_assert!(set.contains(&s));
+        }
+        let mut other = DownwardClosedSet::empty();
+        other.insert(Ideal::below(&s));
+        let union = set.union(&other);
+        prop_assert!(union.contains(&c));
+        prop_assert!(union.contains(&s));
+        prop_assert!(set.included_in(&union));
+    }
+}

@@ -1,0 +1,127 @@
+//! The succinct protocol `P'_k` of Example 2.1: `k + 2` states computing
+//! `x ≥ 2^k` by repeated doubling.
+//!
+//! This family witnesses the `BB(n) ∈ Ω(2^n)` lower bound of Theorem 2.2:
+//! with `n = k + 2` states it decides a threshold that is exponential in `n`.
+
+use popproto_model::{Output, Protocol, ProtocolBuilder};
+
+/// Builds the protocol `P'_k` computing `x ≥ 2^k` with `k + 2` states.
+///
+/// States are `{0, 2⁰, 2¹, …, 2ᵏ}`; two agents holding the same power `2^i`
+/// (for `i < k`) merge into one agent holding `2^{i+1}` and one holding `0`;
+/// an agent holding `2^k` converts everybody.
+///
+/// # Examples
+///
+/// ```
+/// use popproto_zoo::binary_counter;
+/// let p = binary_counter(5); // x ≥ 32
+/// assert_eq!(p.num_states(), 7);
+/// assert!(p.is_leaderless());
+/// ```
+pub fn binary_counter(k: u32) -> Protocol {
+    let mut b = ProtocolBuilder::new(format!("binary_counter({k}) [x >= 2^{k}]"));
+    let zero = b.add_state("0", Output::False);
+    let powers: Vec<_> = (0..=k)
+        .map(|i| {
+            b.add_state(
+                format!("2^{i}"),
+                if i == k { Output::True } else { Output::False },
+            )
+        })
+        .collect();
+    // 2^i, 2^i ↦ 0, 2^{i+1}   for i < k.
+    for i in 0..k as usize {
+        b.add_transition((powers[i], powers[i]), (zero, powers[i + 1]))
+            .expect("states were just declared");
+    }
+    // a, 2^k ↦ 2^k, 2^k   for every state a (except the silent case a = 2^k).
+    let top = powers[k as usize];
+    b.add_transition_idempotent((zero, top), (top, top))
+        .expect("states were just declared");
+    for i in 0..k as usize {
+        b.add_transition_idempotent((powers[i], top), (top, top))
+            .expect("states were just declared");
+    }
+    b.set_input_state("x", powers[0]);
+    b.build().expect("binary counter construction is well-formed")
+}
+
+/// The threshold computed by [`binary_counter`]`(k)`, i.e. `2^k`.
+pub fn binary_counter_threshold(k: u32) -> u64 {
+    1u64 << k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::Config;
+
+    #[test]
+    fn state_count_is_k_plus_2() {
+        for k in 0..=6 {
+            assert_eq!(binary_counter(k).num_states(), k as usize + 2);
+        }
+    }
+
+    #[test]
+    fn transition_count_is_linear() {
+        // k doubling transitions + (k + 1) conversion transitions.
+        for k in 1..=6u32 {
+            assert_eq!(binary_counter(k).num_transitions() as u32, 2 * k + 1);
+        }
+    }
+
+    #[test]
+    fn threshold_helper() {
+        assert_eq!(binary_counter_threshold(0), 1);
+        assert_eq!(binary_counter_threshold(3), 8);
+        assert_eq!(binary_counter_threshold(10), 1024);
+    }
+
+    #[test]
+    fn doubling_semantics() {
+        let p = binary_counter(2);
+        let one = p.state_by_name("2^0").unwrap();
+        let two = p.state_by_name("2^1").unwrap();
+        let c = Config::singleton(p.num_states(), one, 2);
+        let succ = p.successors(&c);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].get(two), 1);
+    }
+
+    #[test]
+    fn top_state_converts_everyone() {
+        let p = binary_counter(2);
+        let top = p.state_by_name("2^2").unwrap();
+        let zero = p.state_by_name("0").unwrap();
+        let mut c = Config::empty(p.num_states());
+        c.add(top, 1);
+        c.add(zero, 2);
+        // After two conversions all agents are in the top state.
+        let mid = &p.successors(&c)[0];
+        let done = &p.successors(mid)[0];
+        assert_eq!(done.get(top), 3);
+        assert!(p.is_silent_config(done));
+    }
+
+    #[test]
+    fn outputs() {
+        let p = binary_counter(3);
+        assert_eq!(p.output_of(p.state_by_name("2^3").unwrap()), Output::True);
+        assert_eq!(p.output_of(p.state_by_name("2^2").unwrap()), Output::False);
+        assert_eq!(p.output_of(p.state_by_name("0").unwrap()), Output::False);
+    }
+
+    #[test]
+    fn is_far_more_succinct_than_flock() {
+        let k = 6u32;
+        let eta = binary_counter_threshold(k);
+        let succinct = binary_counter(k);
+        let naive = crate::flock(eta);
+        assert!(succinct.num_states() < naive.num_states());
+        assert_eq!(naive.num_states() as u64, eta + 1);
+        assert_eq!(succinct.num_states() as u64, k as u64 + 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! A uniform handle on the protocol families, for experiment drivers.
+
+use crate::{binary_counter, flock, leader_counter, majority, modulo};
+use popproto_model::{Predicate, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// A named instance of one of the zoo's protocol families, together with the
+/// predicate it is supposed to compute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyInstance {
+    /// The family the instance belongs to (e.g. `"flock"`).
+    pub family: String,
+    /// The family parameter (threshold, exponent, modulus…), for reporting.
+    pub parameter: u64,
+    /// The protocol itself.
+    pub protocol: Protocol,
+    /// The predicate the protocol computes.
+    pub predicate: Predicate,
+}
+
+impl FamilyInstance {
+    fn new(family: &str, parameter: u64, protocol: Protocol, predicate: Predicate) -> Self {
+        FamilyInstance {
+            family: family.to_string(),
+            parameter,
+            protocol,
+            predicate,
+        }
+    }
+}
+
+/// A small catalogue of instances from every family, sized so that exhaustive
+/// verification on population slices stays cheap.  Used by the experiment
+/// drivers and the integration tests.
+pub fn catalog() -> Vec<FamilyInstance> {
+    vec![
+        FamilyInstance::new("flock", 3, flock(3), Predicate::threshold_at_least(3)),
+        FamilyInstance::new("flock", 5, flock(5), Predicate::threshold_at_least(5)),
+        FamilyInstance::new(
+            "binary_counter",
+            2,
+            binary_counter(2),
+            Predicate::threshold_at_least(4),
+        ),
+        FamilyInstance::new(
+            "binary_counter",
+            3,
+            binary_counter(3),
+            Predicate::threshold_at_least(8),
+        ),
+        FamilyInstance::new(
+            "leader_counter",
+            2,
+            leader_counter(2),
+            Predicate::threshold_at_least(4),
+        ),
+        FamilyInstance::new("majority", 0, majority(), Predicate::majority()),
+        FamilyInstance::new("modulo", 3, modulo(3, 1), Predicate::count_mod(3, 1)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_consistent() {
+        let cat = catalog();
+        assert!(cat.len() >= 6);
+        for inst in &cat {
+            assert!(!inst.family.is_empty());
+            assert!(inst.protocol.num_states() >= 2);
+            // Unary instances carry a unary predicate; the majority instance is binary.
+            if inst.protocol.is_unary() {
+                assert!(inst.predicate.arity() <= 1);
+            } else {
+                assert_eq!(inst.predicate.arity(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_contains_each_family() {
+        let cat = catalog();
+        for family in ["flock", "binary_counter", "leader_counter", "majority", "modulo"] {
+            assert!(
+                cat.iter().any(|i| i.family == family),
+                "missing family {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_match_protocol_names() {
+        let cat = catalog();
+        for inst in &cat {
+            if inst.family == "binary_counter" {
+                let eta = inst.predicate.as_unary_threshold().unwrap();
+                assert_eq!(eta, 1 << inst.parameter);
+            }
+        }
+    }
+}

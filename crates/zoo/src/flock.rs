@@ -1,0 +1,147 @@
+//! The flock protocol `P_η` of Example 2.1, generalised to arbitrary
+//! thresholds.
+//!
+//! Each agent stores a number, initially 1.  When two agents meet, one stores
+//! the (capped) sum and the other stores 0; once an agent reaches `η` all
+//! agents are eventually converted to `η`.  The protocol has `η + 1` states
+//! and computes `x ≥ η`.
+
+use popproto_model::{Output, Protocol, ProtocolBuilder};
+
+/// Builds the flock protocol `P_η` for the threshold `x ≥ η`.
+///
+/// # Panics
+///
+/// Panics if `eta == 0` (the predicate `x ≥ 0` is trivially true and the
+/// construction needs at least the states `0` and `η`).
+///
+/// # Examples
+///
+/// ```
+/// use popproto_zoo::flock;
+/// let p = flock(8);
+/// assert_eq!(p.num_states(), 9);
+/// assert!(p.is_leaderless());
+/// ```
+pub fn flock(eta: u64) -> Protocol {
+    assert!(eta >= 1, "flock protocol requires a threshold of at least 1");
+    let mut b = ProtocolBuilder::new(format!("flock({eta})"));
+    let states: Vec<_> = (0..=eta)
+        .map(|v| {
+            b.add_state(
+                v.to_string(),
+                if v == eta { Output::True } else { Output::False },
+            )
+        })
+        .collect();
+    // a, b ↦ 0, a+b  when a+b < η;   a, b ↦ η, η  when a+b ≥ η.
+    for a in 0..=eta {
+        for v in a..=eta {
+            let sum = a + v;
+            let (post_lo, post_hi) = if sum >= eta {
+                (eta, eta)
+            } else {
+                (0, sum)
+            };
+            // Skip silent transitions such as 0,0 ↦ 0,0.
+            if (a == post_lo && v == post_hi) || (a == post_hi && v == post_lo) {
+                continue;
+            }
+            b.add_transition_idempotent(
+                (states[a as usize], states[v as usize]),
+                (states[post_lo as usize], states[post_hi as usize]),
+            )
+            .expect("states were just declared");
+        }
+    }
+    b.set_input_state("x", states[1]);
+    b.build().expect("flock construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Config, StateId};
+
+    #[test]
+    fn state_count_matches_example_21() {
+        // P_k in the paper has 2^k + 1 states for threshold 2^k.
+        for k in 1..=4u32 {
+            let eta = 2u64.pow(k);
+            assert_eq!(flock(eta).num_states() as u64, eta + 1);
+        }
+        assert_eq!(flock(5).num_states(), 6);
+    }
+
+    #[test]
+    fn outputs_and_input_state() {
+        let p = flock(4);
+        assert_eq!(p.output_of(p.state_by_name("4").unwrap()), Output::True);
+        for v in 0..4u64 {
+            assert_eq!(
+                p.output_of(p.state_by_name(&v.to_string()).unwrap()),
+                Output::False
+            );
+        }
+        assert_eq!(p.input_state(0), p.state_by_name("1").unwrap());
+    }
+
+    #[test]
+    fn summation_transition_semantics() {
+        let p = flock(4);
+        // ⟨2 agents with value 1⟩ can produce one agent with value 2.
+        let c = p.initial_config_unary(2);
+        let succ = p.successors(&c);
+        assert_eq!(succ.len(), 1);
+        let two = p.state_by_name("2").unwrap();
+        let zero = p.state_by_name("0").unwrap();
+        assert_eq!(succ[0].get(two), 1);
+        assert_eq!(succ[0].get(zero), 1);
+    }
+
+    #[test]
+    fn capping_at_threshold() {
+        let p = flock(3);
+        // Values 2 and 2 sum to 4 ≥ 3, so both agents jump to 3.
+        let two = p.state_by_name("2").unwrap();
+        let three = p.state_by_name("3").unwrap();
+        let c = Config::singleton(p.num_states(), two, 2);
+        let succ = p.successors(&c);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].get(three), 2);
+    }
+
+    #[test]
+    fn accepting_state_is_absorbing() {
+        let p = flock(4);
+        let four = p.state_by_name("4").unwrap();
+        let one = p.state_by_name("1").unwrap();
+        let mut c = Config::empty(p.num_states());
+        c.add(four, 1);
+        c.add(one, 1);
+        let succ = p.successors(&c);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].get(four), 2);
+    }
+
+    #[test]
+    fn no_silent_transitions_are_materialised() {
+        let p = flock(6);
+        assert!(p.transitions().iter().all(|t| !t.is_silent()));
+    }
+
+    #[test]
+    fn zero_agents_do_not_invent_value() {
+        let p = flock(4);
+        let zero = p.state_by_name("0").unwrap();
+        let c = Config::singleton(p.num_states(), zero, 3);
+        assert!(p.successors(&c).is_empty());
+        assert_eq!(c.get(StateId::new(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_panics() {
+        let _ = flock(0);
+    }
+}

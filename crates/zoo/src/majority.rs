@@ -1,0 +1,87 @@
+//! The classical 4-state majority protocol.
+//!
+//! Agents start in `A` (for variable `x₀`) or `B` (for variable `x₁`).
+//! Active agents of opposite camps cancel each other; surviving active agents
+//! recruit passive agents; and passive agents drift towards the "no" answer
+//! so that ties stabilise on `x₀ > x₁` being false.
+
+use popproto_model::{Output, Protocol, ProtocolBuilder};
+
+/// Builds the 4-state majority protocol deciding `x₀ > x₁`.
+///
+/// States: active `A`/`B` and passive `a`/`b`; outputs `A, a ↦ 1` and
+/// `B, b ↦ 0`.  Transitions:
+///
+/// * `A, B ↦ a, b` — opposite actives cancel;
+/// * `A, b ↦ A, a` and `B, a ↦ B, b` — actives recruit passives;
+/// * `a, b ↦ b, b` — passive disagreement resolves towards "no", which makes
+///   ties converge to the correct answer (`x₀ > x₁` is false on a tie).
+///
+/// # Examples
+///
+/// ```
+/// use popproto_zoo::majority;
+/// let p = majority();
+/// assert_eq!(p.num_states(), 4);
+/// assert_eq!(p.input_variables().len(), 2);
+/// ```
+pub fn majority() -> Protocol {
+    let mut b = ProtocolBuilder::new("majority [x0 > x1]");
+    let big_a = b.add_state("A", Output::True);
+    let big_b = b.add_state("B", Output::False);
+    let small_a = b.add_state("a", Output::True);
+    let small_b = b.add_state("b", Output::False);
+    b.add_transition((big_a, big_b), (small_a, small_b)).unwrap();
+    b.add_transition((big_a, small_b), (big_a, small_a)).unwrap();
+    b.add_transition((big_b, small_a), (big_b, small_b)).unwrap();
+    b.add_transition((small_a, small_b), (small_b, small_b)).unwrap();
+    b.set_input_state("x0", big_a);
+    b.set_input_state("x1", big_b);
+    b.build().expect("majority construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::Input;
+
+    #[test]
+    fn shape() {
+        let p = majority();
+        assert_eq!(p.num_states(), 4);
+        assert_eq!(p.num_transitions(), 4);
+        assert!(p.is_leaderless());
+        assert!(!p.is_unary());
+        assert!(p.is_deterministic());
+    }
+
+    #[test]
+    fn initial_configuration_places_both_camps() {
+        let p = majority();
+        let ic = p.initial_config(&Input::from_counts(vec![3, 2]));
+        assert_eq!(ic.get(p.state_by_name("A").unwrap()), 3);
+        assert_eq!(ic.get(p.state_by_name("B").unwrap()), 2);
+        assert_eq!(ic.size(), 5);
+    }
+
+    #[test]
+    fn cancellation_preserves_difference() {
+        let p = majority();
+        let ic = p.initial_config(&Input::from_counts(vec![2, 1]));
+        // Fire the cancellation A,B ↦ a,b.
+        let succ = p.successors(&ic);
+        assert_eq!(succ.len(), 1);
+        let after = &succ[0];
+        assert_eq!(after.get(p.state_by_name("A").unwrap()), 1);
+        assert_eq!(after.get(p.state_by_name("B").unwrap()), 0);
+        assert_eq!(after.get(p.state_by_name("a").unwrap()), 1);
+        assert_eq!(after.get(p.state_by_name("b").unwrap()), 1);
+    }
+
+    #[test]
+    fn outputs_partition_states() {
+        let p = majority();
+        assert_eq!(p.states_with_output(Output::True).len(), 2);
+        assert_eq!(p.states_with_output(Output::False).len(), 2);
+    }
+}

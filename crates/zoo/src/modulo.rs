@@ -1,0 +1,130 @@
+//! Remainder protocols: `x ≡ r (mod m)`.
+//!
+//! Active agents carry a value modulo `m`; when two active agents meet, one
+//! absorbs both values and the other becomes passive; passive agents copy the
+//! verdict of the active agents they meet.  Eventually a single active agent
+//! holds the total modulo `m` and converts every passive agent to the correct
+//! answer.
+
+use popproto_model::{Output, Protocol, ProtocolBuilder};
+
+/// Builds the protocol deciding `x ≡ r (mod m)` with `m + 2` states.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `r ≥ m`.
+///
+/// # Examples
+///
+/// ```
+/// use popproto_zoo::modulo;
+/// let p = modulo(3, 1);
+/// assert_eq!(p.num_states(), 5);
+/// ```
+pub fn modulo(m: u64, r: u64) -> Protocol {
+    assert!(m >= 1, "modulus must be at least 1");
+    assert!(r < m, "remainder must be smaller than the modulus");
+    let verdict = |v: u64| if v == r { Output::True } else { Output::False };
+    let mut b = ProtocolBuilder::new(format!("modulo({m},{r}) [x ≡ {r} (mod {m})]"));
+    let active: Vec<_> = (0..m)
+        .map(|v| b.add_state(format!("v{v}"), verdict(v)))
+        .collect();
+    let passive_yes = b.add_state("p1", Output::True);
+    let passive_no = b.add_state("p0", Output::False);
+    let passive_for = |v: u64| if v == r { passive_yes } else { passive_no };
+    // Two actives merge: v_u, v_w ↦ v_{(u+w) mod m}, passive_{verdict}.
+    for u in 0..m {
+        for w in u..m {
+            let sum = (u + w) % m;
+            let pre = (active[u as usize], active[w as usize]);
+            let post = (active[sum as usize], passive_for(sum));
+            if pre != post && (pre.0, pre.1) != (post.1, post.0) {
+                b.add_transition_idempotent(pre, post)
+                    .expect("states were just declared");
+            }
+        }
+    }
+    // Actives correct passives: v, p_* ↦ v, passive_{verdict(v)}.
+    for v in 0..m {
+        let wrong_passive = if v == r { passive_no } else { passive_yes };
+        b.add_transition_idempotent(
+            (active[v as usize], wrong_passive),
+            (active[v as usize], passive_for(v)),
+        )
+        .expect("states were just declared");
+    }
+    b.set_input_state("x", active[(1 % m) as usize]);
+    b.build().expect("modulo construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::Config;
+
+    #[test]
+    fn state_count() {
+        for m in 1..=5u64 {
+            assert_eq!(modulo(m, 0).num_states() as u64, m + 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "remainder must be smaller")]
+    fn invalid_remainder_panics() {
+        let _ = modulo(3, 3);
+    }
+
+    #[test]
+    fn merging_adds_values_mod_m() {
+        let p = modulo(3, 0);
+        let v1 = p.state_by_name("v1").unwrap();
+        let v2 = p.state_by_name("v2").unwrap();
+        let c = Config::singleton(p.num_states(), v1, 1).plus(&Config::singleton(
+            p.num_states(),
+            v2,
+            1,
+        ));
+        let succ = p.successors(&c);
+        assert_eq!(succ.len(), 1);
+        // 1 + 2 ≡ 0 (mod 3), which matches the remainder 0, so the passive
+        // agent produced is the "yes" passive.
+        let v0 = p.state_by_name("v0").unwrap();
+        let p1 = p.state_by_name("p1").unwrap();
+        assert_eq!(succ[0].get(v0), 1);
+        assert_eq!(succ[0].get(p1), 1);
+    }
+
+    #[test]
+    fn actives_correct_passives() {
+        let p = modulo(2, 1);
+        let v1 = p.state_by_name("v1").unwrap();
+        let p0 = p.state_by_name("p0").unwrap();
+        let p1 = p.state_by_name("p1").unwrap();
+        let mut c = Config::empty(p.num_states());
+        c.add(v1, 1);
+        c.add(p0, 1);
+        let succ = p.successors(&c);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].get(p1), 1);
+        assert_eq!(succ[0].get(p0), 0);
+    }
+
+    #[test]
+    fn outputs_follow_remainder() {
+        let p = modulo(4, 2);
+        assert_eq!(p.output_of(p.state_by_name("v2").unwrap()), Output::True);
+        assert_eq!(p.output_of(p.state_by_name("v1").unwrap()), Output::False);
+        assert_eq!(p.output_of(p.state_by_name("p1").unwrap()), Output::True);
+        assert_eq!(p.output_of(p.state_by_name("p0").unwrap()), Output::False);
+    }
+
+    #[test]
+    fn modulus_one_is_always_true_for_remainder_zero() {
+        let p = modulo(1, 0);
+        // The single active value state v0 has output 1, as do the passives
+        // it produces; x ≡ 0 (mod 1) holds for every x.
+        assert_eq!(p.output_of(p.state_by_name("v0").unwrap()), Output::True);
+        assert_eq!(p.input_state(0), p.state_by_name("v0").unwrap());
+    }
+}

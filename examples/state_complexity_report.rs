@@ -1,0 +1,17 @@
+//! End-to-end report: run every experiment (E1–E10) at small scale and print
+//! the aggregated markdown report, plus the raw JSON for archival.
+//!
+//! Run with `cargo run --release --example state_complexity_report`.
+
+use popproto::experiments::run_all_small;
+use popproto::report::render_full;
+
+fn main() {
+    let report = run_all_small();
+    println!("{}", render_full(&report));
+    println!("\n## Raw data (JSON)\n");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(err) => eprintln!("failed to serialise the report: {err}"),
+    }
+}

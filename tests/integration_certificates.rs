@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: pumping certificates (Lemma 4.1), the
+//! Section 5 pipeline (Lemma 5.2 / Theorem 5.9) and the Pottier machinery,
+//! all exercised on the zoo protocols.
+
+use popproto::certificate::{search_pumping_certificate, stable_chain};
+use popproto::concentration::find_zero_concentrated_multiset;
+use popproto::constants;
+use popproto::pipeline::{analyze_leaderless_protocol, PipelineOptions};
+use popproto::prelude::*;
+use popproto_numerics::Magnitude;
+use popproto_vas::{HilbertOptions, ParikhImage, RealisabilitySystem};
+use popproto_zoo::{binary_counter, flock};
+
+#[test]
+fn pumping_certificates_bound_the_threshold_from_above() {
+    let limits = ExploreLimits::default();
+    for (protocol, eta) in [(flock(2), 2u64), (flock(3), 3), (binary_counter(2), 4)] {
+        let cert = search_pumping_certificate(&protocol, eta + 6, &limits)
+            .unwrap_or_else(|| panic!("{} should yield a certificate", protocol.name()));
+        let check = cert.verify(&protocol, 3, &limits);
+        assert!(check.all_passed(), "{}", protocol.name());
+        // For an accepting-class certificate, a ≥ η; either way a is an upper
+        // bound on any threshold the protocol could compute.
+        if cert.output == Output::True {
+            assert!(cert.a >= eta, "{}: a = {} < η = {eta}", protocol.name(), cert.a);
+        }
+    }
+}
+
+#[test]
+fn stable_chains_respect_the_predicate() {
+    let limits = ExploreLimits::default();
+    let p = binary_counter(2); // x ≥ 4
+    let chain = stable_chain(&p, 9, &limits);
+    assert!(chain.len() >= 6);
+    for (input, config, output) in &chain {
+        assert_eq!(config.size(), *input);
+        assert_eq!(
+            output.as_bool(),
+            *input >= 4,
+            "input {input} stabilised to the wrong class"
+        );
+    }
+}
+
+#[test]
+fn pipeline_certificates_verify_and_dominate_eta() {
+    let options = PipelineOptions::default();
+    for (protocol, eta) in [(flock(3), 3u64), (binary_counter(2), 4)] {
+        let analysis = analyze_leaderless_protocol(&protocol, &options);
+        let cert = analysis
+            .certificate
+            .unwrap_or_else(|| panic!("{} should yield a Lemma 5.2 certificate", protocol.name()));
+        assert!(cert.checks.all_passed());
+        assert!(cert.a >= eta);
+        assert!(cert.b >= 1);
+        // The increment is supported inside the ω-set S.
+        for (q, _) in cert.increment.iter() {
+            assert!(cert.omega_states.contains(&q));
+        }
+        // The anchor is minuscule compared to Theorem 5.9.
+        assert!(Magnitude::from_u64(cert.a) < analysis.theorem_bound);
+    }
+}
+
+#[test]
+fn potential_realisability_is_necessary_for_reachability() {
+    // Lemma 5.1(i): every actually firable sequence has a potentially
+    // realisable Parikh image.  Check it for all short sequences of the flock
+    // protocol by enumerating paths in the reachability graph.
+    let p = flock(3);
+    let system = RealisabilitySystem::new(&p);
+    let ic = p.initial_config_unary(5);
+    // Walk all length-≤3 transition sequences explicitly.
+    let mut frontier = vec![(ic.clone(), ParikhImage::empty(p.num_transitions()))];
+    for _ in 0..3 {
+        let mut next = Vec::new();
+        for (config, parikh) in &frontier {
+            for (t_idx, succ) in p.successors_with_transitions(config) {
+                let mut pi = parikh.clone();
+                pi.add(t_idx, 1);
+                assert!(
+                    system.is_potentially_realisable(&pi),
+                    "fired multiset {pi} must be potentially realisable"
+                );
+                next.push((succ, pi));
+            }
+        }
+        frontier.extend(next);
+    }
+}
+
+#[test]
+fn concentration_reports_respect_corollary_57() {
+    for protocol in [flock(3), flock(4), binary_counter(2)] {
+        let accepting = protocol.states_with_output(Output::True);
+        let report =
+            find_zero_concentrated_multiset(&protocol, &accepting, &HilbertOptions::default());
+        assert!(report.basis_complete, "{}", protocol.name());
+        let found = report.found.expect("accepting states admit a concentrated multiset");
+        assert!(found.parikh.size() <= report.pottier_half_bound);
+        assert!(found.input >= 1);
+        assert!(found.input <= 2 * report.pottier_half_bound);
+    }
+}
+
+#[test]
+fn theorem_bounds_are_ordered_across_the_zoo() {
+    // ξ·n·β·3^n ≤ 2^((2n+2)!) for every zoo protocol (the paper's final step).
+    for instance in popproto_zoo::catalog() {
+        let p = &instance.protocol;
+        let sharp = constants::theorem_5_9_bound(p);
+        let simple = constants::theorem_5_9_simple_bound(p.num_states());
+        assert!(sharp <= simple, "{}", p.name());
+    }
+}

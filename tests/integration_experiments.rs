@@ -1,0 +1,158 @@
+//! Integration tests of the experiment drivers (E1–E10) at small scale: the
+//! shapes reported in EXPERIMENTS.md must hold whenever the tests run.
+
+use popproto::experiments::*;
+use popproto::pipeline::PipelineOptions;
+use popproto::report;
+use popproto_numerics::Magnitude;
+use popproto_zoo::{binary_counter, flock};
+
+#[test]
+fn e1_shape_binary_counter_dominates_flock() {
+    let e1 = experiment_e1(5, 4, 2, 10);
+    // Shape of Theorem 2.2: at equal thresholds, the binary counter uses
+    // exponentially fewer states than the flock protocol; its succinctness
+    // rate log₂(η)/states approaches a constant while flock's tends to 0.
+    let counter_rate = e1
+        .records
+        .iter()
+        .filter(|r| matches!(r.family, popproto::busy_beaver::WitnessFamily::BinaryCounter))
+        .map(|r| r.log2_eta_per_state())
+        .fold(0.0f64, f64::max);
+    let flock_rate = e1
+        .records
+        .iter()
+        .filter(|r| matches!(r.family, popproto::busy_beaver::WitnessFamily::Flock))
+        .map(|r| r.log2_eta_per_state())
+        .fold(0.0f64, f64::max);
+    assert!(counter_rate > flock_rate);
+    // No verified record may be wrong.
+    assert!(e1.records.iter().all(|r| r.verified != Some(false)));
+}
+
+#[test]
+fn e2_empirical_norms_are_far_below_beta() {
+    let rows = experiment_e2(&[flock(3), binary_counter(2)], 5);
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        assert!(row.verified, "{} {:?}", row.protocol, row.output);
+        // The empirical norm is single-digit; β is at least 2^241 here.
+        assert!(row.empirical_norm <= 5);
+        assert!(Magnitude::from_u64(row.empirical_norm.max(1)) < row.beta);
+    }
+}
+
+#[test]
+fn e3_certificates_exist_and_ackermann_ingredients_dwarf_eta() {
+    let rows = experiment_e3(&[(flock(3), 3), (binary_counter(2), 4)], 10);
+    for row in &rows {
+        let cert = row.certificate.as_ref().expect("certificate found");
+        assert!(cert.b >= 1);
+        assert!(row.ackermann_bound.basis_size_bound > Magnitude::from_u64(row.true_eta));
+    }
+}
+
+#[test]
+fn e4_saturation_is_far_below_3n() {
+    let rows = experiment_e4(&[flock(3), binary_counter(2)], 25);
+    for row in &rows {
+        let w = row.analysis.witness.as_ref().expect("saturation witness");
+        assert!(row.analysis.within_bound);
+        assert!(w.input * 4 < row.analysis.bound_3n, "{}", row.protocol);
+    }
+}
+
+#[test]
+fn e5_and_e9_pottier_bounds_hold_and_deterministic_bound_is_smaller() {
+    let rows = experiment_e5(&[flock(3), binary_counter(2), binary_counter(3)]);
+    for row in &rows {
+        assert!(row.complete, "{}", row.protocol);
+        assert!(row.max_norm <= row.pottier_half_bound);
+        if let Some(det) = row.deterministic_bound {
+            // Remark 1: for deterministic protocols with |T| ≥ |Q| the
+            // deterministic constant is no larger than the general one.
+            if row.transitions >= 4 {
+                assert!(det <= row.pottier_half_bound);
+            }
+        }
+    }
+}
+
+#[test]
+fn e6_pipeline_bounds_sandwich_the_true_threshold() {
+    let rows = experiment_e6(
+        &[(flock(3), 3), (binary_counter(2), 4)],
+        &PipelineOptions::default(),
+    );
+    for row in &rows {
+        let bound = row.analysis.empirical_bound.expect("pipeline bound");
+        assert!(bound >= row.true_eta);
+        assert!(Magnitude::from_u64(bound) < row.analysis.theorem_bound);
+    }
+}
+
+#[test]
+fn e7_enumeration_finds_the_two_state_busy_beaver() {
+    let results = experiment_e7(2, 6, 50_000);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].best_eta, Some(2)); // 1 state
+    assert_eq!(results[1].best_eta, Some(2)); // 2 states
+    assert!(results[1].protocols_examined > results[0].protocols_examined);
+}
+
+#[test]
+fn e8_parallel_time_grows_slowly_with_population() {
+    let rows = experiment_e8(&[16, 64], 3, 2_000_000);
+    // Every run converges and the mean parallel time does not explode by the
+    // population factor (it is roughly O(n log n)/n per the literature).
+    for row in &rows {
+        assert_eq!(row.converged, row.runs, "{} n={}", row.protocol, row.population);
+    }
+    for protocol in ["flock(4)", "binary_counter(3) [x >= 2^3]"] {
+        let t16 = rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.population == 16)
+            .unwrap()
+            .mean_parallel_time;
+        let t64 = rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.population == 64)
+            .unwrap()
+            .mean_parallel_time;
+        assert!(
+            t64 < t16 * 16.0,
+            "{protocol}: parallel time should grow sublinearly in the population (t16={t16}, t64={t64})"
+        );
+    }
+}
+
+#[test]
+fn e10_controlled_bad_sequences_match_closed_forms() {
+    let rows = experiment_e10(2, 3, 2_000_000);
+    for row in &rows {
+        if row.dimension == 1 && row.exact {
+            assert_eq!(row.length as u64, row.delta + 1);
+        }
+    }
+    // Dimension 2 exceeds dimension 1 at equal δ ≥ 1 whenever both are exact
+    // (at δ = 0 both start with the zero vector and stop immediately).
+    for delta in 1..=2u64 {
+        let d1 = rows.iter().find(|r| r.dimension == 1 && r.delta == delta).unwrap();
+        let d2 = rows.iter().find(|r| r.dimension == 2 && r.delta == delta).unwrap();
+        if d1.exact && d2.exact {
+            assert!(d2.length > d1.length);
+        }
+    }
+}
+
+#[test]
+fn full_report_renders() {
+    let full = run_all_small();
+    let text = report::render_full(&full);
+    assert!(text.contains("E1"));
+    assert!(text.contains("E6"));
+    assert!(text.contains("binary_counter"));
+    // The report serialises to JSON for archival.
+    let json = serde_json::to_string(&full).unwrap();
+    assert!(json.len() > 1000);
+}

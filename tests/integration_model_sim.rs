@@ -1,0 +1,99 @@
+//! Cross-crate integration tests: the model, the zoo and the simulator.
+//!
+//! These tests check that the *simulated* semantics agrees with the
+//! *predicates* the zoo protocols claim to compute, on populations far larger
+//! than anything the exhaustive engine could explore.
+
+use popproto::prelude::*;
+use popproto_sim::{run_until_convergence, ConvergenceCriterion};
+use popproto_zoo::{binary_counter, flock, leader_counter, modulo};
+
+fn simulate_to_silence(protocol: &Protocol, input: Input, seed: u64) -> Option<bool> {
+    let mut sim = Simulator::new(protocol.clone(), protocol.initial_config(&input), seed);
+    let outcome = run_until_convergence(&mut sim, ConvergenceCriterion::Silent, 10_000_000);
+    assert!(outcome.converged, "simulation must reach a silent configuration");
+    outcome.output
+}
+
+#[test]
+fn flock_simulation_matches_predicate_on_large_populations() {
+    let p = flock(10);
+    assert_eq!(simulate_to_silence(&p, Input::unary(9), 1), Some(false));
+    assert_eq!(simulate_to_silence(&p, Input::unary(10), 2), Some(true));
+    assert_eq!(simulate_to_silence(&p, Input::unary(300), 3), Some(true));
+}
+
+#[test]
+fn binary_counter_simulation_matches_predicate() {
+    let p = binary_counter(5); // x ≥ 32
+    assert_eq!(simulate_to_silence(&p, Input::unary(31), 4), Some(false));
+    assert_eq!(simulate_to_silence(&p, Input::unary(32), 5), Some(true));
+    assert_eq!(simulate_to_silence(&p, Input::unary(200), 6), Some(true));
+}
+
+#[test]
+fn leader_counter_simulation_matches_predicate() {
+    let p = leader_counter(4); // x ≥ 16, 4 leader agents
+    assert_eq!(simulate_to_silence(&p, Input::unary(15), 7), Some(false));
+    assert_eq!(simulate_to_silence(&p, Input::unary(16), 8), Some(true));
+    assert_eq!(simulate_to_silence(&p, Input::unary(100), 9), Some(true));
+}
+
+#[test]
+fn modulo_simulation_matches_predicate() {
+    let p = modulo(5, 2); // x ≡ 2 (mod 5)
+    assert_eq!(simulate_to_silence(&p, Input::unary(47), 10), Some(true)); // 47 ≡ 2
+    assert_eq!(simulate_to_silence(&p, Input::unary(50), 11), Some(false));
+    assert_eq!(simulate_to_silence(&p, Input::unary(7), 12), Some(true));
+}
+
+#[test]
+fn simulation_and_exhaustive_verification_agree_on_small_slices() {
+    // For every catalogued unary protocol and every small input, the
+    // simulated answer equals the exhaustively verified answer.
+    let limits = ExploreLimits::default();
+    for instance in popproto_zoo::catalog() {
+        if !instance.protocol.is_unary() {
+            continue;
+        }
+        for i in 2..=6u64 {
+            let expected = instance.predicate.eval(&Input::unary(i));
+            let verdict = popproto_reach::verify::verify_input(
+                &instance.protocol,
+                &instance.predicate,
+                &Input::unary(i),
+                &limits,
+            );
+            assert!(
+                verdict.correct,
+                "{} must compute {} at input {i}",
+                instance.protocol.name(),
+                instance.predicate
+            );
+            let simulated = simulate_to_silence(&instance.protocol, Input::unary(i), 100 + i);
+            assert_eq!(
+                simulated,
+                Some(expected),
+                "{} diverges from its predicate at input {i}",
+                instance.protocol.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn monotonicity_property_of_executions() {
+    // The paper's monotonicity property: if C -> C' then C + D -> C' + D.
+    // Check it on the transition level for every zoo transition.
+    for instance in popproto_zoo::catalog() {
+        let p = &instance.protocol;
+        for t in p.transitions() {
+            let pre = t.pre.as_config(p.num_states());
+            let post = t.fire(&pre).expect("a transition is enabled at its own precondition");
+            let padding = Config::from_counts(vec![1; p.num_states()]);
+            let padded_pre = pre.plus(&padding);
+            let padded_post = t.fire(&padded_pre).expect("monotonicity: still enabled");
+            assert_eq!(padded_post, post.plus(&padding));
+        }
+    }
+}

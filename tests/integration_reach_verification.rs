@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: exhaustive verification of the zoo
+//! protocols against their predicates, and the structural facts of Section 3
+//! (downward closure, small bases) on concrete protocols.
+
+use popproto::prelude::*;
+use popproto_reach::{extract_stable_basis, stable::is_stable_config};
+use popproto_vas::BasisElement;
+use popproto_zoo::{binary_counter, flock, leader_counter, majority, modulo};
+
+#[test]
+fn zoo_protocols_verify_exhaustively() {
+    let limits = ExploreLimits::default();
+    // (protocol, eta, max input) triples sized to stay exhaustive.
+    let cases = vec![
+        (flock(2), 2, 9),
+        (flock(3), 3, 9),
+        (flock(4), 4, 9),
+        (binary_counter(1), 2, 9),
+        (binary_counter(2), 4, 9),
+        (binary_counter(3), 8, 11),
+        (leader_counter(1), 2, 8),
+        (leader_counter(2), 4, 8),
+    ];
+    for (protocol, eta, max_input) in cases {
+        let report = verify_unary_threshold(&protocol, eta, max_input, &limits);
+        assert!(
+            report.all_correct() && report.all_exhaustive(),
+            "{} must compute x >= {eta}: failures {:?}",
+            protocol.name(),
+            report.failures().len()
+        );
+    }
+}
+
+#[test]
+fn majority_verifies_on_small_inputs() {
+    let limits = ExploreLimits::default();
+    let p = majority();
+    let predicate = Predicate::majority();
+    let inputs: Vec<Input> = (0..=4u64)
+        .flat_map(|a| (0..=4u64).map(move |b| Input::from_counts(vec![a, b])))
+        .filter(|i| i.total() >= 2)
+        .collect();
+    let report = popproto_reach::verify_predicate(&p, &predicate, &inputs, &limits);
+    assert!(
+        report.all_correct(),
+        "majority failures: {:?}",
+        report
+            .failures()
+            .iter()
+            .map(|f| f.input.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn modulo_verifies_on_small_inputs() {
+    let limits = ExploreLimits::default();
+    let p = modulo(3, 1);
+    let report = popproto_reach::verify_predicate(
+        &p,
+        &Predicate::count_mod(3, 1),
+        &(2..=8).map(Input::unary).collect::<Vec<_>>(),
+        &limits,
+    );
+    assert!(report.all_correct());
+}
+
+#[test]
+fn wrong_thresholds_are_rejected_for_every_zoo_protocol() {
+    let limits = ExploreLimits::default();
+    for (protocol, eta) in [(flock(3), 3u64), (binary_counter(2), 4)] {
+        // Claiming a different threshold must fail verification.
+        let too_low = verify_unary_threshold(&protocol, eta - 1, eta + 3, &limits);
+        let too_high = verify_unary_threshold(&protocol, eta + 1, eta + 3, &limits);
+        assert!(!too_low.all_correct(), "{} vs eta-1", protocol.name());
+        assert!(!too_high.all_correct(), "{} vs eta+1", protocol.name());
+    }
+}
+
+#[test]
+fn stable_sets_are_downward_closed_on_slices() {
+    // Lemma 3.1 checked empirically for the binary counter: every
+    // subconfiguration of a 1-stable configuration is 1-stable.
+    let p = binary_counter(2);
+    let limits = ExploreLimits::default();
+    let stable = popproto_reach::basis_extract::stable_configs_of_size(&p, Output::True, 5, &limits);
+    assert!(!stable.is_empty());
+    for c in &stable {
+        for (q, count) in c.iter() {
+            if count == 0 {
+                continue;
+            }
+            let mut smaller = c.clone();
+            smaller.remove(q, 1);
+            if smaller.size() < 2 {
+                continue;
+            }
+            assert_eq!(
+                is_stable_config(&p, &smaller, Output::True, &limits),
+                Some(true),
+                "downward closure violated below {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extracted_bases_cover_their_stable_sets() {
+    let limits = ExploreLimits::default();
+    for p in [flock(3), binary_counter(2)] {
+        for output in [Output::False, Output::True] {
+            let basis = extract_stable_basis(&p, output, 5, 2, &limits);
+            let seeds =
+                popproto_reach::basis_extract::stable_configs_of_size(&p, output, 5, &limits);
+            assert!(basis.covers(&seeds), "{} {output}", p.name());
+            assert!(basis.verified, "{} {output}", p.name());
+        }
+    }
+}
+
+#[test]
+fn basis_elements_certify_membership_of_larger_stable_configs() {
+    // A basis element extracted at slice size 5 also contains the stable
+    // configurations of larger slices (the point of the (B, S) representation).
+    let p = binary_counter(2);
+    let limits = ExploreLimits::default();
+    let basis = extract_stable_basis(&p, Output::True, 5, 1, &limits);
+    let larger = popproto_reach::basis_extract::stable_configs_of_size(&p, Output::True, 8, &limits);
+    assert!(!larger.is_empty());
+    for c in &larger {
+        assert!(
+            basis.elements.iter().any(|e: &BasisElement| e.contains(c)),
+            "no extracted element contains {c}"
+        );
+    }
+}
