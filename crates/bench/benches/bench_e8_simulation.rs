@@ -1,11 +1,116 @@
-//! E8 — simulated parallel convergence time of the zoo families.
+//! E8 — simulated parallel convergence time of the zoo families, plus the
+//! sequential-vs-batched engine comparison.
+//!
+//! Besides the Criterion groups, this bench emits a machine-readable
+//! `BENCH_sim.json` at the workspace root with three measurements:
+//!
+//! * `sequential_vs_naive` — throughput of the reworked sequential engine
+//!   against a faithful reimplementation of the seed's `step()` loop
+//!   (config clone per interaction, `Vec` allocation per candidate lookup,
+//!   full-protocol silence scan per iteration);
+//! * `engine_comparison` — wall time per parallel time unit for both
+//!   engines at n ∈ {10⁴, 10⁶, 10⁸};
+//! * `acceptance` — the batched engine driving approximate majority at
+//!   n = 10⁸ to a 10⁶-parallel-time-unit target (it stabilises and goes
+//!   silent long before, which the engine detects and fast-forwards).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use popproto::experiments::experiment_e8;
 use popproto::report::render_e8;
-use popproto_sim::{run_until_convergence, ConvergenceCriterion, Simulator};
-use popproto_zoo::binary_counter;
-use std::time::Duration;
+use popproto_model::{Config, Input, Pair, Protocol};
+use popproto_sim::{
+    run_until_convergence, BatchedSimulator, ConvergenceCriterion, SimulationEngine, Simulator,
+};
+use popproto_zoo::{approximate_majority, binary_counter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A faithful reimplementation of the seed repository's sequential loop, as
+/// the baseline for the throughput comparison: clone-per-fire, allocation
+/// per candidate lookup, O(|Q|) scheduler scan, and a full silence scan per
+/// `run` iteration.
+struct NaiveSimulator {
+    protocol: Protocol,
+    config: Config,
+    rng: StdRng,
+    interactions: u64,
+}
+
+impl NaiveSimulator {
+    fn new(protocol: Protocol, config: Config, seed: u64) -> Self {
+        NaiveSimulator {
+            protocol,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            interactions: 0,
+        }
+    }
+
+    fn select_pair(&mut self) -> (usize, usize) {
+        let n = self.config.size();
+        let mut first = 0usize;
+        let mut index = self.rng.gen_range(0..n);
+        for (q, count) in self.config.iter() {
+            if index < count {
+                first = q.index();
+                break;
+            }
+            index -= count;
+        }
+        let mut remaining = self.rng.gen_range(0..n - 1);
+        let mut second = 0usize;
+        for (q, count) in self.config.iter() {
+            let available = if q.index() == first { count - 1 } else { count };
+            if remaining < available {
+                second = q.index();
+                break;
+            }
+            remaining -= available;
+        }
+        (first, second)
+    }
+
+    fn step(&mut self) -> bool {
+        self.interactions += 1;
+        let (a, b) = self.select_pair();
+        let pair = Pair::new(a.into(), b.into());
+        let candidates = self.protocol.transitions_from(pair); // allocates
+        if candidates.is_empty() {
+            return false;
+        }
+        let t_idx = candidates[self.rng.gen_range(0..candidates.len())];
+        let transition = self.protocol.transitions()[t_idx];
+        match transition.fire(&self.config) {
+            // `fire` clones the whole configuration — the seed hot path.
+            Some(next) if next != self.config => {
+                self.config = next;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The seed's silence test: attempt to *fire* every transition (cloning
+    /// a configuration per enabled transition) and compare successors.
+    fn is_silent(&self) -> bool {
+        self.protocol
+            .transitions()
+            .iter()
+            .all(|t| t.is_silent() || t.fire(&self.config).is_none_or(|next| next == self.config))
+    }
+
+    fn run(&mut self, max_interactions: u64) -> u64 {
+        for i in 0..max_interactions {
+            // The seed re-derived silence from scratch every iteration.
+            if self.is_silent() {
+                return i;
+            }
+            self.step();
+        }
+        max_interactions
+    }
+}
 
 fn bench_e8(c: &mut Criterion) {
     let rows = experiment_e8(&[32, 64, 128], 3, 3_000_000);
@@ -25,5 +130,146 @@ fn bench_e8(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e8);
+/// Criterion comparison: one parallel time unit (n interactions) per engine.
+fn bench_engine_comparison(c: &mut Criterion) {
+    let p = approximate_majority();
+    let mut group = c.benchmark_group("e8_engine_parallel_time_unit");
+    group.sample_size(2).measurement_time(Duration::from_secs(1));
+    for n in [10_000u64, 1_000_000, 100_000_000] {
+        let input = Input::from_counts(vec![2 * n / 3, n - 2 * n / 3]);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            let ic = p.initial_config(&input);
+            b.iter(|| {
+                let mut sim = Simulator::new(p.clone(), ic.clone(), 7);
+                sim.advance(n)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            let ic = p.initial_config(&input);
+            b.iter(|| {
+                let mut sim = BatchedSimulator::new(p.clone(), ic.clone(), 7);
+                sim.advance(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Single-shot wall-clock measurements written to BENCH_sim.json.
+fn emit_bench_json(_c: &mut Criterion) {
+    let p = approximate_majority();
+    let mut entries: Vec<String> = Vec::new();
+
+    // 1. Reworked sequential engine vs the seed step() loop, on the workload
+    // every experiment actually runs: simulate to silence.  The seed loop
+    // pays an O(T) fire-with-clone silence scan per interaction (worst near
+    // convergence, where nothing short-circuits) plus a `Vec` allocation per
+    // candidate lookup, so its cost grows with the transition count while
+    // the engine's stays flat.
+    let mut naive_rows: Vec<String> = Vec::new();
+    let budget = 50_000_000u64;
+    let throughput_workloads: Vec<(Protocol, Config)> = vec![
+        (
+            p.clone(),
+            p.initial_config(&Input::from_counts(vec![6_666, 3_334])),
+        ),
+        (
+            popproto_zoo::flock(32),
+            popproto_zoo::flock(32).initial_config_unary(3_000),
+        ),
+        (
+            popproto_zoo::flock(64),
+            popproto_zoo::flock(64).initial_config_unary(2_000),
+        ),
+        (
+            popproto_zoo::binary_counter(6),
+            popproto_zoo::binary_counter(6).initial_config_unary(3_000),
+        ),
+    ];
+    for (protocol, ic) in &throughput_workloads {
+        let start = Instant::now();
+        let mut naive = NaiveSimulator::new(protocol.clone(), ic.clone(), 7);
+        let naive_done = naive.run(budget).max(1);
+        let naive_seconds = start.elapsed().as_secs_f64();
+        let naive_ns = naive_seconds * 1e9 / naive_done as f64;
+
+        let start = Instant::now();
+        let mut engine = Simulator::new(protocol.clone(), ic.clone(), 7);
+        let engine_done = engine.advance(budget).max(1);
+        let engine_seconds = start.elapsed().as_secs_f64();
+        let engine_ns = engine_seconds * 1e9 / engine_done as f64;
+
+        let speedup = naive_ns / engine_ns;
+        println!(
+            "[E8] {} to silence: seed loop {naive_ns:.1} ns/interaction -> engine \
+             {engine_ns:.1} ns/interaction ({speedup:.1}x)",
+            protocol.name()
+        );
+        naive_rows.push(format!(
+            "    {{\"protocol\": \"{}\", \"states\": {}, \"transitions\": {}, \"naive_ns_per_interaction\": {naive_ns:.2}, \"engine_ns_per_interaction\": {engine_ns:.2}, \"speedup\": {speedup:.2}}}",
+            protocol.name(),
+            protocol.num_states(),
+            protocol.num_transitions()
+        ));
+    }
+    entries.push(format!(
+        "  \"sequential_vs_naive\": [\n{}\n  ]",
+        naive_rows.join(",\n")
+    ));
+
+    // 2. Seconds per parallel time unit, per engine and population.
+    let mut comparison_rows: Vec<String> = Vec::new();
+    for n in [10_000u64, 1_000_000, 100_000_000] {
+        let input = Input::from_counts(vec![2 * n / 3, n - 2 * n / 3]);
+        let ic = p.initial_config(&input);
+        let start = Instant::now();
+        let mut sim = Simulator::new(p.clone(), ic.clone(), 7);
+        sim.advance(n);
+        let seq_seconds = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut sim = BatchedSimulator::new(p.clone(), ic.clone(), 7);
+        sim.advance(n);
+        let bat_seconds = start.elapsed().as_secs_f64();
+        println!(
+            "[E8] one parallel time unit at n = {n}: sequential {seq_seconds:.4}s, \
+             batched {bat_seconds:.6}s"
+        );
+        comparison_rows.push(format!(
+            "    {{\"population\": {n}, \"sequential_seconds_per_unit\": {seq_seconds:.6}, \"batched_seconds_per_unit\": {bat_seconds:.6}}}"
+        ));
+    }
+    entries.push(format!(
+        "  \"engine_comparison\": [\n{}\n  ]",
+        comparison_rows.join(",\n")
+    ));
+
+    // 3. Acceptance: 10⁶ parallel time units of approximate majority at
+    // n = 10⁸ on the batched engine.
+    let n = 100_000_000u64;
+    let target_parallel_time = 1_000_000u64;
+    let input = Input::from_counts(vec![2 * n / 3, n - 2 * n / 3]);
+    let ic = p.initial_config(&input);
+    let start = Instant::now();
+    let mut sim = BatchedSimulator::new(p.clone(), ic, 7);
+    let budget = n.saturating_mul(target_parallel_time);
+    sim.advance(budget);
+    let wall = start.elapsed().as_secs_f64();
+    let silent = sim.is_silent();
+    let reached = sim.parallel_time();
+    println!(
+        "[E8] acceptance: n = 10^8, target 10^6 parallel time units: \
+         stabilised at parallel time {reached:.1} (silent: {silent}) in {wall:.2}s wall"
+    );
+    entries.push(format!(
+        "  \"acceptance\": {{\n    \"protocol\": \"approximate_majority\",\n    \"population\": {n},\n    \"parallel_time_target\": {target_parallel_time},\n    \"parallel_time_reached\": {reached:.2},\n    \"silent\": {silent},\n    \"wall_seconds\": {wall:.3}\n  }}"
+    ));
+
+    let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("failed to write BENCH_sim.json");
+    println!("[E8] wrote {path}");
+}
+
+criterion_group!(benches, bench_e8, bench_engine_comparison, emit_bench_json);
 criterion_main!(benches);

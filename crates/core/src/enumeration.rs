@@ -91,7 +91,7 @@ pub fn busy_beaver_search(
                     build_candidate(num_states, &pairs, &posts, &assignment, outputs, input_state);
                 if let Some(eta) = verified_threshold(&protocol, max_input, limits) {
                     result.threshold_protocols += 1;
-                    if result.best_eta.map_or(true, |best| eta > best) {
+                    if result.best_eta.is_none_or(|best| eta > best) {
                         result.best_eta = Some(eta);
                         result.witness = Some(protocol);
                     }

@@ -18,7 +18,7 @@ use crate::saturation::{analyze_saturation, SaturationAnalysis};
 use popproto_model::{Input, Output, Protocol};
 use popproto_numerics::Magnitude;
 use popproto_reach::{extract_stable_basis, ExploreLimits};
-use popproto_sim::{run_experiment, SimulationExperiment};
+use popproto_sim::{run_experiment, EngineKind, SimulationExperiment};
 use popproto_vas::{longest_bad_sequence, ControlledSearch, HilbertOptions, RealisabilitySystem};
 use popproto_zoo::{binary_counter, flock, modulo};
 use serde::{Deserialize, Serialize};
@@ -226,12 +226,28 @@ pub struct E8Row {
     pub mean_parallel_time: f64,
 }
 
-/// E8 — expected parallel convergence time of the zoo families (simulation).
+/// E8 — expected parallel convergence time of the zoo families (simulation),
+/// on the exact sequential engine.
 pub fn experiment_e8(populations: &[u64], runs: u64, max_interactions: u64) -> Vec<E8Row> {
+    experiment_e8_with_engine(populations, runs, max_interactions, EngineKind::Sequential)
+}
+
+/// E8 with an explicit engine choice.  [`EngineKind::Batched`] makes
+/// populations of 10⁶–10⁹ agents tractable (the sequential engine must
+/// simulate every single interaction, the batched one processes Θ(√n)
+/// interactions per O(|Q|²) batch).
+pub fn experiment_e8_with_engine(
+    populations: &[u64],
+    runs: u64,
+    max_interactions: u64,
+    engine: EngineKind,
+) -> Vec<E8Row> {
     let mut rows = Vec::new();
     for &n in populations {
         for protocol in [flock(4), binary_counter(3), modulo(3, 1)] {
-            let exp = SimulationExperiment::new(protocol.clone(), Input::unary(n), runs, max_interactions);
+            let exp =
+                SimulationExperiment::new(protocol.clone(), Input::unary(n), runs, max_interactions)
+                    .with_engine(engine);
             let result = run_experiment(&exp);
             rows.push(E8Row {
                 protocol: protocol.name().to_string(),
@@ -372,6 +388,16 @@ mod tests {
     #[test]
     fn e8_reports_converged_runs() {
         let rows = experiment_e8(&[12], 2, 200_000);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.converged, row.runs, "{} must converge", row.protocol);
+            assert!(row.mean_parallel_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn e8_runs_on_the_batched_engine() {
+        let rows = experiment_e8_with_engine(&[2_000], 2, u64::MAX, EngineKind::Batched);
         assert_eq!(rows.len(), 3);
         for row in &rows {
             assert_eq!(row.converged, row.runs, "{} must converge", row.protocol);

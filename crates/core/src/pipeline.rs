@@ -180,7 +180,7 @@ pub fn analyze_leaderless_protocol(
         let a = i0 * scale;
 
         // Step 2: reach a stable configuration from D and extract (B, S).
-        let graph = ReachabilityGraph::explore(protocol, &[d.clone()], &options.limits);
+        let graph = ReachabilityGraph::explore(protocol, std::slice::from_ref(&d), &options.limits);
         if !graph.is_complete() {
             continue;
         }
@@ -224,7 +224,7 @@ pub fn analyze_leaderless_protocol(
                 if !d.is_saturated(2 * pi.size()) {
                     continue;
                 }
-                let better = chosen.as_ref().map_or(true, |(p, _, _)| pi.size() < p.size());
+                let better = chosen.as_ref().is_none_or(|(p, _, _)| pi.size() < p.size());
                 if better {
                     chosen = Some((pi, input, target));
                 }

@@ -203,6 +203,16 @@ impl Config {
         &self.counts
     }
 
+    /// Mutable access to the raw counts, in state order.
+    ///
+    /// This is the hot-path accessor used by the simulation engines to apply
+    /// transition deltas in place instead of cloning the configuration per
+    /// interaction.  Callers are responsible for keeping the population size
+    /// invariant (transitions move agents, they never create or destroy them).
+    pub fn counts_mut(&mut self) -> &mut [u64] {
+        &mut self.counts
+    }
+
     /// Extends the dimension to `num_states`, padding with zeros.
     ///
     /// # Panics

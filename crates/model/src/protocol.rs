@@ -227,10 +227,15 @@ impl Protocol {
     }
 
     /// Returns `true` if `c` enables no configuration-changing transition.
+    ///
+    /// A non-silent transition (`pre ≠ post` as multisets) always changes the
+    /// configuration when it fires, so silence can be decided from
+    /// enabledness alone — no successor configuration is materialised.
     pub fn is_silent_config(&self, c: &Config) -> bool {
-        self.transitions
+        !self
+            .transitions
             .iter()
-            .all(|t| t.is_silent() || t.fire(c).map_or(true, |n| n == *c))
+            .any(|t| !t.is_silent() && t.is_enabled(c))
     }
 
     /// Returns `true` if the protocol is deterministic in the sense of

@@ -1,78 +1,126 @@
 //! Property-based tests of the core model invariants.
+//!
+//! The original version of this file used the `proptest` crate; the build
+//! environment is offline, so the same properties are now exercised over
+//! seeded pseudo-random inputs (256 cases per property, reproducible by
+//! construction).
 
 use popproto_model::{Config, Input, Output, Pair, Predicate, ProtocolBuilder, StateId, Transition};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn config_strategy(dim: usize, max: u64) -> impl Strategy<Value = Config> {
-    prop::collection::vec(0..=max, dim).prop_map(Config::from_counts)
+const CASES: usize = 256;
+
+fn random_config(rng: &mut StdRng, dim: usize, max: u64) -> Config {
+    Config::from_counts((0..dim).map(|_| rng.gen_range(0..=max)).collect())
 }
 
-proptest! {
-    /// Configuration addition is commutative and preserves size.
-    #[test]
-    fn config_plus_is_commutative(a in config_strategy(5, 50), b in config_strategy(5, 50)) {
-        prop_assert_eq!(a.plus(&b), b.plus(&a));
-        prop_assert_eq!(a.plus(&b).size(), a.size() + b.size());
+/// Configuration addition is commutative and preserves size.
+#[test]
+fn config_plus_is_commutative() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let a = random_config(&mut rng, 5, 50);
+        let b = random_config(&mut rng, 5, 50);
+        assert_eq!(a.plus(&b), b.plus(&a));
+        assert_eq!(a.plus(&b).size(), a.size() + b.size());
     }
+}
 
-    /// checked_minus inverts plus.
-    #[test]
-    fn config_minus_inverts_plus(a in config_strategy(4, 30), b in config_strategy(4, 30)) {
-        prop_assert_eq!(a.plus(&b).checked_minus(&b), Some(a.clone()));
-        prop_assert!(a.le(&a.plus(&b)));
+/// checked_minus inverts plus.
+#[test]
+fn config_minus_inverts_plus() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let a = random_config(&mut rng, 4, 30);
+        let b = random_config(&mut rng, 4, 30);
+        assert_eq!(a.plus(&b).checked_minus(&b), Some(a.clone()));
+        assert!(a.le(&a.plus(&b)));
     }
+}
 
-    /// The pointwise order is a partial order compatible with plus (monotonicity).
-    #[test]
-    fn config_order_is_monotone(a in config_strategy(4, 30), b in config_strategy(4, 30), c in config_strategy(4, 30)) {
+/// The pointwise order is a partial order compatible with plus (monotonicity).
+#[test]
+fn config_order_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let a = random_config(&mut rng, 4, 30);
+        let b = random_config(&mut rng, 4, 30);
+        let c = random_config(&mut rng, 4, 30);
         if a.le(&b) {
-            prop_assert!(a.plus(&c).le(&b.plus(&c)));
+            assert!(a.plus(&c).le(&b.plus(&c)));
         }
     }
+}
 
-    /// Firing a transition preserves the population size and is monotone:
-    /// if it is enabled at C it stays enabled at C + D and the results differ by D.
-    #[test]
-    fn transition_firing_is_monotone(
-        pre0 in 0usize..4, pre1 in 0usize..4, post0 in 0usize..4, post1 in 0usize..4,
-        c in config_strategy(4, 20), d in config_strategy(4, 20),
-    ) {
+/// Firing a transition preserves the population size and is monotone:
+/// if it is enabled at C it stays enabled at C + D and the results differ by D.
+#[test]
+fn transition_firing_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
         let t = Transition::new(
-            Pair::new(StateId::new(pre0), StateId::new(pre1)),
-            Pair::new(StateId::new(post0), StateId::new(post1)),
+            Pair::new(
+                StateId::new(rng.gen_range(0..4usize)),
+                StateId::new(rng.gen_range(0..4usize)),
+            ),
+            Pair::new(
+                StateId::new(rng.gen_range(0..4usize)),
+                StateId::new(rng.gen_range(0..4usize)),
+            ),
         );
+        let c = random_config(&mut rng, 4, 20);
+        let d = random_config(&mut rng, 4, 20);
         if let Some(next) = t.fire(&c) {
-            prop_assert_eq!(next.size(), c.size());
+            assert_eq!(next.size(), c.size());
             let padded = t.fire(&c.plus(&d)).expect("monotonicity");
-            prop_assert_eq!(padded, next.plus(&d));
+            assert_eq!(padded, next.plus(&d));
         }
     }
+}
 
-    /// The displacement of a transition always sums to zero (agents are conserved).
-    #[test]
-    fn displacements_sum_to_zero(
-        pre0 in 0usize..5, pre1 in 0usize..5, post0 in 0usize..5, post1 in 0usize..5,
-    ) {
+/// The displacement of a transition always sums to zero (agents are conserved).
+#[test]
+fn displacements_sum_to_zero() {
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
         let t = Transition::new(
-            Pair::new(StateId::new(pre0), StateId::new(pre1)),
-            Pair::new(StateId::new(post0), StateId::new(post1)),
+            Pair::new(
+                StateId::new(rng.gen_range(0..5usize)),
+                StateId::new(rng.gen_range(0..5usize)),
+            ),
+            Pair::new(
+                StateId::new(rng.gen_range(0..5usize)),
+                StateId::new(rng.gen_range(0..5usize)),
+            ),
         );
-        prop_assert_eq!(t.displacement(5).iter().sum::<i64>(), 0);
+        assert_eq!(t.displacement(5).iter().sum::<i64>(), 0);
     }
+}
 
-    /// Threshold predicates are monotone in the input.
-    #[test]
-    fn threshold_predicates_are_monotone(eta in 0u64..1000, x in 0u64..1000, extra in 0u64..1000) {
+/// Threshold predicates are monotone in the input.
+#[test]
+fn threshold_predicates_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let eta = rng.gen_range(0..1000u64);
+        let x = rng.gen_range(0..1000u64);
+        let extra = rng.gen_range(0..1000u64);
         let p = Predicate::threshold_at_least(eta);
         if p.eval(&Input::unary(x)) {
-            prop_assert!(p.eval(&Input::unary(x + extra)));
+            assert!(p.eval(&Input::unary(x + extra)));
         }
     }
+}
 
-    /// Initial configurations are linear in the input for leaderless protocols
-    /// (the identity IC(λv + λ'v') = λ·IC(v) + λ'·IC(v') from Section 2.2).
-    #[test]
-    fn leaderless_initial_configs_are_linear(v in 0u64..100, w in 0u64..100, lambda in 0u64..5, mu in 0u64..5) {
+/// Initial configurations are linear in the input for leaderless protocols
+/// (the identity IC(λv + λ'v') = λ·IC(v) + λ'·IC(v') from Section 2.2).
+#[test]
+fn leaderless_initial_configs_are_linear() {
+    let mut rng = StdRng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let (v, w) = (rng.gen_range(0..100u64), rng.gen_range(0..100u64));
+        let (lambda, mu) = (rng.gen_range(0..5u64), rng.gen_range(0..5u64));
         let mut b = ProtocolBuilder::new("linear");
         let s = b.add_state("s", Output::False);
         let t = b.add_state("t", Output::True);
@@ -84,13 +132,18 @@ proptest! {
             .initial_config_unary(v)
             .scaled(lambda)
             .plus(&p.initial_config_unary(w).scaled(mu));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    /// Pair construction is order-insensitive.
-    #[test]
-    fn pairs_are_unordered(a in 0usize..30, b in 0usize..30) {
-        prop_assert_eq!(
+/// Pair construction is order-insensitive.
+#[test]
+fn pairs_are_unordered() {
+    let mut rng = StdRng::seed_from_u64(0xA8);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0..30usize);
+        let b = rng.gen_range(0..30usize);
+        assert_eq!(
             Pair::new(StateId::new(a), StateId::new(b)),
             Pair::new(StateId::new(b), StateId::new(a))
         );

@@ -86,7 +86,7 @@ impl BigNat {
     pub fn bit(&self, i: u64) -> bool {
         let limb = (i / BASE_BITS as u64) as usize;
         let off = (i % BASE_BITS as u64) as u32;
-        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     /// Converts to `u64` if the value fits.
@@ -285,7 +285,7 @@ impl BigNat {
                 out.push(l);
             } else {
                 out.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
         }
         if bit_shift != 0 && carry != 0 {

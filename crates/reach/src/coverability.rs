@@ -13,7 +13,7 @@ pub fn coverable_states(
     from: &Config,
     limits: &ExploreLimits,
 ) -> Vec<StateId> {
-    let graph = ReachabilityGraph::explore(protocol, &[from.clone()], limits);
+    let graph = ReachabilityGraph::explore(protocol, std::slice::from_ref(from), limits);
     protocol
         .state_ids()
         .filter(|&q| graph.configs().iter().any(|c| c.get(q) > 0))
@@ -85,7 +85,7 @@ mod tests {
         );
         // State "4" needs four agents.
         assert_eq!(
-            min_input_covering_state(&p, StateId::new(4).into(), 10, &limits),
+            min_input_covering_state(&p, StateId::new(4), 10, &limits),
             None
         );
         assert_eq!(

@@ -324,7 +324,7 @@ mod tests {
     fn id_lookup_roundtrip() {
         let p = threshold2_protocol();
         let ic = p.initial_config_unary(2);
-        let g = ReachabilityGraph::explore(&p, &[ic.clone()], &ExploreLimits::default());
+        let g = ReachabilityGraph::explore(&p, std::slice::from_ref(&ic), &ExploreLimits::default());
         let id = g.id_of(&ic).unwrap();
         assert_eq!(g.config(id), &ic);
         assert!(g.id_of(&Config::from_counts(vec![9, 9, 9])).is_none());

@@ -86,7 +86,7 @@ pub fn is_stable_config(
     b: Output,
     limits: &ExploreLimits,
 ) -> Option<bool> {
-    let graph = ReachabilityGraph::explore(protocol, &[c.clone()], limits);
+    let graph = ReachabilityGraph::explore(protocol, std::slice::from_ref(c), limits);
     let offending = (0..graph.len()).find(|&id| {
         graph
             .config(id)

@@ -1,6 +1,6 @@
 //! Convergence detection for simulated executions.
 
-use crate::engine::Simulator;
+use crate::engine_api::SimulationEngine;
 use popproto_model::Output;
 use serde::{Deserialize, Serialize};
 
@@ -50,14 +50,22 @@ pub struct ConvergenceOutcome {
     pub population: u64,
 }
 
-/// Runs the simulator until the convergence criterion holds or
+/// Runs any [`SimulationEngine`] until the convergence criterion holds or
 /// `max_interactions` interactions have been simulated.
-pub fn run_until_convergence(
-    sim: &mut Simulator,
+///
+/// The criterion is evaluated at the engine's
+/// [`check_granularity`](SimulationEngine::check_granularity): every
+/// interaction for the sequential engine (matching the exact semantics the
+/// tests rely on), every batch for the batched engine.  Engines stop
+/// advancing once the configuration is silent — a silent configuration can
+/// never change, so the outcome is decided at that point: a silent consensus
+/// persists forever, a silent disagreement never converges.
+pub fn run_until_convergence<E: SimulationEngine>(
+    sim: &mut E,
     criterion: ConvergenceCriterion,
     max_interactions: u64,
 ) -> ConvergenceOutcome {
-    let population = sim.config().size();
+    let population = sim.population();
     let mut consensus_since: Option<u64> = None;
     let mut converged_at: Option<u64> = None;
 
@@ -66,18 +74,25 @@ pub fn run_until_convergence(
         if converged_at.is_none() {
             match criterion {
                 ConvergenceCriterion::Silent => {
-                    if sim.protocol().is_silent_config(sim.config()) {
+                    if sim.is_silent() {
                         converged_at = Some(interactions);
                     }
                 }
                 ConvergenceCriterion::ConsensusPersistence { window } => {
-                    if sim.protocol().output(sim.config()).is_some() {
+                    if sim.current_output().is_some() {
                         let since = *consensus_since.get_or_insert(interactions);
                         if interactions - since >= window {
+                            converged_at = Some(since);
+                        } else if sim.is_silent() {
+                            // Silent consensus: it trivially persists.
                             converged_at = Some(since);
                         }
                     } else {
                         consensus_since = None;
+                        if sim.is_silent() {
+                            // Silent disagreement: it can never converge.
+                            break;
+                        }
                     }
                 }
             }
@@ -85,13 +100,31 @@ pub fn run_until_convergence(
         if converged_at.is_some() || interactions >= max_interactions {
             break;
         }
-        sim.step();
+        let chunk = match criterion {
+            // Engines stop at silence on their own; no finer checks needed.
+            ConvergenceCriterion::Silent => max_interactions - interactions,
+            ConvergenceCriterion::ConsensusPersistence { window } => {
+                let until_window = match consensus_since {
+                    Some(since) => window - (interactions - since),
+                    None => sim.check_granularity(),
+                };
+                until_window
+                    .max(1)
+                    .min(sim.check_granularity().max(1))
+                    .min(max_interactions - interactions)
+            }
+        };
+        let advanced = sim.advance(chunk);
+        if advanced == 0 {
+            // Silent: no further progress is possible; decide at the top of
+            // the next loop iteration.
+            if sim.current_output().is_none() {
+                break;
+            }
+        }
     }
 
-    let output = sim
-        .protocol()
-        .output(sim.config())
-        .map(Output::as_bool);
+    let output = sim.current_output().map(Output::as_bool);
     ConvergenceOutcome {
         converged: converged_at.is_some(),
         output,
@@ -105,6 +138,8 @@ pub fn run_until_convergence(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batched::BatchedSimulator;
+    use crate::engine::Simulator;
     use popproto_zoo::{binary_counter, flock};
 
     #[test]
@@ -166,5 +201,29 @@ mod tests {
         assert!(!outcome.converged);
         assert_eq!(outcome.interactions, 10);
         assert!(outcome.parallel_time.is_none());
+    }
+
+    #[test]
+    fn batched_engine_satisfies_the_silent_criterion() {
+        let p = flock(3);
+        let mut sim = BatchedSimulator::new(p.clone(), p.initial_config_unary(20_000), 21);
+        let outcome = run_until_convergence(&mut sim, ConvergenceCriterion::Silent, u64::MAX);
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(true));
+        assert_eq!(outcome.population, 20_000);
+    }
+
+    #[test]
+    fn batched_engine_supports_persistence_criterion() {
+        let p = binary_counter(3);
+        let mut sim = BatchedSimulator::new(p.clone(), p.initial_config_unary(5_000), 9);
+        let outcome = run_until_convergence(
+            &mut sim,
+            ConvergenceCriterion::ConsensusPersistence { window: 10_000 },
+            u64::MAX,
+        );
+        // 5000 ≥ 8: converges to a true consensus and goes silent.
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(true));
     }
 }

@@ -1,8 +1,8 @@
-//! Stochastic simulation of population protocols.
+//! Stochastic simulation of population protocols — a two-tier engine.
 //!
-//! At each step the scheduler picks an ordered pair of distinct agents
-//! uniformly at random; if the protocol has a transition for the pair of
-//! states, one is fired (chosen uniformly among the applicable ones),
+//! At each step the uniform scheduler picks an ordered pair of distinct
+//! agents uniformly at random; if the protocol has a transition for the pair
+//! of states, one is fired (chosen uniformly among the applicable ones),
 //! otherwise the interaction is a no-op.  Uniform random scheduling is fair
 //! with probability 1, so simulated executions converge to the semantics of
 //! Section 2 almost surely.
@@ -11,25 +11,50 @@
 //! by the number of agents — the standard measure used in the runtime
 //! results quoted in the paper's introduction.
 //!
+//! Two engines implement the common [`SimulationEngine`] trait:
+//!
+//! * [`Simulator`] — **tier 1**, the sequential engine: exact step
+//!   semantics, rebuilt around a [`CompiledProtocol`] (dense pair-transition
+//!   tables, in-place count deltas, incremental silence detection) so the
+//!   per-interaction cost is O(log |Q|) with zero allocation;
+//! * [`BatchedSimulator`] — **tier 2**, the batched engine: processes Θ(√n)
+//!   interactions per O(|Q|²) batch using collision-adjusted hypergeometric
+//!   sampling (ppsim / Berenbrink et al., arXiv:2005.03584), making
+//!   populations of 10⁸–10⁹ agents tractable.
+//!
+//! See `crates/sim/README.md` for when each engine wins and for the
+//! batch-sampling math.
+//!
 //! Modules:
 //!
-//! * [`scheduler`] — pair-selection strategies;
-//! * [`engine`] — the step semantics on configuration counts;
+//! * [`compiled`] — protocols lowered to dense lookup tables;
+//! * [`engine_api`] — the [`SimulationEngine`] trait;
+//! * [`scheduler`] — standalone pair-selection strategies;
+//! * [`engine`] — the sequential engine;
+//! * [`batched`] — the batched engine;
+//! * [`sampling`] — hypergeometric / binomial / birthday samplers;
 //! * [`convergence`] — stabilisation / consensus detection;
 //! * [`stats`] — aggregation over repeated runs;
-//! * [`runner`] — multi-seed experiment driver.
+//! * [`runner`] — multi-seed experiment driver (seed-parallel).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batched;
+pub mod compiled;
 pub mod convergence;
 pub mod engine;
+pub mod engine_api;
 pub mod runner;
+pub mod sampling;
 pub mod scheduler;
 pub mod stats;
 
+pub use batched::BatchedSimulator;
+pub use compiled::CompiledProtocol;
 pub use convergence::{run_until_convergence, ConvergenceCriterion, ConvergenceOutcome};
 pub use engine::Simulator;
-pub use runner::{run_experiment, SimulationExperiment};
+pub use engine_api::SimulationEngine;
+pub use runner::{run_experiment, EngineKind, SimulationExperiment};
 pub use scheduler::{PairScheduler, UniformScheduler};
 pub use stats::{aggregate_outcomes, ConvergenceStats, SummaryStats};

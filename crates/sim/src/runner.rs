@@ -1,10 +1,22 @@
-//! Multi-seed simulation experiments.
+//! Multi-seed simulation experiments, engine-generic and seed-parallel.
 
+use crate::batched::BatchedSimulator;
 use crate::convergence::{run_until_convergence, ConvergenceCriterion, ConvergenceOutcome};
 use crate::engine::Simulator;
 use crate::stats::{aggregate_outcomes, ConvergenceStats};
-use popproto_model::{Input, Protocol};
+use popproto_model::{Config, Input, Protocol};
 use serde::{Deserialize, Serialize};
+
+/// Which simulation engine an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineKind {
+    /// The exact sequential engine ([`Simulator`]).
+    #[default]
+    Sequential,
+    /// The collision-adjusted batched engine ([`BatchedSimulator`]),
+    /// recommended for populations of 10⁵ agents and beyond.
+    Batched,
+}
 
 /// Description of a repeated simulation experiment: the same protocol and
 /// input simulated with several seeds.
@@ -20,10 +32,13 @@ pub struct SimulationExperiment {
     pub criterion: ConvergenceCriterion,
     /// Interaction budget per run.
     pub max_interactions: u64,
+    /// The engine to run on.
+    pub engine: EngineKind,
 }
 
 impl SimulationExperiment {
-    /// Creates an experiment with `runs` consecutive seeds starting at 0.
+    /// Creates an experiment with `runs` consecutive seeds starting at 0,
+    /// on the sequential engine.
     pub fn new(protocol: Protocol, input: Input, runs: u64, max_interactions: u64) -> Self {
         SimulationExperiment {
             protocol,
@@ -31,7 +46,14 @@ impl SimulationExperiment {
             seeds: (0..runs).collect(),
             criterion: ConvergenceCriterion::Silent,
             max_interactions,
+            engine: EngineKind::Sequential,
         }
+    }
+
+    /// Selects the engine, builder-style.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -45,17 +67,56 @@ pub struct ExperimentResult {
     pub stats: ConvergenceStats,
 }
 
-/// Runs the experiment.
-pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
-    let ic = experiment.protocol.initial_config(&experiment.input);
-    let outcomes: Vec<ConvergenceOutcome> = experiment
-        .seeds
-        .iter()
-        .map(|&seed| {
+fn run_one_seed(experiment: &SimulationExperiment, ic: &Config, seed: u64) -> ConvergenceOutcome {
+    match experiment.engine {
+        EngineKind::Sequential => {
             let mut sim = Simulator::new(experiment.protocol.clone(), ic.clone(), seed);
             run_until_convergence(&mut sim, experiment.criterion, experiment.max_interactions)
+        }
+        EngineKind::Batched => {
+            let mut sim = BatchedSimulator::new(experiment.protocol.clone(), ic.clone(), seed);
+            run_until_convergence(&mut sim, experiment.criterion, experiment.max_interactions)
+        }
+    }
+}
+
+/// Runs the experiment, fanning the seeds out across all available CPU cores
+/// (scoped `std::thread`s; the environment has no rayon).  Outcomes are
+/// returned in seed order regardless of scheduling.
+pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
+    let ic = experiment.protocol.initial_config(&experiment.input);
+    let seeds = &experiment.seeds;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(seeds.len())
+        .max(1);
+    let outcomes: Vec<ConvergenceOutcome> = if threads <= 1 {
+        seeds
+            .iter()
+            .map(|&seed| run_one_seed(experiment, &ic, seed))
+            .collect()
+    } else {
+        let chunk_size = seeds.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let ic = &ic;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&seed| run_one_seed(experiment, ic, seed))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
         })
-        .collect();
+    };
     let stats = aggregate_outcomes(&outcomes);
     ExperimentResult { outcomes, stats }
 }
@@ -93,5 +154,27 @@ mod tests {
         let exp = SimulationExperiment::new(p, Input::unary(6), 2, 10_000);
         let json = serde_json::to_string(&exp).unwrap();
         assert!(json.contains("binary_counter"));
+    }
+
+    #[test]
+    fn batched_engine_runs_experiments() {
+        let p = binary_counter(3);
+        let exp = SimulationExperiment::new(p, Input::unary(2_000), 4, u64::MAX)
+            .with_engine(EngineKind::Batched);
+        let result = run_experiment(&exp);
+        assert_eq!(result.stats.converged_runs, 4);
+        assert_eq!(result.stats.true_outputs, 4);
+    }
+
+    #[test]
+    fn outcomes_are_in_seed_order_and_deterministic() {
+        let p = binary_counter(3);
+        let exp = SimulationExperiment::new(p, Input::unary(12), 8, 300_000);
+        let a = run_experiment(&exp);
+        let b = run_experiment(&exp);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.interactions, y.interactions);
+            assert_eq!(x.interactions_to_convergence, y.interactions_to_convergence);
+        }
     }
 }

@@ -1,0 +1,286 @@
+//! Random-variate samplers used by the batched engine.
+//!
+//! The batched simulator needs three distributions per batch:
+//!
+//! * the *birthday* distribution of the number of uniform agent draws until
+//!   the first repeat (which bounds how many interactions can be processed
+//!   as one batch);
+//! * the *multivariate hypergeometric* distribution, to split a sample of
+//!   agents drawn without replacement across the states of the population;
+//! * the *binomial* distribution, to split the interactions of a state pair
+//!   across its candidate transitions.
+//!
+//! Samplers are exact for small parameters and switch to standard
+//! approximations (binomial for a small sampling fraction, Gaussian for
+//! large variance) in the regimes where the approximation error is far below
+//! the Monte-Carlo noise of the simulation itself.  All samplers draw from
+//! the caller's seeded RNG, so batched runs stay reproducible.
+
+use rand::{Rng, RngCore};
+
+/// Samples a standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(0.0..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt();
+    r * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `Binomial(n, p)`: the number of successes in `n` independent
+/// trials of probability `p`.
+pub fn binomial<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let mean = n as f64 * p;
+    if n <= 64 {
+        // Direct Bernoulli counting.
+        return (0..n).filter(|_| rng.gen_bool(p)).count() as u64;
+    }
+    if mean < 32.0 {
+        // Inversion from 0: the CDF walk terminates in O(mean) expected steps.
+        let q = 1.0 - p;
+        let ratio = p / q;
+        let mut pmf = q.powf(n as f64);
+        let mut cdf = pmf;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut k = 0u64;
+        while cdf < u && k < n {
+            pmf *= ratio * (n - k) as f64 / (k + 1) as f64;
+            cdf += pmf;
+            k += 1;
+            if pmf < 1e-300 {
+                break;
+            }
+        }
+        return k;
+    }
+    // Gaussian approximation with continuity correction; the variance is
+    // ≥ 16, where the normal approximation error is far below Monte-Carlo
+    // noise.
+    let sd = (mean * (1.0 - p)).sqrt();
+    let sample = mean + sd * standard_normal(rng) + 0.5;
+    (sample.max(0.0) as u64).min(n)
+}
+
+/// Samples `Hypergeometric(total, successes, draws)`: the number of marked
+/// items in `draws` draws without replacement from a population of `total`
+/// items of which `successes` are marked.
+pub fn hypergeometric<R: RngCore + ?Sized>(
+    rng: &mut R,
+    total: u64,
+    successes: u64,
+    draws: u64,
+) -> u64 {
+    debug_assert!(successes <= total && draws <= total);
+    if draws == 0 || successes == 0 {
+        return 0;
+    }
+    if successes == total {
+        return draws;
+    }
+    if draws == total {
+        return successes;
+    }
+    // Symmetry reductions keep `draws` and `successes` at most total/2.
+    if draws > total / 2 {
+        return successes - hypergeometric(rng, total, successes, total - draws);
+    }
+    if successes > total / 2 {
+        return draws - hypergeometric(rng, total, total - successes, draws);
+    }
+    if total <= 8192 {
+        // Exact sequential urn simulation; after the reductions above this
+        // is at most ~4k cheap draws.
+        let mut remaining_total = total;
+        let mut remaining_successes = successes;
+        let mut hits = 0u64;
+        for _ in 0..draws {
+            if rng.gen_range(0..remaining_total) < remaining_successes {
+                remaining_successes -= 1;
+                hits += 1;
+            }
+            remaining_total -= 1;
+        }
+        return hits;
+    }
+    let fraction = draws as f64 / total as f64;
+    if fraction <= 0.01 {
+        // Sampling fraction ≤ 1%: the finite-population correction is
+        // negligible and the binomial is an excellent approximation.
+        return binomial(rng, draws, successes as f64 / total as f64).min(successes);
+    }
+    // Gaussian approximation with finite-population correction.
+    let p = successes as f64 / total as f64;
+    let mean = draws as f64 * p;
+    let variance =
+        mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
+    let sample = mean + variance.sqrt() * standard_normal(rng) + 0.5;
+    let upper = draws.min(successes);
+    let lower = (draws + successes).saturating_sub(total);
+    (sample.max(lower as f64) as u64).clamp(lower, upper)
+}
+
+/// Splits `draws` draws without replacement across buckets with the given
+/// `sizes` (multivariate hypergeometric), writing the per-bucket counts into
+/// `out` and returning the total drawn (= `draws`).
+///
+/// # Panics
+///
+/// Panics if `draws` exceeds the total bucket size.
+pub fn multivariate_hypergeometric<R: RngCore + ?Sized>(
+    rng: &mut R,
+    sizes: &[u64],
+    draws: u64,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(sizes.len(), out.len());
+    let mut remaining_total: u64 = sizes.iter().sum();
+    assert!(draws <= remaining_total, "cannot draw more agents than exist");
+    let mut remaining_draws = draws;
+    for (i, &size) in sizes.iter().enumerate() {
+        if remaining_draws == 0 {
+            out[i] = 0;
+            continue;
+        }
+        // Conditional distribution of this bucket's draw count.
+        let k = hypergeometric(rng, remaining_total, size, remaining_draws);
+        out[i] = k;
+        remaining_draws -= k;
+        remaining_total -= size;
+    }
+    debug_assert_eq!(remaining_draws, 0);
+}
+
+/// Samples the number of uniform agent draws until the first repeat (the
+/// "birthday" collision time) in a population of `n` agents.
+///
+/// `P(T > t) = ∏_{i<t} (1 - i/n) ≈ exp(-t²/2n)`, so `T` is approximately
+/// Rayleigh with scale `√n`; the approximation error is `O(1/√n)` and the
+/// batched engine only uses this path for large `n`.
+pub fn birthday_collision_draws<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let u = (1.0 - u).max(f64::MIN_POSITIVE); // uniform in (0, 1]
+    let t = (-2.0 * n as f64 * u.ln()).sqrt().ceil();
+    (t as u64).clamp(2, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn binomial_moments_small_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| binomial(&mut rng, 40, 0.3) as f64).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 12.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 8.4).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn binomial_moments_inversion_regime() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // n large, mean small: exercises the CDF-walk path.
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| binomial(&mut rng, 10_000, 0.001) as f64).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 10.0).abs() < 0.7, "var {var}");
+    }
+
+    #[test]
+    fn binomial_moments_gaussian_regime() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| binomial(&mut rng, 1_000_000, 0.25) as f64).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 250_000.0).abs() < 50.0, "mean {mean}");
+        let expected_var = 187_500.0;
+        assert!((var / expected_var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn hypergeometric_moments_exact_regime() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (total, successes, draws) = (1000u64, 300u64, 100u64);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| hypergeometric(&mut rng, total, successes, draws) as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&samples);
+        let p = 0.3;
+        let expected_mean = draws as f64 * p;
+        let expected_var =
+            expected_mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
+        assert!((mean - expected_mean).abs() < 0.2, "mean {mean}");
+        assert!((var / expected_var - 1.0).abs() < 0.07, "var {var}");
+    }
+
+    #[test]
+    fn hypergeometric_moments_large_population() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (total, successes, draws) = (100_000_000u64, 40_000_000u64, 10_000u64);
+        let samples: Vec<f64> = (0..5_000)
+            .map(|_| hypergeometric(&mut rng, total, successes, draws) as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&samples);
+        let expected_mean = 4_000.0;
+        let expected_var = 2_400.0; // ≈ n·p·(1-p), fpc ≈ 1
+        assert!((mean / expected_mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var / expected_var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn hypergeometric_respects_support_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..2_000 {
+            let total = rng.gen_range(2..500u64);
+            let successes = rng.gen_range(0..=total);
+            let draws = rng.gen_range(0..=total);
+            let k = hypergeometric(&mut rng, total, successes, draws);
+            assert!(k <= draws && k <= successes);
+            assert!(k + (total - successes) >= draws, "too few failures drawn");
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_partitions_draws() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sizes = [50u64, 0, 30, 20];
+        let mut out = [0u64; 4];
+        for _ in 0..500 {
+            multivariate_hypergeometric(&mut rng, &sizes, 60, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), 60);
+            for (o, s) in out.iter().zip(&sizes) {
+                assert!(o <= s);
+            }
+        }
+    }
+
+    #[test]
+    fn birthday_draws_scale_like_sqrt_n() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 1_000_000u64;
+        let samples: Vec<f64> =
+            (0..5_000).map(|_| birthday_collision_draws(&mut rng, n) as f64).collect();
+        let (mean, _) = mean_and_var(&samples);
+        // Rayleigh mean = √(π n / 2) ≈ 1253 for n = 10⁶.
+        let expected = (std::f64::consts::PI * n as f64 / 2.0).sqrt();
+        assert!((mean / expected - 1.0).abs() < 0.05, "mean {mean} vs {expected}");
+    }
+}

@@ -19,13 +19,58 @@ pub trait PairScheduler {
 
 /// The uniform scheduler of the standard model: the ordered pair of agents is
 /// chosen uniformly at random among all `n(n-1)` ordered pairs.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct UniformScheduler;
+///
+/// The scheduler caches the configuration's *support* (populated states) and
+/// their cumulative counts.  Cache validity is checked with a flat slice
+/// comparison (a memcmp, cheap compared to the seed's branching bucket
+/// walk); while the configuration is unchanged — the common case, since most
+/// interactions are no-ops — a draw then costs two binary searches over the
+/// support, and zero-count states are never touched.
+///
+/// This type is the standalone sampler for external drivers and custom
+/// schedulers.  The engines themselves ([`Simulator`](crate::Simulator),
+/// [`BatchedSimulator`](crate::BatchedSimulator)) use samplers integrated
+/// with their own change tracking, which lets them skip even the validity
+/// check.
+#[derive(Debug, Clone, Default)]
+pub struct UniformScheduler {
+    /// The counts the cache was built from (cheap slice equality check).
+    cached_counts: Vec<u64>,
+    /// Populated states, in index order.
+    support: Vec<StateId>,
+    /// Cumulative counts over `support` (same length).
+    cumulative: Vec<u64>,
+}
 
 impl UniformScheduler {
     /// Creates a uniform scheduler.
     pub fn new() -> Self {
-        UniformScheduler
+        UniformScheduler::default()
+    }
+
+    /// Rebuilds the support/cumulative cache if `config` changed.
+    fn refresh(&mut self, config: &Config) {
+        let counts = config.counts();
+        if self.cached_counts.as_slice() == counts {
+            return;
+        }
+        self.cached_counts.clear();
+        self.cached_counts.extend_from_slice(counts);
+        self.support.clear();
+        self.cumulative.clear();
+        let mut acc = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                self.support.push(StateId::new(i));
+                self.cumulative.push(acc);
+            }
+        }
+    }
+
+    /// Maps a uniform agent position to its support bucket.
+    fn bucket_of(&self, position: u64) -> usize {
+        self.cumulative.partition_point(|&c| c <= position)
     }
 }
 
@@ -33,35 +78,21 @@ impl PairScheduler for UniformScheduler {
     fn select_pair<R: Rng + ?Sized>(&mut self, config: &Config, rng: &mut R) -> (StateId, StateId) {
         let n = config.size();
         assert!(n >= 2, "a configuration must hold at least two agents to interact");
+        self.refresh(config);
         // Pick the first agent uniformly among n agents.
-        let first = sample_agent(config, rng.gen_range(0..n));
-        // Pick the second among the remaining n-1 agents, skipping over the
-        // already-selected first agent by index arithmetic on its state bucket.
-        let mut remaining = rng.gen_range(0..n - 1);
-        let mut second = None;
-        for (q, count) in config.iter() {
-            let available = if q == first { count - 1 } else { count };
-            if remaining < available {
-                second = Some(q);
-                break;
-            }
-            remaining -= available;
-        }
-        // The loop always finds a bucket because the adjusted counts sum to n-1.
-        let second = second.expect("second agent must exist in a population of size >= 2");
+        let first_bucket = self.bucket_of(rng.gen_range(0..n));
+        let first = self.support[first_bucket];
+        // Pick the second among the remaining n-1 agents: positions at or
+        // after the first agent's slot shift up by one.
+        let second_pos = rng.gen_range(0..n - 1);
+        let adjusted = if second_pos >= self.cumulative[first_bucket] - 1 {
+            second_pos + 1
+        } else {
+            second_pos
+        };
+        let second = self.support[self.bucket_of(adjusted)];
         (first, second)
     }
-}
-
-/// Maps a uniformly chosen agent index to its state.
-fn sample_agent(config: &Config, mut index: u64) -> StateId {
-    for (q, count) in config.iter() {
-        if index < count {
-            return q;
-        }
-        index -= count;
-    }
-    unreachable!("agent index out of range")
 }
 
 #[cfg(test)]
@@ -112,6 +143,43 @@ mod tests {
         }
         let freq = same as f64 / trials as f64;
         assert!((freq - 0.444).abs() < 0.03, "same-state frequency {freq}");
+    }
+
+    #[test]
+    fn cache_refreshes_when_the_configuration_changes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut scheduler = UniformScheduler::new();
+        let a = Config::from_counts(vec![2, 0, 0]);
+        let b = Config::from_counts(vec![0, 0, 2]);
+        for _ in 0..10 {
+            let (x, y) = scheduler.select_pair(&a, &mut rng);
+            assert_eq!((x, y), (StateId::new(0), StateId::new(0)));
+            let (x, y) = scheduler.select_pair(&b, &mut rng);
+            assert_eq!((x, y), (StateId::new(2), StateId::new(2)));
+        }
+    }
+
+    #[test]
+    fn sparse_supports_are_sampled_correctly() {
+        // 1000 states, only two populated: the support walk must not care.
+        let mut counts = vec![0u64; 1000];
+        counts[7] = 4;
+        counts[993] = 6;
+        let config = Config::from_counts(counts);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut scheduler = UniformScheduler::new();
+        let mut seen_high = 0;
+        for _ in 0..2000 {
+            let (a, b) = scheduler.select_pair(&config, &mut rng);
+            for q in [a, b] {
+                assert!(q == StateId::new(7) || q == StateId::new(993));
+            }
+            if a == StateId::new(993) {
+                seen_high += 1;
+            }
+        }
+        let freq = seen_high as f64 / 2000.0;
+        assert!((freq - 0.6).abs() < 0.05, "state 993 frequency {freq}");
     }
 
     #[test]

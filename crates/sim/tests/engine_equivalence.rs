@@ -1,0 +1,162 @@
+//! Batched-vs-sequential engine equivalence.
+//!
+//! The batched engine must be statistically indistinguishable from the
+//! sequential one: same stable outputs on every zoo family, matching mean
+//! convergence times (within Monte-Carlo tolerance), and bit-for-bit
+//! reproducibility under a fixed seed for both engines.
+
+use popproto_model::{Input, Protocol};
+use popproto_sim::{
+    run_until_convergence, BatchedSimulator, ConvergenceCriterion, EngineKind, SimulationEngine,
+    SimulationExperiment, Simulator,
+};
+use popproto_zoo::{approximate_majority, binary_counter, flock, majority};
+
+/// Mean parallel convergence time over `seeds` runs of `engine`.
+fn mean_parallel_time(
+    protocol: &Protocol,
+    input: &Input,
+    engine: EngineKind,
+    seeds: u64,
+    max_interactions: u64,
+) -> f64 {
+    let exp = SimulationExperiment::new(protocol.clone(), input.clone(), seeds, max_interactions)
+        .with_engine(engine);
+    let result = popproto_sim::run_experiment(&exp);
+    assert_eq!(
+        result.stats.converged_runs as u64, seeds,
+        "{} runs failed to converge on {}",
+        seeds - result.stats.converged_runs as u64,
+        protocol.name()
+    );
+    result.stats.parallel_time.mean
+}
+
+/// Both engines must reach the same stable output from the same input.
+fn assert_same_stable_output(protocol: &Protocol, input: &Input) {
+    let ic = protocol.initial_config(input);
+    for seed in 0..5u64 {
+        let mut seq = Simulator::new(protocol.clone(), ic.clone(), seed);
+        let seq_out = run_until_convergence(&mut seq, ConvergenceCriterion::Silent, u64::MAX);
+        let mut bat = BatchedSimulator::new(protocol.clone(), ic.clone(), seed);
+        let bat_out = run_until_convergence(&mut bat, ConvergenceCriterion::Silent, u64::MAX);
+        assert!(seq_out.converged && bat_out.converged, "{}", protocol.name());
+        assert_eq!(
+            seq_out.output,
+            bat_out.output,
+            "engines disagree on {} (seed {seed})",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_majority() {
+    // 3:1 margin: the exact 4-state protocol answers true deterministically.
+    assert_same_stable_output(&majority(), &Input::from_counts(vec![768, 256]));
+    assert_same_stable_output(&majority(), &Input::from_counts(vec![256, 768]));
+}
+
+#[test]
+fn engines_agree_on_flock() {
+    for k in [2u64, 3, 5] {
+        assert_same_stable_output(&flock(k), &Input::unary(1024));
+    }
+    // Rejecting input: population below the threshold.
+    assert_same_stable_output(&flock(5), &Input::unary(3));
+}
+
+#[test]
+fn engines_agree_on_binary_counter() {
+    for k in [2u32, 3, 4] {
+        assert_same_stable_output(&binary_counter(k), &Input::unary(1024));
+    }
+    // 5 < 2³: stable rejection.
+    assert_same_stable_output(&binary_counter(3), &Input::unary(5));
+}
+
+#[test]
+fn batched_convergence_times_match_sequential_on_flock() {
+    let p = flock(3);
+    let input = Input::unary(1024);
+    let seq = mean_parallel_time(&p, &input, EngineKind::Sequential, 24, u64::MAX);
+    let bat = mean_parallel_time(&p, &input, EngineKind::Batched, 24, u64::MAX);
+    let rel = (bat - seq).abs() / seq;
+    assert!(
+        rel < 0.25,
+        "mean parallel time diverges: sequential {seq:.2}, batched {bat:.2} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn batched_convergence_times_match_sequential_on_binary_counter() {
+    let p = binary_counter(3);
+    let input = Input::unary(1024);
+    let seq = mean_parallel_time(&p, &input, EngineKind::Sequential, 24, u64::MAX);
+    let bat = mean_parallel_time(&p, &input, EngineKind::Batched, 24, u64::MAX);
+    let rel = (bat - seq).abs() / seq;
+    assert!(
+        rel < 0.25,
+        "mean parallel time diverges: sequential {seq:.2}, batched {bat:.2} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn engines_agree_on_approximate_majority_with_clear_margin() {
+    // 2:1 margin at n = 6000: the initial majority wins with overwhelming
+    // probability under both engines.
+    let p = approximate_majority();
+    let input = Input::from_counts(vec![4000, 2000]);
+    let ic = p.initial_config(&input);
+    for seed in 0..5u64 {
+        let mut seq = Simulator::new(p.clone(), ic.clone(), seed);
+        let seq_out = run_until_convergence(&mut seq, ConvergenceCriterion::Silent, u64::MAX);
+        let mut bat = BatchedSimulator::new(p.clone(), ic.clone(), seed);
+        let bat_out = run_until_convergence(&mut bat, ConvergenceCriterion::Silent, u64::MAX);
+        assert_eq!(seq_out.output, Some(true), "sequential lost a 2:1 majority");
+        assert_eq!(bat_out.output, Some(true), "batched lost a 2:1 majority");
+    }
+}
+
+#[test]
+fn sequential_trajectories_are_deterministic() {
+    let p = majority();
+    let ic = p.initial_config(&Input::from_counts(vec![300, 200]));
+    let mut a = Simulator::new(p.clone(), ic.clone(), 12345);
+    let mut b = Simulator::new(p.clone(), ic.clone(), 12345);
+    for _ in 0..50 {
+        a.advance(1_000);
+        b.advance(1_000);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.interactions(), b.interactions());
+        assert_eq!(a.effective_interactions(), b.effective_interactions());
+    }
+}
+
+#[test]
+fn batched_trajectories_are_deterministic() {
+    let p = approximate_majority();
+    let ic = p.initial_config(&Input::from_counts(vec![30_000, 20_000]));
+    let mut a = BatchedSimulator::new(p.clone(), ic.clone(), 6789);
+    let mut b = BatchedSimulator::new(p.clone(), ic.clone(), 6789);
+    for _ in 0..50 {
+        a.advance(25_000);
+        b.advance(25_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.interactions(), b.interactions());
+        assert_eq!(a.effective_interactions(), b.effective_interactions());
+    }
+}
+
+#[test]
+fn batched_engine_reaches_parallel_time_targets_at_scale() {
+    // A taste of the acceptance benchmark at test-friendly scale: 10⁶ agents
+    // for one full parallel time unit (10⁶ interactions) in one call.
+    let p = approximate_majority();
+    let ic = p.initial_config(&Input::from_counts(vec![600_000, 400_000]));
+    let mut sim = BatchedSimulator::new(p.clone(), ic, 42);
+    let done = sim.advance(1_000_000);
+    assert_eq!(done, 1_000_000);
+    assert!((sim.parallel_time() - 1.0).abs() < 1e-9);
+    assert_eq!(sim.counts().iter().sum::<u64>(), 1_000_000);
+}

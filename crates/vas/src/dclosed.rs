@@ -168,7 +168,7 @@ impl Ideal {
         self.bounds
             .iter()
             .enumerate()
-            .all(|(q, b)| b.map_or(true, |limit| c.get(StateId::new(q)) <= limit))
+            .all(|(q, b)| b.is_none_or(|limit| c.get(StateId::new(q)) <= limit))
     }
 
     /// Inclusion test `self ⊆ other`.

@@ -390,16 +390,20 @@ mod tests {
 
     #[test]
     fn budget_truncation_reported() {
-        let mut options = HilbertOptions::default();
-        options.node_budget = 3;
+        let options = HilbertOptions {
+            node_budget: 3,
+            ..HilbertOptions::default()
+        };
         let basis = hilbert_basis_equalities(&[vec![5, -7, 3, -2]], &options);
         assert!(!basis.complete);
     }
 
     #[test]
     fn norm_limit_is_respected() {
-        let mut options = HilbertOptions::default();
-        options.norm_limit = Some(2);
+        let options = HilbertOptions {
+            norm_limit: Some(2),
+            ..HilbertOptions::default()
+        };
         // 2·x0 - 3·x1 = 0 needs norm 5, which the limit forbids.
         let basis = hilbert_basis_equalities(&[vec![2, -3]], &options);
         assert!(basis.is_empty());

@@ -1,5 +1,9 @@
 //! Property-based tests of the VAS substrate: Hilbert bases, Dickson's lemma
 //! and downward-closed sets.
+//!
+//! The original version of this file used the `proptest` crate; the build
+//! environment is offline, so the same properties are now exercised over
+//! seeded pseudo-random inputs (reproducible by construction).
 
 use popproto_model::Config;
 use popproto_vas::hilbert::{is_solution_equalities, is_solution_inequalities};
@@ -7,83 +11,111 @@ use popproto_vas::{
     find_increasing_pair, hilbert_basis_equalities, hilbert_basis_inequalities, DownwardClosedSet,
     HilbertOptions, Ideal,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    prop::collection::vec(prop::collection::vec(-3i64..=3, cols), rows)
+fn small_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Vec<Vec<i64>> {
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-3i64..=3)).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_counts(rng: &mut StdRng, dim: usize, max: u64) -> Vec<u64> {
+    (0..dim).map(|_| rng.gen_range(0..=max)).collect()
+}
 
-    /// Every vector returned by the equality Hilbert basis solves the system
-    /// and is pairwise incomparable with the other solutions.
-    #[test]
-    fn hilbert_equality_solutions_are_sound_and_minimal(matrix in small_matrix(2, 3)) {
-        let mut options = HilbertOptions::default();
-        options.node_budget = 200_000;
-        options.norm_limit = Some(30);
+/// Every vector returned by the equality Hilbert basis solves the system
+/// and is pairwise incomparable with the other solutions.
+#[test]
+fn hilbert_equality_solutions_are_sound_and_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..32 {
+        let matrix = small_matrix(&mut rng, 2, 3);
+        let options = HilbertOptions {
+            node_budget: 200_000,
+            norm_limit: Some(30),
+        };
         let basis = hilbert_basis_equalities(&matrix, &options);
         for s in &basis.solutions {
-            prop_assert!(is_solution_equalities(&matrix, s));
-            prop_assert!(s.iter().any(|&v| v > 0));
+            assert!(is_solution_equalities(&matrix, s));
+            assert!(s.iter().any(|&v| v > 0));
         }
         for a in &basis.solutions {
             for b in &basis.solutions {
                 if a != b {
-                    prop_assert!(!a.iter().zip(b).all(|(x, y)| x <= y));
+                    assert!(!a.iter().zip(b).all(|(x, y)| x <= y));
                 }
             }
         }
     }
+}
 
-    /// Every generator returned for an inequality system solves it.
-    #[test]
-    fn hilbert_inequality_generators_are_sound(matrix in small_matrix(2, 3)) {
-        let mut options = HilbertOptions::default();
-        options.node_budget = 200_000;
-        options.norm_limit = Some(30);
+/// Every generator returned for an inequality system solves it.
+#[test]
+fn hilbert_inequality_generators_are_sound() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..32 {
+        let matrix = small_matrix(&mut rng, 2, 3);
+        let options = HilbertOptions {
+            node_budget: 200_000,
+            norm_limit: Some(30),
+        };
         let basis = hilbert_basis_inequalities(&matrix, &options);
         for s in &basis.solutions {
-            prop_assert!(is_solution_inequalities(&matrix, s));
+            assert!(is_solution_inequalities(&matrix, s));
         }
     }
+}
 
-    /// Dickson's lemma: every sequence of 2-dimensional vectors with entries
-    /// bounded by 3 and length > 16 contains an increasing pair.
-    #[test]
-    fn bounded_sequences_are_good(seq in prop::collection::vec(prop::collection::vec(0u64..=3, 2), 17..24)) {
-        let configs: Vec<Config> = seq.into_iter().map(Config::from_counts).collect();
-        prop_assert!(find_increasing_pair(&configs).is_some());
+/// Dickson's lemma: every sequence of 2-dimensional vectors with entries
+/// bounded by 3 and length > 16 contains an increasing pair.
+#[test]
+fn bounded_sequences_are_good() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..64 {
+        let len = rng.gen_range(17..24usize);
+        let configs: Vec<Config> = (0..len)
+            .map(|_| Config::from_counts(random_counts(&mut rng, 2, 3)))
+            .collect();
+        assert!(find_increasing_pair(&configs).is_some());
     }
+}
 
-    /// An increasing pair reported by the search is indeed increasing.
-    #[test]
-    fn increasing_pairs_are_correct(seq in prop::collection::vec(prop::collection::vec(0u64..=5, 3), 1..12)) {
-        let configs: Vec<Config> = seq.into_iter().map(Config::from_counts).collect();
+/// An increasing pair reported by the search is indeed increasing.
+#[test]
+fn increasing_pairs_are_correct() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..64 {
+        let len = rng.gen_range(1..12usize);
+        let configs: Vec<Config> = (0..len)
+            .map(|_| Config::from_counts(random_counts(&mut rng, 3, 5)))
+            .collect();
         if let Some((i, j)) = find_increasing_pair(&configs) {
-            prop_assert!(i < j);
-            prop_assert!(configs[i].le(&configs[j]));
+            assert!(i < j);
+            assert!(configs[i].le(&configs[j]));
         }
     }
+}
 
-    /// Downward-closed sets: membership is preserved downwards and the union
-    /// contains both operands.
-    #[test]
-    fn downward_closed_sets_behave(counts in prop::collection::vec(0u64..=6, 3), smaller in prop::collection::vec(0u64..=6, 3)) {
-        let c = Config::from_counts(counts);
-        let s = Config::from_counts(smaller);
+/// Downward-closed sets: membership is preserved downwards and the union
+/// contains both operands.
+#[test]
+fn downward_closed_sets_behave() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..64 {
+        let c = Config::from_counts(random_counts(&mut rng, 3, 6));
+        let s = Config::from_counts(random_counts(&mut rng, 3, 6));
         let mut set = DownwardClosedSet::empty();
         set.insert_config(&c);
-        prop_assert!(set.contains(&c));
+        assert!(set.contains(&c));
         if s.le(&c) {
-            prop_assert!(set.contains(&s));
+            assert!(set.contains(&s));
         }
         let mut other = DownwardClosedSet::empty();
         other.insert(Ideal::below(&s));
         let union = set.union(&other);
-        prop_assert!(union.contains(&c));
-        prop_assert!(union.contains(&s));
-        prop_assert!(set.included_in(&union));
+        assert!(union.contains(&c));
+        assert!(union.contains(&s));
+        assert!(set.included_in(&union));
     }
 }

@@ -1,0 +1,253 @@
+//! Vendored, dependency-free replacement for the subset of `criterion` this
+//! repository's benches use.
+//!
+//! It keeps the familiar API — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`criterion_group!`]/[`criterion_main!`] — but implements a plain
+//! wall-clock harness: every benchmark is warmed up once and then run until
+//! its measurement window (or sample budget) is exhausted, after which the
+//! mean iteration time is printed.  Statistical analysis, plotting and
+//! baseline comparison are out of scope; the repository's benches only care
+//! about relative orders of magnitude.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings plus a sink for results.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group `{name}`");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_benchmark(
+            id,
+            self.default_sample_size,
+            self.default_measurement_time,
+            &mut f,
+        );
+        result.report();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let result = run_benchmark(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        result.report();
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let result = run_benchmark(&label, self.sample_size, self.measurement_time, &mut f);
+        result.report();
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, measuring total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct BenchResult {
+    label: String,
+    mean: Duration,
+    samples: usize,
+}
+
+impl BenchResult {
+    fn report(&self) {
+        println!(
+            "  {:<40} {:>12?}/iter ({} samples)",
+            self.label, self.mean, self.samples
+        );
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, window: Duration, f: &mut F) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up & calibration run.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    // Aim for `sample_size` samples inside the window, at least 1 iteration each.
+    let per_sample = window
+        .checked_div(sample_size.max(1) as u32)
+        .unwrap_or(Duration::from_millis(100));
+    let iters_per_sample = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+    let deadline = Instant::now() + window;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut samples = 0usize;
+    while samples < sample_size && (samples == 0 || Instant::now() < deadline) {
+        let mut b = Bencher {
+            iterations: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iterations;
+        samples += 1;
+    }
+    BenchResult {
+        label: label.to_string(),
+        mean: total.checked_div(total_iters.max(1) as u32).unwrap_or(Duration::ZERO),
+        samples,
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).measurement_time(Duration::from_millis(20));
+        group.bench_with_input(BenchmarkId::from_parameter(10u32), &10u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,413 @@
+//! Vendored, dependency-free replacement for `serde_derive`.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the real `serde` stack (which needs `syn`/`quote`) cannot be used.  This
+//! crate hand-parses the token stream of a type definition and emits
+//! implementations of the two traits defined by the vendored `serde` crate:
+//!
+//! * `serde::Serialize` — `fn to_value(&self) -> serde::Value`
+//! * `serde::Deserialize` — `fn from_value(&serde::Value) -> Result<Self, serde::DeError>`
+//!
+//! Supported shapes (everything this repository uses):
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialise transparently),
+//! * unit structs,
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like real serde's JSON encoding).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; the macro reports a clear compile error if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the type a derive was requested for.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => gen_serialize(&name, &shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => gen_deserialize(&name, &shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (including doc comments) and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => return Err("serde_derive: unexpected end of item".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected a type name".into()),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    let shape = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("serde_derive: malformed struct `{name}`")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde_derive: malformed enum `{name}`")),
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Parses `a: T, pub b: U, ...` returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes and visibility in front of the field.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde_derive: expected a field name".into()),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde_derive: expected `:` after field `{name}`")),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Consumes a type, stopping after the top-level `,` (or at end of stream).
+/// Tracks angle-bracket depth so commas inside `Vec<(A, B)>` or
+/// `HashMap<K, V>` do not terminate the field.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        // Skip attributes / visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type_until_comma(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde_derive: expected a variant name".into()),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the next variant (also skips explicit discriminants).
+        skip_type_until_comma(&mut iter);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?,")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", entries.join(" "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(__v.index({i})?)?"))
+                .collect();
+            format!("Ok({name}({}))", entries.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => return Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let entries: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(__inner.index({i})?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return Ok({name}::{vn}({})),",
+                                entries.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::Deserialize::from_value(__inner.field({f:?})?)?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return Ok({name}::{vn} {{ {} }}),",
+                                entries.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => {{\n\
+                         match __s.as_str() {{ {} _ => {{}} }}\n\
+                         Err(::serde::DeError::custom(format!(\"unknown variant {{__s}} of {name}\")))\n\
+                     }}\n\
+                     _ => {{\n\
+                         let (__tag, __inner) = __v.single_entry()?;\n\
+                         let _ = &__inner;\n\
+                         match __tag {{ {} _ => {{}} }}\n\
+                         Err(::serde::DeError::custom(format!(\"unknown variant {{__tag}} of {name}\")))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,88 @@
+//! The 3-state approximate majority protocol (Angluin, Aspnes, Eisenstat,
+//! DISC 2007).
+//!
+//! Unlike the exact 4-state [`majority`](crate::majority) protocol, this one
+//! converges in O(log n) parallel time with high probability — which is what
+//! makes it the standard stress-test workload for large-population
+//! simulation: at n = 10⁸ agents it stabilises after a few billion
+//! interactions, far beyond the sequential engine but seconds of work for
+//! the batched one.
+
+use popproto_model::{Output, Protocol, ProtocolBuilder};
+
+/// Builds the 3-state approximate majority protocol over inputs `x0` (state
+/// `A`) and `x1` (state `B`).
+///
+/// States: `A` (output 1), `B` (output 0) and the undecided `U` (output 1,
+/// irrelevant at stabilisation).  Transitions:
+///
+/// * `A, B ↦ A, U` and `A, B ↦ B, U` — opposite opinions knock one agent
+///   undecided (chosen uniformly, making the unordered pair `⦃A, B⦄`
+///   nondeterministic — this family deliberately exercises the simulators'
+///   multi-candidate code path);
+/// * `A, U ↦ A, A` and `B, U ↦ B, B` — decided agents recruit undecided
+///   ones.
+///
+/// The protocol stabilises to all-`A` or all-`B` (both silent); with an
+/// initial imbalance of ω(√n log n) the initial majority wins with high
+/// probability.  It *approximates* majority — ties and slim margins can go
+/// either way — so it belongs to the simulation workloads, not to the
+/// verified predicate families.
+///
+/// # Examples
+///
+/// ```
+/// use popproto_zoo::approximate_majority;
+/// let p = approximate_majority();
+/// assert_eq!(p.num_states(), 3);
+/// assert!(!p.is_deterministic());
+/// ```
+pub fn approximate_majority() -> Protocol {
+    let mut b = ProtocolBuilder::new("approximate_majority");
+    let a = b.add_state("A", Output::True);
+    let bb = b.add_state("B", Output::False);
+    let u = b.add_state("U", Output::True);
+    b.add_transition((a, bb), (a, u)).unwrap();
+    b.add_transition((a, bb), (bb, u)).unwrap();
+    b.add_transition((a, u), (a, a)).unwrap();
+    b.add_transition((bb, u), (bb, bb)).unwrap();
+    b.set_input_state("x0", a);
+    b.set_input_state("x1", bb);
+    b.build().expect("approximate majority construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Config, Input};
+
+    #[test]
+    fn shape() {
+        let p = approximate_majority();
+        assert_eq!(p.num_states(), 3);
+        assert_eq!(p.num_transitions(), 4);
+        assert!(p.is_leaderless());
+        assert!(!p.is_unary());
+        assert!(!p.is_deterministic(), "⦃A, B⦄ has two candidate transitions");
+    }
+
+    #[test]
+    fn unanimous_configurations_are_silent() {
+        let p = approximate_majority();
+        let all_a = Config::from_counts(vec![5, 0, 0]);
+        let all_b = Config::from_counts(vec![0, 5, 0]);
+        assert!(p.is_silent_config(&all_a));
+        assert!(p.is_silent_config(&all_b));
+        let mixed = Config::from_counts(vec![3, 2, 0]);
+        assert!(!p.is_silent_config(&mixed));
+        let undecided_rest = Config::from_counts(vec![1, 0, 4]);
+        assert!(!p.is_silent_config(&undecided_rest));
+    }
+
+    #[test]
+    fn initial_configuration_places_camps() {
+        let p = approximate_majority();
+        let ic = p.initial_config(&Input::from_counts(vec![7, 3]));
+        assert_eq!(ic.counts(), &[7, 3, 0]);
+    }
+}

@@ -40,8 +40,8 @@ pub fn binary_counter(k: u32) -> Protocol {
     let top = powers[k as usize];
     b.add_transition_idempotent((zero, top), (top, top))
         .expect("states were just declared");
-    for i in 0..k as usize {
-        b.add_transition_idempotent((powers[i], top), (top, top))
+    for &power in powers.iter().take(k as usize) {
+        b.add_transition_idempotent((power, top), (top, top))
             .expect("states were just declared");
     }
     b.set_input_state("x", powers[0]);

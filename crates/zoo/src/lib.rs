@@ -8,6 +8,9 @@
 //!   `k + 2` states computing `x ≥ 2^k` by doubling, the witness family for
 //!   the `BB(n) ∈ Ω(2^n)` lower bound of Theorem 2.2;
 //! * [`majority`] — the classical 4-state majority protocol (`x₀ > x₁`);
+//! * [`approximate_majority`] — the 3-state approximate majority protocol,
+//!   the standard large-population simulation workload (O(log n) parallel
+//!   convergence time);
 //! * [`modulo`] — remainder predicates `x ≡ r (mod m)`;
 //! * [`leader_counter`] — a leader-assisted binary counter computing
 //!   `x ≥ 2^k` with `k` bit-leaders, exercising the protocols-with-leaders
@@ -18,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod approximate_majority;
 pub mod binary_counter;
 pub mod catalog;
 pub mod flock;
@@ -25,6 +29,7 @@ pub mod leader_counter;
 pub mod majority;
 pub mod modulo;
 
+pub use approximate_majority::approximate_majority;
 pub use binary_counter::binary_counter;
 pub use catalog::{catalog, FamilyInstance};
 pub use flock::flock;

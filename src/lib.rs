@@ -1,0 +1,23 @@
+//! Umbrella crate of the state-complexity reproduction workspace.
+//!
+//! This crate only exists to anchor the repository-level integration tests
+//! (`tests/`) and examples (`examples/`); the actual functionality lives in
+//! the workspace members:
+//!
+//! * [`popproto_model`] — protocols, configurations, transitions;
+//! * [`popproto_numerics`] — magnitudes, fast-growing hierarchy, big naturals;
+//! * [`popproto_vas`] — vector addition systems, Hilbert bases, Pottier bounds;
+//! * [`popproto_reach`] — reachability, coverability, stable sets;
+//! * [`popproto_zoo`] — the protocol families used as witnesses;
+//! * [`popproto_sim`] — the two-tier simulation engine (sequential + batched);
+//! * [`popproto`] — the experiment drivers E1–E10 and report rendering.
+
+#![forbid(unsafe_code)]
+
+pub use popproto;
+pub use popproto_model;
+pub use popproto_numerics;
+pub use popproto_reach;
+pub use popproto_sim;
+pub use popproto_vas;
+pub use popproto_zoo;
