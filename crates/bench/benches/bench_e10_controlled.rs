@@ -12,16 +12,23 @@ fn bench_e10(c: &mut Criterion) {
     println!("| dimension | δ | length | exact |");
     println!("|---|---|---|---|");
     for r in &rows {
-        println!("| {} | {} | {} | {} |", r.dimension, r.delta, r.length, r.exact);
+        println!(
+            "| {} | {} | {} | {} |",
+            r.dimension, r.delta, r.length, r.exact
+        );
     }
 
     let mut group = c.benchmark_group("e10_longest_bad_sequence");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (dim, delta) in [(1usize, 4u64), (2, 1), (2, 2)] {
         let id = format!("d{dim}_delta{delta}");
-        group.bench_with_input(BenchmarkId::from_parameter(id), &(dim, delta), |b, &(dim, delta)| {
-            b.iter(|| longest_bad_sequence(&ControlledSearch::new(dim, delta)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(id),
+            &(dim, delta),
+            |b, &(dim, delta)| b.iter(|| longest_bad_sequence(&ControlledSearch::new(dim, delta))),
+        );
     }
     group.finish();
 }

@@ -12,10 +12,15 @@ use std::time::Duration;
 fn bench_e1(c: &mut Criterion) {
     // Print the experiment table once (this is the artefact EXPERIMENTS.md records).
     let report = experiment_e1(6, 6, 3, 16);
-    println!("\n[E1] busy beaver witness families\n{}", render_e1(&report.records));
+    println!(
+        "\n[E1] busy beaver witness families\n{}",
+        render_e1(&report.records)
+    );
 
     let mut group = c.benchmark_group("e1_verify_binary_counter");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [1u32, 2, 3] {
         let p = binary_counter(k);
         let eta = 1u64 << k;

@@ -14,7 +14,9 @@ fn bench_e2(c: &mut Criterion) {
     println!("\n[E2] stable-set bases vs β\n{}", render_e2(&rows));
 
     let mut group = c.benchmark_group("e2_extract_stable_basis");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for size in [4u64, 6, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
             let p = binary_counter(2);

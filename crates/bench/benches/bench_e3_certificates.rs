@@ -22,11 +22,15 @@ fn bench_e3(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e3_search_certificate");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (p, eta) in standard_instances() {
-        group.bench_with_input(BenchmarkId::from_parameter(p.name().to_string()), &p, |b, p| {
-            b.iter(|| search_pumping_certificate(p, eta + 6, &ExploreLimits::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &p,
+            |b, p| b.iter(|| search_pumping_certificate(p, eta + 6, &ExploreLimits::default())),
+        );
     }
     group.finish();
 }

@@ -9,11 +9,16 @@ use popproto_zoo::{binary_counter, flock};
 use std::time::Duration;
 
 fn bench_e4(c: &mut Criterion) {
-    let rows = experiment_e4(&[flock(3), flock(5), binary_counter(2), binary_counter(3)], 40);
+    let rows = experiment_e4(
+        &[flock(3), flock(5), binary_counter(2), binary_counter(3)],
+        40,
+    );
     println!("\n[E4] saturation vs 3^n\n{}", render_e4(&rows));
 
     let mut group = c.benchmark_group("e4_min_input_for_saturation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [2u32, 3] {
         let p = binary_counter(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {

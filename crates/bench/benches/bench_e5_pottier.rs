@@ -14,7 +14,9 @@ fn bench_e5(c: &mut Criterion) {
     println!("\n[E5] Pottier bases\n{}", render_e5(&rows));
 
     let mut group = c.benchmark_group("e5_hilbert_basis");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (name, p) in [
         ("flock3", flock(3)),
         ("counter2", binary_counter(2)),

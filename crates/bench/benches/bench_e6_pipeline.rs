@@ -13,11 +13,15 @@ fn bench_e6(c: &mut Criterion) {
     println!("\n[E6] leaderless pipeline\n{}", render_e6(&rows));
 
     let mut group = c.benchmark_group("e6_pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (p, _) in standard_instances() {
-        group.bench_with_input(BenchmarkId::from_parameter(p.name().to_string()), &p, |b, p| {
-            b.iter(|| analyze_leaderless_protocol(p, &PipelineOptions::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &p,
+            |b, p| b.iter(|| analyze_leaderless_protocol(p, &PipelineOptions::default())),
+        );
     }
     group.finish();
 }

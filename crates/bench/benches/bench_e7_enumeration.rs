@@ -17,7 +17,9 @@ fn bench_e7(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e7_busy_beaver_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [1usize, 2] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| busy_beaver_search(n, 6, 1_000_000, &ExploreLimits::default()))

@@ -117,7 +117,9 @@ fn bench_e8(c: &mut Criterion) {
     println!("\n[E8] simulated parallel time\n{}", render_e8(&rows));
 
     let mut group = c.benchmark_group("e8_simulate_to_silence");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [64u64, 128, 256] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let p = binary_counter(3);
@@ -134,7 +136,9 @@ fn bench_e8(c: &mut Criterion) {
 fn bench_engine_comparison(c: &mut Criterion) {
     let p = approximate_majority();
     let mut group = c.benchmark_group("e8_engine_parallel_time_unit");
-    group.sample_size(2).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(2)
+        .measurement_time(Duration::from_secs(1));
     for n in [10_000u64, 1_000_000, 100_000_000] {
         let input = Input::from_counts(vec![2 * n / 3, n - 2 * n / 3]);
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {

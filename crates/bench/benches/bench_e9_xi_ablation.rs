@@ -28,7 +28,9 @@ fn bench_e9(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e9_xi_constants");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("catalog_constants", |b| {
         b.iter(|| {
             catalog()

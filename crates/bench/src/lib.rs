@@ -5,6 +5,8 @@
 //! are the *shapes* reported in EXPERIMENTS.md (who wins, by what factor),
 //! not absolute nanoseconds.
 
+pub mod naive;
+
 use popproto_model::Protocol;
 use popproto_zoo::{binary_counter, flock, leader_counter, modulo};
 

@@ -13,7 +13,9 @@
 
 use popproto_model::Protocol;
 use popproto_reach::{verify_unary_threshold, ExploreLimits};
-use popproto_zoo::{binary_counter, binary_counter::binary_counter_threshold, flock, leader_counter};
+use popproto_zoo::{
+    binary_counter, binary_counter::binary_counter_threshold, flock, leader_counter,
+};
 use serde::{Deserialize, Serialize};
 
 /// The protocol family a busy-beaver record belongs to.
@@ -111,7 +113,12 @@ pub fn lower_bound_witnesses(
 ) -> Vec<BusyBeaverRecord> {
     let mut records = Vec::new();
     for eta in 2..=max_flock_eta {
-        records.push(witness_record(WitnessFamily::Flock, eta, verify_up_to_eta, limits));
+        records.push(witness_record(
+            WitnessFamily::Flock,
+            eta,
+            verify_up_to_eta,
+            limits,
+        ));
     }
     for k in 1..=max_counter_k {
         records.push(witness_record(
@@ -167,7 +174,11 @@ mod tests {
         let r = witness_record(WitnessFamily::LeaderCounter, 2, 8, &limits);
         assert_eq!(r.leaders, 2);
         assert_eq!(r.eta, 4);
-        assert_eq!(r.verified, Some(true), "the leader counter must verify for k = 2");
+        assert_eq!(
+            r.verified,
+            Some(true),
+            "the leader counter must verify for k = 2"
+        );
     }
 
     #[test]

@@ -142,10 +142,10 @@ pub fn stable_chain(
         // (silent) configurations are preferred: they are the most
         // "concentrated" stable configurations and give the best chance that
         // the Dickson pair found later is pump-stable.
-        let classify = |id: usize| {
-            if stable.stable0[id] {
+        let classify = |id: u32| {
+            if stable.is_stable(id, Output::False) {
                 Some((id, Output::False))
-            } else if stable.stable1[id] {
+            } else if stable.is_stable(id, Output::True) {
                 Some((id, Output::True))
             } else {
                 None
@@ -155,10 +155,10 @@ pub fn stable_chain(
             .terminal_ids()
             .into_iter()
             .find_map(classify)
-            .or_else(|| (0..graph.len()).find_map(classify));
+            .or_else(|| graph.ids().find_map(classify));
         match pick {
             Some((id, output)) => {
-                let c = graph.config(id).clone();
+                let c = graph.config(id);
                 previous = Some(c.clone());
                 chain.push((i, c, output));
             }
@@ -267,7 +267,10 @@ mod tests {
         assert!(cert.b >= 1);
         let check = cert.verify(&p, 3, &limits);
         assert!(check.reach_anchor, "IC(a) must reach the anchor");
-        assert!(check.reach_increment, "anchor + b·x must reach anchor + increment");
+        assert!(
+            check.reach_increment,
+            "anchor + b·x must reach anchor + increment"
+        );
         assert!(check.stable, "pumped configurations must stay stable");
         assert!(check.all_passed());
     }

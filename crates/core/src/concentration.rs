@@ -54,9 +54,7 @@ pub fn find_zero_concentrated_multiset(
             if input == 0 {
                 continue; // pumping needs at least one fresh input agent
             }
-            let zero_concentrated = config
-                .iter()
-                .all(|(q, _)| target_states.contains(&q));
+            let zero_concentrated = config.iter().all(|(q, _)| target_states.contains(&q));
             if zero_concentrated {
                 let better = match &found {
                     None => true,

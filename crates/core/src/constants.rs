@@ -82,7 +82,10 @@ mod tests {
         let sharp = theorem_5_9_bound(&p);
         let simple = theorem_5_9_simple_bound(p.num_states());
         // The paper shows ξ·n·β·3^n ≤ 2^((2n+2)!); check it numerically.
-        assert!(sharp <= simple, "sharp bound {sharp} exceeds simple bound {simple}");
+        assert!(
+            sharp <= simple,
+            "sharp bound {sharp} exceeds simple bound {simple}"
+        );
         // And the true threshold 4 is (of course) far below the bound.
         assert!(Magnitude::from_u64(4) < sharp);
     }

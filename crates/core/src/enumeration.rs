@@ -14,9 +14,36 @@
 //! thresholds below the verification cap); it is a lower bound on the true
 //! `BB(n)` because the fragment is a subset of all protocols, and every
 //! protocol it reports is a genuine witness.
+//!
+//! # Symmetry pruning and parallelism
+//!
+//! Two candidates that differ only by a relabelling of their states compute
+//! the same predicate, so the search examines one representative per
+//! isomorphism class:
+//!
+//! * the input state is **fixed to state 0** — any candidate with input
+//!   state `q` is isomorphic to one with input state 0 via the transposition
+//!   `(0 q)`, which removes a factor `n` from the space;
+//! * among the remaining relabellings (the `(n-1)!` permutations fixing
+//!   state 0), only the candidate whose encoding index is **minimal within
+//!   its orbit** is verified ([`pruned on symmetry`](EnumerationResult::pruned_symmetric)).
+//!
+//! Both reductions preserve the exact `BB_det(n)` value: verification
+//! verdicts are invariant under state relabelling (the reachability graphs
+//! are isomorphic), and every orbit retains exactly one representative.
+//! Because the canonical representative always has the *smallest* index of
+//! its orbit, the pruned search also agrees with the unpruned one on any
+//! index-prefix of the space (relevant when `max_protocols` caps the
+//! enumeration).  See `crates/reach/README.md` for the full argument.
+//!
+//! Candidates are verified with a single [`unary_threshold_profile`] pass
+//! (one exploration per input, answering all thresholds at once), and the
+//! index space is fanned out across scoped worker threads.  The result is
+//! deterministic regardless of thread count: ties between equal thresholds
+//! are broken towards the smallest candidate index.
 
 use popproto_model::{Output, Protocol, ProtocolBuilder, StateId};
-use popproto_reach::{verify_unary_threshold, ExploreLimits};
+use popproto_reach::{unary_threshold_profile, ExploreLimits};
 use serde::{Deserialize, Serialize};
 
 /// The result of the exhaustive busy-beaver search for one state count.
@@ -28,101 +55,200 @@ pub struct EnumerationResult {
     pub best_eta: Option<u64>,
     /// A protocol witnessing `best_eta`.
     pub witness: Option<Protocol>,
-    /// Number of protocols examined.
+    /// Number of candidate encodings enumerated (canonical or not).
     pub protocols_examined: u64,
-    /// Number of protocols that compute *some* threshold within the cap.
+    /// Number of *canonical orbit representatives* that compute some
+    /// threshold within the cap (non-canonical candidates are pruned before
+    /// verification, so this is not comparable to a per-candidate count).
     pub threshold_protocols: u64,
+    /// Candidates skipped as non-canonical members of an already-covered
+    /// state-relabelling orbit.
+    pub pruned_symmetric: u64,
     /// The verification cap used (thresholds are only confirmed up to this input).
     pub max_input: u64,
 }
 
-/// Exhaustively searches deterministic leaderless protocols with `num_states`
-/// states for the largest verified threshold.
-///
-/// `max_input` bounds both the inputs verified and the thresholds that can be
-/// confirmed (a threshold `η` needs `η + 1 ≤ max_input` to be distinguished
-/// from `η + 1`).  `max_protocols` caps the enumeration as a safety net.
-pub fn busy_beaver_search(
+/// Static description of the candidate space for one state count.
+struct SearchSpace {
     num_states: usize,
-    max_input: u64,
-    max_protocols: u64,
-    limits: &ExploreLimits,
-) -> EnumerationResult {
-    let pairs: Vec<(usize, usize)> = (0..num_states)
-        .flat_map(|a| (a..num_states).map(move |b| (a, b)))
-        .collect();
-    // Each pair maps to one of the possible unordered post pairs (including
-    // itself, i.e. a no-op).
-    let posts: Vec<(usize, usize)> = pairs.clone();
-    let num_pairs = pairs.len();
-    let choices = posts.len() as u64;
-
-    let mut result = EnumerationResult {
-        num_states,
-        best_eta: None,
-        witness: None,
-        protocols_examined: 0,
-        threshold_protocols: 0,
-        max_input,
-    };
-
-    // Iterate over all transition functions pair -> post (choices^num_pairs),
-    // all output assignments, and all input-state choices.
-    let total_functions = (choices as u128).pow(num_pairs as u32);
-    let mut function_index: u128 = 0;
-    while function_index < total_functions {
-        if result.protocols_examined >= max_protocols {
-            break;
-        }
-        // Decode the transition function.
-        let mut assignment = Vec::with_capacity(num_pairs);
-        let mut rest = function_index;
-        for _ in 0..num_pairs {
-            assignment.push((rest % choices as u128) as usize);
-            rest /= choices as u128;
-        }
-        for outputs in 0..(1u32 << num_states) {
-            for input_state in 0..num_states {
-                if result.protocols_examined >= max_protocols {
-                    break;
-                }
-                result.protocols_examined += 1;
-                let protocol =
-                    build_candidate(num_states, &pairs, &posts, &assignment, outputs, input_state);
-                if let Some(eta) = verified_threshold(&protocol, max_input, limits) {
-                    result.threshold_protocols += 1;
-                    if result.best_eta.is_none_or(|best| eta > best) {
-                        result.best_eta = Some(eta);
-                        result.witness = Some(protocol);
-                    }
-                }
-            }
-        }
-        function_index += 1;
-    }
-    result
+    /// Unordered pairs `(a, b)` with `a ≤ b`, in enumeration order; also the
+    /// list of possible post pairs (a transition maps a pair to a pair).
+    pairs: Vec<(usize, usize)>,
+    /// `pair_index[a][b]` = position of `⦃a, b⦄` in `pairs` (symmetric).
+    pair_index: Vec<Vec<usize>>,
+    /// Non-identity permutations of `0..num_states` fixing state 0.
+    perms: Vec<Vec<usize>>,
+    /// Number of post choices per pair (= `pairs.len()`).
+    choices: u128,
+    /// Number of output assignments (= `2^num_states`).
+    output_patterns: u128,
 }
 
-fn build_candidate(
-    num_states: usize,
-    pairs: &[(usize, usize)],
-    posts: &[(usize, usize)],
-    assignment: &[usize],
-    outputs: u32,
-    input_state: usize,
-) -> Protocol {
-    let mut b = ProtocolBuilder::new(format!("enum-{num_states}"));
-    let states: Vec<StateId> = (0..num_states)
-        .map(|i| {
-            b.add_state(
-                format!("s{i}"),
-                Output::from_bool((outputs >> i) & 1 == 1),
-            )
-        })
+impl SearchSpace {
+    fn new(num_states: usize) -> Self {
+        let pairs: Vec<(usize, usize)> = (0..num_states)
+            .flat_map(|a| (a..num_states).map(move |b| (a, b)))
+            .collect();
+        let mut pair_index = vec![vec![0usize; num_states]; num_states];
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            pair_index[a][b] = i;
+            pair_index[b][a] = i;
+        }
+        let perms = permutations_fixing_zero(num_states);
+        SearchSpace {
+            num_states,
+            choices: pairs.len() as u128,
+            output_patterns: 1u128 << num_states,
+            pairs,
+            pair_index,
+            perms,
+        }
+    }
+
+    /// Total number of candidate encodings: `choices^pairs · 2^n`.
+    fn total_candidates(&self) -> u128 {
+        self.choices
+            .checked_pow(self.pairs.len() as u32)
+            .and_then(|f| f.checked_mul(self.output_patterns))
+            .unwrap_or(u128::MAX)
+    }
+
+    fn decode_assignment(&self, mut function_index: u128, assignment: &mut [usize]) {
+        for slot in assignment.iter_mut() {
+            *slot = (function_index % self.choices) as usize;
+            function_index /= self.choices;
+        }
+    }
+
+    /// Returns `true` if `(assignment, outputs)` has the smallest encoding
+    /// index within its orbit under state relabellings fixing state 0.
+    fn is_canonical(&self, assignment: &[usize], outputs: u32, relabeled: &mut [usize]) -> bool {
+        'perms: for perm in &self.perms {
+            for (i, &(a, b)) in self.pairs.iter().enumerate() {
+                let j = self.pair_index[perm[a]][perm[b]];
+                let (c, d) = self.pairs[assignment[i]];
+                relabeled[j] = self.pair_index[perm[c]][perm[d]];
+            }
+            let mut relabeled_outputs = 0u32;
+            for (q, &pq) in perm.iter().enumerate() {
+                if (outputs >> q) & 1 == 1 {
+                    relabeled_outputs |= 1 << pq;
+                }
+            }
+            // Compare (relabeled, relabeled_outputs) against (assignment,
+            // outputs) in candidate-index order: the function index is the
+            // little-endian number with digits `assignment[i]` in base
+            // `choices` (most significant digit last), then the outputs.
+            for i in (0..assignment.len()).rev() {
+                if relabeled[i] < assignment[i] {
+                    return false;
+                }
+                if relabeled[i] > assignment[i] {
+                    continue 'perms;
+                }
+            }
+            if relabeled_outputs < outputs {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn permutations_fixing_zero(num_states: usize) -> Vec<Vec<usize>> {
+    let mut perms = Vec::new();
+    if num_states <= 1 {
+        return perms;
+    }
+    let mut tail: Vec<usize> = (1..num_states).collect();
+    heap_permutations(&mut tail, 0, &mut |p| {
+        let mut full = Vec::with_capacity(num_states);
+        full.push(0);
+        full.extend_from_slice(p);
+        if full.iter().enumerate().any(|(i, &v)| i != v) {
+            perms.push(full);
+        }
+    });
+    perms
+}
+
+fn heap_permutations(items: &mut [usize], k: usize, emit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        emit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        heap_permutations(items, k + 1, emit);
+        items.swap(k, i);
+    }
+}
+
+/// The outcome of one worker's scan over a contiguous index range.
+struct LocalResult {
+    threshold_protocols: u64,
+    pruned_symmetric: u64,
+    /// Best verified candidate as `(eta, candidate_index, witness)`.
+    best: Option<(u64, u128, Protocol)>,
+}
+
+fn scan_range(
+    space: &SearchSpace,
+    start: u128,
+    end: u128,
+    max_input: u64,
+    limits: &ExploreLimits,
+) -> LocalResult {
+    let num_pairs = space.pairs.len();
+    let mut assignment = vec![0usize; num_pairs];
+    let mut relabeled = vec![0usize; num_pairs];
+    let mut local = LocalResult {
+        threshold_protocols: 0,
+        pruned_symmetric: 0,
+        best: None,
+    };
+    let mut k = start;
+    while k < end {
+        let function_index = k / space.output_patterns;
+        space.decode_assignment(function_index, &mut assignment);
+        let out_lo = (k % space.output_patterns) as u32;
+        let block_end = (function_index + 1) * space.output_patterns;
+        let out_hi = (end.min(block_end) - function_index * space.output_patterns) as u32;
+        for outputs in out_lo..out_hi {
+            if !space.is_canonical(&assignment, outputs, &mut relabeled) {
+                local.pruned_symmetric += 1;
+                k += 1;
+                continue;
+            }
+            let protocol = build_candidate(space, &assignment, outputs);
+            if let Some(eta) =
+                unary_threshold_profile(&protocol, max_input, limits).verified_threshold()
+            {
+                local.threshold_protocols += 1;
+                let better = match &local.best {
+                    None => true,
+                    Some((best_eta, best_k, _)) => {
+                        eta > *best_eta || (eta == *best_eta && k < *best_k)
+                    }
+                };
+                if better {
+                    local.best = Some((eta, k, protocol));
+                }
+            }
+            k += 1;
+        }
+    }
+    local
+}
+
+fn build_candidate(space: &SearchSpace, assignment: &[usize], outputs: u32) -> Protocol {
+    let mut b = ProtocolBuilder::new(format!("enum-{}", space.num_states));
+    let states: Vec<StateId> = (0..space.num_states)
+        .map(|i| b.add_state(format!("s{i}"), Output::from_bool((outputs >> i) & 1 == 1)))
         .collect();
-    for (pair, &post_idx) in pairs.iter().zip(assignment) {
-        let post = posts[post_idx];
-        if *pair == post {
+    for (&pair, &post_idx) in space.pairs.iter().zip(assignment) {
+        let post = space.pairs[post_idx];
+        if pair == post {
             continue; // implicit no-op
         }
         b.add_transition_idempotent(
@@ -131,8 +257,96 @@ fn build_candidate(
         )
         .expect("states were just declared");
     }
-    b.set_input_state("x", states[input_state]);
+    b.set_input_state("x", states[0]);
     b.build().expect("candidate construction is well-formed")
+}
+
+/// Exhaustively searches deterministic leaderless protocols with `num_states`
+/// states for the largest verified threshold, fanning the candidate space
+/// across all available CPU cores.
+///
+/// `max_input` bounds both the inputs verified and the thresholds that can be
+/// confirmed (a threshold `η` needs `η + 1 ≤ max_input` to be distinguished
+/// from `η + 1`).  `max_protocols` caps the enumeration as a safety net; the
+/// capped search examines exactly the first `max_protocols` candidate
+/// encodings, independent of thread count.
+pub fn busy_beaver_search(
+    num_states: usize,
+    max_input: u64,
+    max_protocols: u64,
+    limits: &ExploreLimits,
+) -> EnumerationResult {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    busy_beaver_search_with_threads(num_states, max_input, max_protocols, limits, threads)
+}
+
+/// [`busy_beaver_search`] with an explicit worker-thread count.
+///
+/// The result is identical for every `threads ≥ 1` (determinism is part of
+/// the equivalence test suite).
+pub fn busy_beaver_search_with_threads(
+    num_states: usize,
+    max_input: u64,
+    max_protocols: u64,
+    limits: &ExploreLimits,
+    threads: usize,
+) -> EnumerationResult {
+    let space = SearchSpace::new(num_states);
+    let total = space.total_candidates().min(max_protocols as u128);
+
+    let locals: Vec<LocalResult> = if threads <= 1 || total < 2 {
+        vec![scan_range(&space, 0, total, max_input, limits)]
+    } else {
+        let workers = threads
+            .min(usize::try_from(total).unwrap_or(usize::MAX))
+            .max(1);
+        let chunk = total.div_ceil(workers as u128);
+        std::thread::scope(|scope| {
+            let space = &space;
+            let handles: Vec<_> = (0..workers as u128)
+                .map(|w| {
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(total);
+                    scope.spawn(move || scan_range(space, start, end, max_input, limits))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enumeration worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut result = EnumerationResult {
+        num_states,
+        best_eta: None,
+        witness: None,
+        protocols_examined: u64::try_from(total).unwrap_or(u64::MAX),
+        threshold_protocols: 0,
+        pruned_symmetric: 0,
+        max_input,
+    };
+    let mut best: Option<(u64, u128, Protocol)> = None;
+    for local in locals {
+        result.threshold_protocols += local.threshold_protocols;
+        result.pruned_symmetric += local.pruned_symmetric;
+        if let Some((eta, k, witness)) = local.best {
+            let better = match &best {
+                None => true,
+                Some((best_eta, best_k, _)) => eta > *best_eta || (eta == *best_eta && k < *best_k),
+            };
+            if better {
+                best = Some((eta, k, witness));
+            }
+        }
+    }
+    if let Some((eta, _, witness)) = best {
+        result.best_eta = Some(eta);
+        result.witness = Some(witness);
+    }
+    result
 }
 
 /// Determines whether the protocol computes `x ≥ η` for some `η` confirmed on
@@ -140,25 +354,14 @@ fn build_candidate(
 ///
 /// To be confirmed, the verdict sequence must flip from rejecting to
 /// accepting strictly below `max_input` (so the flip position is certain) or
-/// be all-accepting (η ≤ 2).
+/// be all-accepting (η ≤ 2).  Each input slice is explored exactly once (see
+/// [`unary_threshold_profile`]).
 pub fn verified_threshold(
     protocol: &Protocol,
     max_input: u64,
     limits: &ExploreLimits,
 ) -> Option<u64> {
-    // Fast scan: find the candidate flip point by checking correctness
-    // against every plausible threshold, cheapest first.
-    for eta in 2..=max_input {
-        let report = verify_unary_threshold(protocol, eta, max_input, limits);
-        if report.all_correct() && report.all_exhaustive() {
-            // Only confirmed if the flip is strictly inside the verified range.
-            if eta < max_input {
-                return Some(eta);
-            }
-            return None;
-        }
-    }
-    None
+    unary_threshold_profile(protocol, max_input, limits).verified_threshold()
 }
 
 #[cfg(test)]
@@ -211,5 +414,85 @@ mod tests {
         // state accepts every input i ≥ 2, which is exactly x ≥ 2 restricted
         // to valid inputs — the search therefore reports 2.
         assert_eq!(result.best_eta, Some(2));
+    }
+
+    #[test]
+    fn witness_input_state_is_fixed_to_zero() {
+        let limits = ExploreLimits::default();
+        let result = busy_beaver_search(2, 6, 100_000, &limits);
+        let witness = result.witness.unwrap();
+        assert_eq!(witness.input_state(0), StateId::new(0));
+        // With the input fixed at state 0, the residual relabelling group of
+        // a 2-state protocol is trivial: nothing to prune below n = 3.
+        assert_eq!(result.pruned_symmetric, 0);
+        let capped = busy_beaver_search(3, 4, 2_000, &limits);
+        assert!(capped.pruned_symmetric > 0, "3-state orbits must be pruned");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let limits = ExploreLimits::default();
+        let seq = busy_beaver_search_with_threads(2, 6, 100_000, &limits, 1);
+        for threads in [2, 3, 8] {
+            let par = busy_beaver_search_with_threads(2, 6, 100_000, &limits, threads);
+            assert_eq!(par.best_eta, seq.best_eta);
+            assert_eq!(par.witness, seq.witness);
+            assert_eq!(par.protocols_examined, seq.protocols_examined);
+            assert_eq!(par.threshold_protocols, seq.threshold_protocols);
+            assert_eq!(par.pruned_symmetric, seq.pruned_symmetric);
+        }
+    }
+
+    #[test]
+    fn canonicality_keeps_exactly_one_representative_per_orbit() {
+        // For n = 3 the residual relabelling group (fixing the input state 0)
+        // is the swap of states 1 and 2.  Walk the full space, group
+        // candidates into orbits by brute force, and check that every orbit
+        // contains exactly one canonical member — and that it is the one
+        // with the smallest candidate index (the property the capped-prefix
+        // equivalence relies on).
+        let space = SearchSpace::new(3);
+        assert_eq!(space.perms.len(), 1);
+        let perm = &space.perms[0]; // [0, 2, 1]
+        let num_pairs = space.pairs.len();
+        let total = space.total_candidates();
+        let mut assignment = vec![0usize; num_pairs];
+        let mut relabeled = vec![0usize; num_pairs];
+        let mut canonical = 0u128;
+        // Only scan a deterministic slice of the 373k-candidate space to keep
+        // the test fast; orbits are closed under the swap within any slice
+        // plus its image, which we compute explicitly.
+        for k in (0..total).step_by(97) {
+            space.decode_assignment(k / space.output_patterns, &mut assignment);
+            let outputs = (k % space.output_patterns) as u32;
+            // Compute the orbit partner's index.
+            for (i, &(a, b)) in space.pairs.iter().enumerate() {
+                let j = space.pair_index[perm[a]][perm[b]];
+                let (c, d) = space.pairs[assignment[i]];
+                relabeled[j] = space.pair_index[perm[c]][perm[d]];
+            }
+            let mut swapped_outputs = 0u32;
+            for (q, &pq) in perm.iter().enumerate() {
+                if (outputs >> q) & 1 == 1 {
+                    swapped_outputs |= 1 << pq;
+                }
+            }
+            let mut partner_function = 0u128;
+            for i in (0..num_pairs).rev() {
+                partner_function = partner_function * space.choices + relabeled[i] as u128;
+            }
+            let partner = partner_function * space.output_patterns + swapped_outputs as u128;
+            let is_canonical = space.is_canonical(&assignment, outputs, &mut relabeled);
+            // Canonical iff this candidate's index is the orbit minimum.
+            assert_eq!(
+                is_canonical,
+                k <= partner,
+                "candidate {k} (partner {partner})"
+            );
+            if is_canonical {
+                canonical += 1;
+            }
+        }
+        assert!(canonical > 0);
     }
 }

@@ -20,7 +20,7 @@ use popproto_numerics::Magnitude;
 use popproto_reach::{extract_stable_basis, ExploreLimits};
 use popproto_sim::{run_experiment, EngineKind, SimulationExperiment};
 use popproto_vas::{longest_bad_sequence, ControlledSearch, HilbertOptions, RealisabilitySystem};
-use popproto_zoo::{binary_counter, flock, modulo};
+use popproto_zoo::{approximate_majority, binary_counter, flock, modulo};
 use serde::{Deserialize, Serialize};
 
 /// E1 — busy beaver witness families (Theorem 2.2 / Example 2.1).
@@ -204,7 +204,11 @@ pub fn experiment_e6(instances: &[(Protocol, u64)], options: &PipelineOptions) -
 }
 
 /// E7 — exact busy-beaver search for tiny state counts.
-pub fn experiment_e7(max_states: usize, max_input: u64, max_protocols: u64) -> Vec<EnumerationResult> {
+pub fn experiment_e7(
+    max_states: usize,
+    max_input: u64,
+    max_protocols: u64,
+) -> Vec<EnumerationResult> {
     let limits = ExploreLimits::default();
     (1..=max_states)
         .map(|n| busy_beaver_search(n, max_input, max_protocols, &limits))
@@ -245,9 +249,13 @@ pub fn experiment_e8_with_engine(
     let mut rows = Vec::new();
     for &n in populations {
         for protocol in [flock(4), binary_counter(3), modulo(3, 1)] {
-            let exp =
-                SimulationExperiment::new(protocol.clone(), Input::unary(n), runs, max_interactions)
-                    .with_engine(engine);
+            let exp = SimulationExperiment::new(
+                protocol.clone(),
+                Input::unary(n),
+                runs,
+                max_interactions,
+            )
+            .with_engine(engine);
             let result = run_experiment(&exp);
             rows.push(E8Row {
                 protocol: protocol.name().to_string(),
@@ -257,6 +265,36 @@ pub fn experiment_e8_with_engine(
                 mean_parallel_time: result.stats.parallel_time.mean,
             });
         }
+    }
+    rows
+}
+
+/// E8 at scale — the batched engine at populations up to 10⁸ agents
+/// (closing the ROADMAP item "E8 at n ∈ {10⁶, 10⁸} with the batched engine
+/// in the experiment reports").
+///
+/// Only protocols whose parallel convergence time is sublinear in `n` are
+/// meaningful at these populations: the threshold families of the
+/// small-scale E8 stabilise only after Θ(n) parallel time (the last few
+/// tokens need Θ(n²) interactions to meet), which no engine can shortcut.
+/// Approximate majority converges in O(log n) parallel time, so the batched
+/// engine drives it to silence in seconds even at 10⁸ agents; the input is
+/// split 2:1 between the two opinions.
+pub fn experiment_e8_large(populations: &[u64], runs: u64) -> Vec<E8Row> {
+    let mut rows = Vec::new();
+    for &n in populations {
+        let protocol = approximate_majority();
+        let input = Input::from_counts(vec![2 * n / 3, n - 2 * n / 3]);
+        let exp = SimulationExperiment::new(protocol.clone(), input, runs, u64::MAX)
+            .with_engine(EngineKind::Batched);
+        let result = run_experiment(&exp);
+        rows.push(E8Row {
+            protocol: protocol.name().to_string(),
+            population: n,
+            runs: result.stats.runs,
+            converged: result.stats.converged_runs,
+            mean_parallel_time: result.stats.parallel_time.mean,
+        });
     }
     rows
 }
@@ -319,6 +357,8 @@ pub struct FullReport {
     pub e7: Vec<EnumerationResult>,
     /// E8 — simulation runtimes.
     pub e8: Vec<E8Row>,
+    /// E8 at scale — batched engine at large populations.
+    pub e8_large: Vec<E8Row>,
     /// E10 — controlled bad sequences.
     pub e10: Vec<E10Row>,
 }
@@ -336,8 +376,18 @@ pub fn run_all_small() -> FullReport {
         e6: experiment_e6(&with_eta, &PipelineOptions::default()),
         e7: experiment_e7(2, 6, 5_000),
         e8: experiment_e8(&[16, 32], 3, 200_000),
+        e8_large: experiment_e8_large(&[100_000], 2),
         e10: experiment_e10(2, 2, 200_000),
     }
+}
+
+/// Like [`run_all_small`] but with the E8 large-population rows at their
+/// headline scale, n ∈ {10⁶, 10⁸} (used by the report example; takes a few
+/// seconds of wall clock on the batched engine).
+pub fn run_all_with_large_e8() -> FullReport {
+    let mut report = run_all_small();
+    report.e8_large = experiment_e8_large(&[1_000_000, 100_000_000], 2);
+    report
 }
 
 #[cfg(test)]
@@ -348,10 +398,7 @@ mod tests {
     fn e1_small() {
         let report = experiment_e1(3, 2, 1, 8);
         assert_eq!(report.records.len(), 2 + 2 + 1);
-        assert!(report
-            .records
-            .iter()
-            .all(|r| r.verified != Some(false)));
+        assert!(report.records.iter().all(|r| r.verified != Some(false)));
     }
 
     #[test]
@@ -393,6 +440,20 @@ mod tests {
             assert_eq!(row.converged, row.runs, "{} must converge", row.protocol);
             assert!(row.mean_parallel_time > 0.0);
         }
+    }
+
+    #[test]
+    fn e8_large_converges_on_the_batched_engine() {
+        let rows = experiment_e8_large(&[10_000, 50_000], 2);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.protocol, "approximate_majority");
+            assert_eq!(row.converged, row.runs);
+            assert!(row.mean_parallel_time > 0.0);
+        }
+        // Convergence is polylogarithmic: the parallel time grows far slower
+        // than the population.
+        assert!(rows[1].mean_parallel_time < rows[0].mean_parallel_time * 10.0);
     }
 
     #[test]

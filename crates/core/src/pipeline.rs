@@ -148,7 +148,10 @@ pub fn analyze_leaderless_protocol(
         protocol.is_leaderless(),
         "the Section 5 pipeline applies to leaderless protocols only"
     );
-    assert!(protocol.is_unary(), "the pipeline expects a single input variable");
+    assert!(
+        protocol.is_unary(),
+        "the pipeline expects a single input variable"
+    );
 
     let base = LeaderlessAnalysis {
         protocol: protocol.name().to_string(),
@@ -188,11 +191,11 @@ pub fn analyze_leaderless_protocol(
         let stable_pick = graph
             .terminal_ids()
             .into_iter()
-            .chain(0..graph.len())
+            .chain(graph.ids())
             .find_map(|id| {
-                if stable_sets.stable0[id] {
+                if stable_sets.is_stable(id, Output::False) {
                     Some((id, Output::False))
-                } else if stable_sets.stable1[id] {
+                } else if stable_sets.is_stable(id, Output::True) {
                     Some((id, Output::True))
                 } else {
                     None
@@ -201,7 +204,7 @@ pub fn analyze_leaderless_protocol(
         let Some((stable_id, output)) = stable_pick else {
             continue;
         };
-        let stable_config = graph.config(stable_id).clone();
+        let stable_config = graph.config(stable_id);
         let element =
             BasisElement::from_config_with_threshold(&stable_config, options.basis_threshold);
         let omega: Vec<StateId> = element.omega_vec();
@@ -306,9 +309,7 @@ mod tests {
         // The certificate bounds the threshold from above: η = 3 ≤ a.
         assert!(analysis.empirical_bound.unwrap() >= 3);
         // And the empirical bound is astronomically below the Theorem 5.9 bound.
-        assert!(
-            Magnitude::from_u64(analysis.empirical_bound.unwrap()) < analysis.theorem_bound
-        );
+        assert!(Magnitude::from_u64(analysis.empirical_bound.unwrap()) < analysis.theorem_bound);
         assert!(analysis.theorem_bound <= analysis.simple_bound);
     }
 
@@ -318,7 +319,10 @@ mod tests {
         let analysis = analyze_leaderless_protocol(&p, &PipelineOptions::default());
         let cert = analysis.certificate.expect("P'_2 yields a certificate");
         assert!(cert.checks.all_passed());
-        assert!(cert.a >= 4, "the anchor must be at least the true threshold");
+        assert!(
+            cert.a >= 4,
+            "the anchor must be at least the true threshold"
+        );
         assert!(cert.b >= 1);
         assert_eq!(cert.a, cert.saturation_input * cert.scale);
         assert_eq!(cert.saturated_config.size(), cert.a);

@@ -135,6 +135,16 @@ pub fn render_full(report: &FullReport) -> String {
     out.push_str(&render_e6(&report.e6));
     out.push_str("\n## E8 — simulated parallel time\n\n");
     out.push_str(&render_e8(&report.e8));
+    if !report.e8_large.is_empty() {
+        out.push_str("\n## E8 — large populations (batched engine)\n\n");
+        out.push_str(&render_e8(&report.e8_large));
+        out.push_str(
+            "\nApproximate majority stabilises in O(log n) parallel time, so the \
+             collision-adjusted batched engine reaches silence in seconds even at 10⁸ \
+             agents; the threshold families above need Θ(n) parallel time to go silent \
+             and are therefore only simulated at small n.\n",
+        );
+    }
     out
 }
 
@@ -157,5 +167,13 @@ mod tests {
         let rows = experiments::experiment_e5(&[popproto_zoo::flock(3)]);
         let table = render_e5(&rows);
         assert!(table.contains("flock(3)"));
+    }
+
+    #[test]
+    fn e8_large_section_renders_when_present() {
+        let rows = experiments::experiment_e8_large(&[10_000], 1);
+        let table = render_e8(&rows);
+        assert!(table.contains("approximate_majority"));
+        assert!(table.contains("10000"));
     }
 }

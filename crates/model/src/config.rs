@@ -89,12 +89,20 @@ impl Config {
 
     /// The support `⟦C⟧`: the states populated by at least one agent.
     pub fn support(&self) -> Vec<StateId> {
+        self.support_iter().collect()
+    }
+
+    /// Iterates over the support `⟦C⟧` without allocating.
+    ///
+    /// Hot callers (stable-set classification, verification, the Section 5
+    /// pipeline) should prefer this over [`Config::support`], which builds a
+    /// `Vec<StateId>` per call.
+    pub fn support_iter(&self) -> impl Iterator<Item = StateId> + '_ {
         self.counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, _)| StateId::new(i))
-            .collect()
     }
 
     /// Number of distinct states populated.
@@ -167,14 +175,19 @@ impl Config {
     }
 
     /// Number of agents populating states *outside* `subset`.
+    ///
+    /// `subset` is interpreted as a set: duplicate entries are counted once,
+    /// and identifiers beyond the configuration's dimension are ignored.
     pub fn count_outside(&self, subset: &[StateId]) -> u64 {
-        let inside: std::collections::HashSet<usize> = subset.iter().map(|q| q.index()).collect();
-        self.counts
+        // Allocation-free: |C| minus the agents inside, with duplicates in
+        // `subset` skipped by only counting the first occurrence.
+        let inside: u64 = subset
             .iter()
             .enumerate()
-            .filter(|(i, _)| !inside.contains(i))
-            .map(|(_, &c)| c)
-            .sum()
+            .filter(|(i, q)| q.index() < self.num_states() && !subset[..*i].contains(q))
+            .map(|(_, q)| self.get(*q))
+            .sum();
+        self.size() - inside
     }
 
     /// Returns `true` if the configuration is `ε`-concentrated in `subset`
@@ -219,7 +232,10 @@ impl Config {
     ///
     /// Panics if `num_states` is smaller than the current dimension.
     pub fn widened(&self, num_states: usize) -> Config {
-        assert!(num_states >= self.num_states(), "cannot shrink a configuration");
+        assert!(
+            num_states >= self.num_states(),
+            "cannot shrink a configuration"
+        );
         let mut counts = self.counts.clone();
         counts.resize(num_states, 0);
         Config { counts }
@@ -319,6 +335,21 @@ mod tests {
         assert_eq!(c.count_in(&[StateId::new(0), StateId::new(2)]), 8);
         assert_eq!(c.count_outside(&[StateId::new(0), StateId::new(2)]), 4);
         assert_eq!(c.count_outside(&[]), 12);
+        // Duplicate subset entries must not be double-counted.
+        assert_eq!(
+            c.count_outside(&[StateId::new(0), StateId::new(0), StateId::new(2)]),
+            4
+        );
+        // Identifiers beyond the dimension are ignored, not a panic.
+        assert_eq!(c.count_outside(&[StateId::new(17)]), 12);
+    }
+
+    #[test]
+    fn support_iter_matches_support() {
+        let c = cfg(&[0, 2, 0, 7]);
+        assert_eq!(c.support_iter().collect::<Vec<_>>(), c.support());
+        assert_eq!(c.support_iter().count(), c.support_size());
+        assert_eq!(cfg(&[0, 0]).support_iter().count(), 0);
     }
 
     #[test]
@@ -343,9 +374,13 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let c: Config = vec![(StateId::new(1), 2), (StateId::new(3), 1), (StateId::new(1), 1)]
-            .into_iter()
-            .collect();
+        let c: Config = vec![
+            (StateId::new(1), 2),
+            (StateId::new(3), 1),
+            (StateId::new(1), 1),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(c.counts(), &[0, 3, 0, 1]);
     }
 

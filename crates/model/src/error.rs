@@ -51,7 +51,10 @@ mod tests {
             ProtocolError::DuplicateStateName("a".into()).to_string(),
             "duplicate state name \"a\""
         );
-        assert_eq!(ProtocolError::NoStates.to_string(), "protocol has no states");
+        assert_eq!(
+            ProtocolError::NoStates.to_string(),
+            "protocol has no states"
+        );
         assert_eq!(
             ProtocolError::NoInputVariables.to_string(),
             "protocol has no input variables"

@@ -28,7 +28,9 @@ pub struct Input {
 impl Input {
     /// An input for a protocol with a single input variable `x`.
     pub fn unary(count: u64) -> Self {
-        Input { counts: vec![count] }
+        Input {
+            counts: vec![count],
+        }
     }
 
     /// An input with explicit per-variable counts.
@@ -62,7 +64,11 @@ impl Input {
     ///
     /// Panics if the inputs have different numbers of variables.
     pub fn plus(&self, other: &Input) -> Input {
-        assert_eq!(self.num_vars(), other.num_vars(), "input dimension mismatch");
+        assert_eq!(
+            self.num_vars(),
+            other.num_vars(),
+            "input dimension mismatch"
+        );
         Input {
             counts: self
                 .counts

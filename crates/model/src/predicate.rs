@@ -129,7 +129,11 @@ impl Predicate {
             .iter()
             .enumerate()
             .map(|(i, &a)| {
-                let x = if i < input.num_vars() { input.get(i) } else { 0 };
+                let x = if i < input.num_vars() {
+                    input.get(i)
+                } else {
+                    0
+                };
                 a as i128 * x as i128
             })
             .sum()

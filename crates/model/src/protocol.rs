@@ -85,7 +85,9 @@ impl Protocol {
 
     /// The states with output `b`.
     pub fn states_with_output(&self, b: Output) -> Vec<StateId> {
-        self.state_ids().filter(|&q| self.output_of(q) == b).collect()
+        self.state_ids()
+            .filter(|&q| self.output_of(q) == b)
+            .collect()
     }
 
     /// The explicit transitions `T`.
@@ -360,7 +362,10 @@ mod tests {
         let succ = p.successors_with_transitions(&ic);
         assert_eq!(succ.len(), 1);
         let (t_idx, _) = &succ[0];
-        assert_eq!(p.transitions()[*t_idx].pre, Pair::new(StateId::new(1), StateId::new(1)));
+        assert_eq!(
+            p.transitions()[*t_idx].pre,
+            Pair::new(StateId::new(1), StateId::new(1))
+        );
     }
 
     #[test]

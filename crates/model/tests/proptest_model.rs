@@ -5,7 +5,9 @@
 //! seeded pseudo-random inputs (256 cases per property, reproducible by
 //! construction).
 
-use popproto_model::{Config, Input, Output, Pair, Predicate, ProtocolBuilder, StateId, Transition};
+use popproto_model::{
+    Config, Input, Output, Pair, Predicate, ProtocolBuilder, StateId, Transition,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -29,13 +29,19 @@ pub struct FghError {
 
 impl FghError {
     fn new(reason: impl Into<String>) -> Self {
-        FghError { reason: reason.into() }
+        FghError {
+            reason: reason.into(),
+        }
     }
 }
 
 impl fmt::Display for FghError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fast-growing hierarchy evaluation refused: {}", self.reason)
+        write!(
+            f,
+            "fast-growing hierarchy evaluation refused: {}",
+            self.reason
+        )
     }
 }
 
@@ -92,7 +98,9 @@ fn ack_rec(m: u32, n: BigNat, budget: &mut u64) -> Result<BigNat, FghError> {
             for _ in 0..reps {
                 acc = ack_rec(m - 1, acc, budget)?;
                 if acc.bits() > 1 << 22 {
-                    return Err(FghError::new("intermediate Ackermann value exceeds size limits"));
+                    return Err(FghError::new(
+                        "intermediate Ackermann value exceeds size limits",
+                    ));
                 }
             }
             Ok(acc)
@@ -173,7 +181,12 @@ pub fn f_omega_magnitude(x: u64) -> Magnitude {
     match x {
         0 => Magnitude::from_u64(1),
         1 => Magnitude::from_u64(3),
-        2 => Magnitude::from_u64(fast_growing(2, 2).expect("F_2(2) is tiny").to_u64().unwrap()),
+        2 => Magnitude::from_u64(
+            fast_growing(2, 2)
+                .expect("F_2(2) is tiny")
+                .to_u64()
+                .unwrap(),
+        ),
         3 => {
             // F_3(3) is 2^2^..-ish; an exact evaluation is feasible.
             match fast_growing(3, 3) {

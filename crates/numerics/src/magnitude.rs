@@ -87,7 +87,9 @@ impl Magnitude {
     /// Collapses degenerate towers and over-large exact values.
     fn normalized(self) -> Self {
         match self {
-            Magnitude::Exact(v) if v.bits() > EXACT_BIT_LIMIT => Magnitude::Log2 { exponent: v.log2() },
+            Magnitude::Exact(v) if v.bits() > EXACT_BIT_LIMIT => {
+                Magnitude::Log2 { exponent: v.log2() }
+            }
             Magnitude::Tower { height: 0, top } => Magnitude::Log2 { exponent: top },
             Magnitude::Tower { height, top } if top <= 64.0 && height >= 1 => {
                 // Fold one level into the exponent when it stays a sane f64.
@@ -171,7 +173,9 @@ impl Magnitude {
                 Magnitude::Exact(v.pow(exp)).normalized()
             }
             _ => match self.log2_approx() {
-                Some(l) => Magnitude::Log2 { exponent: l * exp as f64 },
+                Some(l) => Magnitude::Log2 {
+                    exponent: l * exp as f64,
+                },
                 None => self.clone(),
             },
         }
@@ -186,17 +190,24 @@ impl Magnitude {
                         return Magnitude::Exact(BigNat::pow2(e));
                     }
                 }
-                Magnitude::Log2 { exponent: self.log2_approx().map_or(f64::INFINITY, |_| {
-                    // exponent of the result is the value itself
-                    v.log2().exp2()
-                }) }
+                Magnitude::Log2 {
+                    exponent: self.log2_approx().map_or(f64::INFINITY, |_| {
+                        // exponent of the result is the value itself
+                        v.log2().exp2()
+                    }),
+                }
                 .promote_if_nonfinite(v.log2())
             }
             Magnitude::Log2 { exponent } => {
                 if *exponent < 1023.0 {
-                    Magnitude::Log2 { exponent: exponent.exp2() }
+                    Magnitude::Log2 {
+                        exponent: exponent.exp2(),
+                    }
                 } else {
-                    Magnitude::Tower { height: 1, top: *exponent }
+                    Magnitude::Tower {
+                        height: 1,
+                        top: *exponent,
+                    }
                 }
             }
             Magnitude::Tower { height, top } => Magnitude::Tower {

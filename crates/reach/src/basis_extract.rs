@@ -40,7 +40,11 @@ pub struct EmpiricalBasis {
 impl EmpiricalBasis {
     /// The maximal norm `‖B‖_∞` over the extracted elements.
     pub fn max_norm(&self) -> u64 {
-        self.elements.iter().map(BasisElement::norm).max().unwrap_or(0)
+        self.elements
+            .iter()
+            .map(BasisElement::norm)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns `true` if every seed configuration is covered by some element.
@@ -89,7 +93,15 @@ fn enumerate(
     }
     for count in 0..=remaining {
         current.set(popproto_model::StateId::new(state), count);
-        enumerate(protocol, b, remaining - count, state + 1, current, limits, out);
+        enumerate(
+            protocol,
+            b,
+            remaining - count,
+            state + 1,
+            current,
+            limits,
+            out,
+        );
         current.set(popproto_model::StateId::new(state), 0);
     }
 }
@@ -121,7 +133,8 @@ pub fn extract_stable_basis(
         }
         let pump_ok = is_stable_config(protocol, &pumped, b, limits) == Some(true);
         if !(base_ok && pump_ok) {
-            candidate = BasisElement::new(seed.clone(), std::iter::empty::<popproto_model::StateId>());
+            candidate =
+                BasisElement::new(seed.clone(), std::iter::empty::<popproto_model::StateId>());
             fallback_count += 1;
             if is_stable_config(protocol, candidate.base(), b, limits) != Some(true) {
                 verified = false;

@@ -2,7 +2,8 @@
 //!
 //! The proofs of Lemma 3.2 and Lemma 5.3 reason about whether some reachable
 //! configuration *covers* a state `q` (populates it with at least one agent).
-//! On a bounded slice this is an exhaustive forward search.
+//! On a bounded slice this is an exhaustive forward search; the covered-state
+//! set is accumulated in one pass over the arena's raw count slices.
 
 use crate::graph::{ExploreLimits, ReachabilityGraph};
 use popproto_model::{Config, Protocol, StateId};
@@ -14,15 +15,32 @@ pub fn coverable_states(
     limits: &ExploreLimits,
 ) -> Vec<StateId> {
     let graph = ReachabilityGraph::explore(protocol, std::slice::from_ref(from), limits);
-    protocol
-        .state_ids()
-        .filter(|&q| graph.configs().iter().any(|c| c.get(q) > 0))
+    let mut covered = vec![false; protocol.num_states()];
+    for id in graph.ids() {
+        for (q, &count) in graph.counts_of(id).iter().enumerate() {
+            if count > 0 {
+                covered[q] = true;
+            }
+        }
+    }
+    covered
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(q, _)| StateId::new(q))
         .collect()
 }
 
 /// Returns `true` if some configuration reachable from `from` covers `q`.
+///
+/// Identifiers outside the protocol's state range are trivially uncoverable.
 pub fn can_cover(protocol: &Protocol, from: &Config, q: StateId, limits: &ExploreLimits) -> bool {
-    coverable_states(protocol, from, limits).contains(&q)
+    if q.index() >= protocol.num_states() {
+        return false;
+    }
+    let graph = ReachabilityGraph::explore(protocol, std::slice::from_ref(from), limits);
+    let covered = graph.ids().any(|id| graph.counts_of(id)[q.index()] > 0);
+    covered
 }
 
 /// The smallest unary input `i ≤ max_input` such that `IC(i)` can cover
@@ -51,7 +69,8 @@ mod tests {
         b.add_transition((one, one), (zero, two)).unwrap();
         b.add_transition((two, two), (zero, four)).unwrap();
         for &a in &[zero, one, two] {
-            b.add_transition_idempotent((a, four), (four, four)).unwrap();
+            b.add_transition_idempotent((a, four), (four, four))
+                .unwrap();
         }
         b.set_input_state("x", one);
         b.build().unwrap()

@@ -7,7 +7,10 @@
 //! that space exactly and derives from it the notions the paper reasons
 //! about:
 //!
-//! * the reachability graph itself — module [`graph`];
+//! * the interning configuration arena and the bitsets the exploration is
+//!   built on — modules [`arena`] and [`bitset`];
+//! * the reachability graph itself (CSR adjacency over arena identifiers) —
+//!   module [`graph`];
 //! * the sets `SC_0`, `SC_1`, `SC` of b-stable configurations (Definition 2)
 //!   — module [`stable`];
 //! * *correctness*: does the protocol compute a given predicate?  The paper's
@@ -23,16 +26,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod basis_extract;
+pub mod bitset;
 pub mod coverability;
 pub mod graph;
 pub mod saturation;
 pub mod stable;
 pub mod verify;
 
+pub use arena::ConfigArena;
 pub use basis_extract::{extract_stable_basis, EmpiricalBasis};
+pub use bitset::BitSet;
 pub use coverability::{coverable_states, min_input_covering_state};
 pub use graph::{ExploreLimits, ReachabilityGraph};
 pub use saturation::{min_input_for_saturation, SaturationWitness};
 pub use stable::{is_stable_config, StableSets};
-pub use verify::{verify_predicate, verify_unary_threshold, InputVerdict, VerificationReport};
+pub use verify::{
+    unary_threshold_profile, verify_predicate, verify_unary_threshold, InputProfile, InputVerdict,
+    ThresholdProfile, VerificationReport,
+};

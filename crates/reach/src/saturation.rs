@@ -35,13 +35,13 @@ pub fn find_saturated_config(
     let ic = protocol.initial_config_unary(input);
     let graph = ReachabilityGraph::explore(protocol, &[ic], limits);
     let path = graph.shortest_path_to(graph.initial_ids(), |id| {
-        graph.config(id).is_saturated(level)
+        graph.counts_of(id).iter().all(|&c| c as u64 >= level)
     })?;
     let last = *path.last().expect("path is non-empty");
     Some(SaturationWitness {
         input,
         level,
-        config: graph.config(last).clone(),
+        config: graph.config(last),
         path_length: path.len() - 1,
     })
 }
@@ -78,7 +78,8 @@ mod tests {
         b.add_transition((one, one), (zero, two)).unwrap();
         b.add_transition((two, two), (zero, four)).unwrap();
         for &a in &[zero, one, two] {
-            b.add_transition_idempotent((a, four), (four, four)).unwrap();
+            b.add_transition_idempotent((a, four), (four, four))
+                .unwrap();
         }
         b.set_input_state("x", one);
         b.build().unwrap()
@@ -94,7 +95,11 @@ mod tests {
         assert!(find_saturated_config(&p, 4, 1, &limits).is_none());
         let witness = min_input_for_saturation(&p, 1, 16, &limits).expect("some input saturates");
         assert!(witness.config.is_saturated(1));
-        assert!(witness.input <= 7, "input {} should be at most 7", witness.input);
+        assert!(
+            witness.input <= 7,
+            "input {} should be at most 7",
+            witness.input
+        );
         // The Lemma 5.4 bound is 3^n = 81 for n = 4 states; the actual input is far smaller.
         assert!(witness.input <= 81);
         // Path length is also far below the 3^n bound.

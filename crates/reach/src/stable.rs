@@ -4,75 +4,84 @@
 //! `C` has output `b` (all agents populate states of output `b`).  On a fixed
 //! population slice this is computable exactly: `C` is b-stable iff no
 //! configuration containing an agent of output `≠ b` is reachable from `C`.
+//!
+//! The computation is a backward bitset fixpoint over the arena identifiers
+//! of an explored [`ReachabilityGraph`]: one scan over the raw count slices
+//! classifies every configuration by the outputs it populates, and one
+//! backward closure per output class yields `SC_b` as the complement of
+//! "can reach a bad configuration" — no per-node [`Config`] is materialised.
 
+use crate::bitset::BitSet;
 use crate::graph::{ExploreLimits, ReachabilityGraph};
 use popproto_model::{Config, Output, Protocol};
 use serde::{Deserialize, Serialize};
 
-/// The b-stable configurations of a reachability graph, for both outputs.
+/// The b-stable configurations of a reachability graph, for both outputs,
+/// stored as bitsets over the graph's identifiers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StableSets {
-    /// `stable0[id]` is `true` iff configuration `id` is 0-stable.
-    pub stable0: Vec<bool>,
-    /// `stable1[id]` is `true` iff configuration `id` is 1-stable.
-    pub stable1: Vec<bool>,
+    stable0: BitSet,
+    stable1: BitSet,
 }
 
 impl StableSets {
     /// Computes the stable sets of all configurations in the graph.
     pub fn compute(protocol: &Protocol, graph: &ReachabilityGraph) -> Self {
+        // One pass over the raw slices classifies every configuration:
+        // `bad_for[b]` holds the configurations populating a state of
+        // output ≠ b.
+        let outputs: Vec<Output> = protocol
+            .state_ids()
+            .map(|q| protocol.output_of(q))
+            .collect();
+        let mut bad_for_0 = BitSet::new(graph.len());
+        let mut bad_for_1 = BitSet::new(graph.len());
+        for id in graph.ids() {
+            for (q, &count) in graph.counts_of(id).iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                match outputs[q] {
+                    Output::False => bad_for_1.insert(id),
+                    Output::True => bad_for_0.insert(id),
+                };
+            }
+        }
+        // A configuration is b-stable iff it cannot reach a bad one.
         StableSets {
-            stable0: Self::compute_for(protocol, graph, Output::False),
-            stable1: Self::compute_for(protocol, graph, Output::True),
+            stable0: graph.backward_closure_of(&bad_for_0).complement(),
+            stable1: graph.backward_closure_of(&bad_for_1).complement(),
         }
     }
 
-    fn compute_for(protocol: &Protocol, graph: &ReachabilityGraph, b: Output) -> Vec<bool> {
-        // "Bad" configurations contain an agent with the wrong output.
-        let bad: Vec<usize> = (0..graph.len())
-            .filter(|&id| {
-                graph
-                    .config(id)
-                    .iter()
-                    .any(|(q, _)| protocol.output_of(q) != b)
-            })
-            .collect();
-        // A configuration is b-stable iff it cannot reach a bad configuration.
-        let can_reach_bad = graph.backward_closure(&bad);
-        can_reach_bad.iter().map(|&r| !r).collect()
+    /// Returns whether configuration `id` is b-stable.
+    pub fn is_stable(&self, id: u32, b: Output) -> bool {
+        self.bitset(b).contains(id)
     }
 
-    /// Returns whether configuration `id` is b-stable.
-    pub fn is_stable(&self, id: usize, b: Output) -> bool {
+    /// The b-stable configurations as a bitset over graph identifiers.
+    pub fn bitset(&self, b: Output) -> &BitSet {
         match b {
-            Output::False => self.stable0[id],
-            Output::True => self.stable1[id],
+            Output::False => &self.stable0,
+            Output::True => &self.stable1,
         }
     }
 
     /// Identifiers of the b-stable configurations.
-    pub fn stable_ids(&self, b: Output) -> Vec<usize> {
-        let v = match b {
-            Output::False => &self.stable0,
-            Output::True => &self.stable1,
-        };
-        v.iter()
-            .enumerate()
-            .filter(|(_, &s)| s)
-            .map(|(id, _)| id)
-            .collect()
+    pub fn stable_ids(&self, b: Output) -> Vec<u32> {
+        self.bitset(b).iter().collect()
     }
 
     /// Identifiers of the configurations in `SC = SC_0 ∪ SC_1`.
-    pub fn all_stable_ids(&self) -> Vec<usize> {
-        (0..self.stable0.len())
-            .filter(|&id| self.stable0[id] || self.stable1[id])
-            .collect()
+    pub fn all_stable_ids(&self) -> Vec<u32> {
+        let mut all = self.stable0.clone();
+        all.union_with(&self.stable1);
+        all.iter().collect()
     }
 
     /// Number of b-stable configurations.
     pub fn count(&self, b: Output) -> usize {
-        self.stable_ids(b).len()
+        self.bitset(b).count()
     }
 }
 
@@ -87,16 +96,23 @@ pub fn is_stable_config(
     limits: &ExploreLimits,
 ) -> Option<bool> {
     let graph = ReachabilityGraph::explore(protocol, std::slice::from_ref(c), limits);
-    let offending = (0..graph.len()).find(|&id| {
+    let outputs: Vec<Output> = protocol
+        .state_ids()
+        .map(|q| protocol.output_of(q))
+        .collect();
+    let offending = graph.ids().any(|id| {
         graph
-            .config(id)
+            .counts_of(id)
             .iter()
-            .any(|(q, _)| protocol.output_of(q) != b)
+            .enumerate()
+            .any(|(q, &count)| count > 0 && outputs[q] != b)
     });
-    match offending {
-        Some(_) => Some(false),
-        None if graph.is_complete() => Some(true),
-        None => None,
+    if offending {
+        Some(false)
+    } else if graph.is_complete() {
+        Some(true)
+    } else {
+        None
     }
 }
 
@@ -120,7 +136,8 @@ mod tests {
     #[test]
     fn stable_sets_of_threshold_protocol() {
         let p = threshold2_protocol();
-        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
+        let g =
+            ReachabilityGraph::explore(&p, &[p.initial_config_unary(3)], &ExploreLimits::default());
         let stable = StableSets::compute(&p, &g);
         // From ⟨3·q1⟩ every configuration can still reach ⟨3·q2⟩ (output 1),
         // so no reachable configuration is 0-stable...
@@ -138,7 +155,8 @@ mod tests {
     fn input_one_is_zero_stable() {
         let p = threshold2_protocol();
         // A single agent in state 1 can never change state: it is 0-stable.
-        let g = ReachabilityGraph::explore(&p, &[p.initial_config_unary(1)], &ExploreLimits::default());
+        let g =
+            ReachabilityGraph::explore(&p, &[p.initial_config_unary(1)], &ExploreLimits::default());
         let stable = StableSets::compute(&p, &g);
         assert_eq!(stable.count(Output::False), 1);
         assert_eq!(stable.count(Output::True), 0);
@@ -163,6 +181,31 @@ mod tests {
         let mixed = Config::from_counts(vec![1, 0, 1]);
         assert_eq!(
             is_stable_config(&p, &mixed, Output::True, &ExploreLimits::default()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn truncated_exploration_is_inconclusive() {
+        // A two-hop chain a → b → c where only c has output 1: with the
+        // exploration capped at one expansion, no 1-output state is seen yet,
+        // so 0-stability of the big slice cannot be decided either way.
+        let mut b = ProtocolBuilder::new("chain");
+        let qa = b.add_state("a", Output::False);
+        let qb = b.add_state("b", Output::False);
+        let qc = b.add_state("c", Output::True);
+        b.add_transition((qa, qa), (qb, qb)).unwrap();
+        b.add_transition((qb, qb), (qc, qc)).unwrap();
+        b.set_input_state("x", qa);
+        let p = b.build().unwrap();
+        let big = p.initial_config_unary(40);
+        assert_eq!(
+            is_stable_config(&p, &big, Output::False, &ExploreLimits::with_max_configs(1)),
+            None
+        );
+        // With room to explore, the verdict flips to a definite "not stable".
+        assert_eq!(
+            is_stable_config(&p, &big, Output::False, &ExploreLimits::default()),
             Some(false)
         );
     }

@@ -5,6 +5,13 @@
 //! from `IC(v)`, `C` can reach `SC_{φ(v)}`.  On each population slice both
 //! conditions are decidable by exhaustive exploration; this module applies
 //! the characterisation to all inputs up to a bound.
+//!
+//! Besides the per-predicate drivers, [`unary_threshold_profile`] explores
+//! every slice **once** and records, per input, whether the protocol settles
+//! on 0, on 1, or on neither.  A single profile answers "which threshold (if
+//! any) does this protocol compute?" for *all* candidate thresholds at once —
+//! the busy-beaver enumeration previously re-explored every slice for every
+//! candidate `η`, a `max_input`-fold waste on its hottest path.
 
 use crate::graph::{ExploreLimits, ReachabilityGraph};
 use crate::stable::StableSets;
@@ -71,17 +78,17 @@ pub fn verify_input(
     let ic = protocol.initial_config(input);
     let graph = ReachabilityGraph::explore(protocol, &[ic], limits);
     let stable = StableSets::compute(protocol, &graph);
-    let target_ids = stable.stable_ids(expected_output);
-    let can_reach_target = graph.backward_closure(&target_ids);
-    let counterexample_id = (0..graph.len()).find(|&id| !can_reach_target[id]);
+    let targets = stable.bitset(expected_output);
+    let can_reach_target = graph.backward_closure_of(targets);
+    let counterexample_id = can_reach_target.first_absent();
     InputVerdict {
         input: input.clone(),
         expected,
-        correct: counterexample_id.is_none() && !target_ids.is_empty(),
+        correct: counterexample_id.is_none() && !targets.is_clear(),
         exhaustive: graph.is_complete(),
         reachable_configs: graph.len(),
-        stable_configs: target_ids.len(),
-        counterexample: counterexample_id.map(|id| graph.config(id).clone()),
+        stable_configs: targets.count(),
+        counterexample: counterexample_id.map(|id| graph.config(id)),
     }
 }
 
@@ -113,6 +120,112 @@ pub fn verify_unary_threshold(
     let predicate = Predicate::threshold_at_least(eta);
     let inputs: Vec<Input> = (2..=max_input).map(Input::unary).collect();
     verify_predicate(protocol, &predicate, &inputs, limits)
+}
+
+/// The settling behaviour of one unary input slice: which consensus values
+/// the protocol is guaranteed to reach from `IC(i)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InputProfile {
+    /// The unary input `i`.
+    pub input: u64,
+    /// `true` iff every configuration reachable from `IC(i)` can reach a
+    /// 0-stable configuration (and at least one exists): the protocol
+    /// correctly *rejects* this input.
+    pub rejects: bool,
+    /// The accepting counterpart of [`InputProfile::rejects`].
+    pub accepts: bool,
+    /// `true` if the exploration of this slice was exhaustive.
+    pub exhaustive: bool,
+}
+
+/// The per-input settling profile of a unary protocol over `2..=max_input`.
+///
+/// One exploration and one stable-set computation per input answers the
+/// verification question for *every* candidate threshold simultaneously.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdProfile {
+    /// The largest input profiled.
+    pub max_input: u64,
+    /// Per-input profiles for `2..=max_input`, in input order.  May stop
+    /// early (see [`ThresholdProfile::conclusive`]).
+    pub inputs: Vec<InputProfile>,
+    /// `false` if profiling stopped early because some slice settles on
+    /// neither output (or was not exhaustively explored): no threshold can
+    /// verify, whatever the remaining inputs do.
+    pub conclusive: bool,
+}
+
+impl ThresholdProfile {
+    /// Returns `true` if the profile is consistent with the protocol
+    /// computing `x ≥ eta` on every profiled input.
+    pub fn supports(&self, eta: u64) -> bool {
+        self.conclusive
+            && self
+                .inputs
+                .iter()
+                .all(|p| if p.input >= eta { p.accepts } else { p.rejects })
+    }
+
+    /// The threshold `η` the protocol provably computes, confirmed on all
+    /// inputs `2 ≤ i ≤ max_input` with the flip strictly below `max_input`.
+    ///
+    /// Matches the seed's `verified_threshold` semantics exactly: the
+    /// smallest supported `η`, and `None` when the only supported `η` equals
+    /// `max_input` (the flip position would not be certain).
+    pub fn verified_threshold(&self) -> Option<u64> {
+        if !self.conclusive {
+            return None;
+        }
+        for eta in 2..=self.max_input {
+            if self.supports(eta) {
+                if eta < self.max_input {
+                    return Some(eta);
+                }
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// Profiles a unary protocol on all inputs `2 ≤ i ≤ max_input`, exploring
+/// each slice exactly once.
+///
+/// Profiling aborts early (marking the profile inconclusive) as soon as a
+/// slice is found on which the protocol settles on neither output or the
+/// exploration is not exhaustive — no threshold can verify past that point.
+pub fn unary_threshold_profile(
+    protocol: &Protocol,
+    max_input: u64,
+    limits: &ExploreLimits,
+) -> ThresholdProfile {
+    let mut inputs = Vec::with_capacity(max_input.saturating_sub(1) as usize);
+    let mut conclusive = true;
+    for i in 2..=max_input {
+        let ic = protocol.initial_config_unary(i);
+        let graph = ReachabilityGraph::explore(protocol, &[ic], limits);
+        let stable = StableSets::compute(protocol, &graph);
+        let settles = |b: Output| {
+            let targets = stable.bitset(b);
+            !targets.is_clear() && graph.backward_closure_of(targets).first_absent().is_none()
+        };
+        let profile = InputProfile {
+            input: i,
+            rejects: settles(Output::False),
+            accepts: settles(Output::True),
+            exhaustive: graph.is_complete(),
+        };
+        inputs.push(profile);
+        if !profile.exhaustive || (!profile.rejects && !profile.accepts) {
+            conclusive = false;
+            break;
+        }
+    }
+    ThresholdProfile {
+        max_input,
+        inputs,
+        conclusive,
+    }
 }
 
 #[cfg(test)]
@@ -172,11 +285,7 @@ mod tests {
         let p = threshold2_protocol();
         let report = verify_unary_threshold(&p, 3, 5, &ExploreLimits::default());
         assert!(!report.all_correct());
-        let failing: Vec<u64> = report
-            .failures()
-            .iter()
-            .map(|v| v.input.total())
-            .collect();
+        let failing: Vec<u64> = report.failures().iter().map(|v| v.input.total()).collect();
         assert!(failing.contains(&2));
     }
 
@@ -207,7 +316,56 @@ mod tests {
             Input::from_counts(vec![1, 1]),
             Input::from_counts(vec![2, 3]),
         ];
-        let report = verify_predicate(&p, &Predicate::Const(true), &inputs, &ExploreLimits::default());
+        let report = verify_predicate(
+            &p,
+            &Predicate::Const(true),
+            &inputs,
+            &ExploreLimits::default(),
+        );
         assert!(report.all_correct());
+    }
+
+    #[test]
+    fn profile_agrees_with_per_eta_verification() {
+        let limits = ExploreLimits::default();
+        let p = threshold2_protocol();
+        let profile = unary_threshold_profile(&p, 8, &limits);
+        assert!(profile.conclusive);
+        assert_eq!(profile.verified_threshold(), Some(2));
+        for eta in 2..=8u64 {
+            let report = verify_unary_threshold(&p, eta, 8, &limits);
+            assert_eq!(
+                profile.supports(eta),
+                report.all_correct() && report.all_exhaustive(),
+                "profile disagrees with per-η verification at η = {eta}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_of_broken_protocol_is_inconclusive_or_unsupported() {
+        let p = broken_protocol();
+        let profile = unary_threshold_profile(&p, 5, &limits_default());
+        assert_eq!(profile.verified_threshold(), None);
+        // The broken protocol never accepts, so no input slice accepts…
+        assert!(profile.inputs.iter().all(|p| !p.accepts));
+        // …and it rejects everywhere (it is constantly 0), so the profile is
+        // conclusive but supports no threshold in range.
+        for eta in 2..5 {
+            assert!(!profile.supports(eta));
+        }
+    }
+
+    fn limits_default() -> ExploreLimits {
+        ExploreLimits::default()
+    }
+
+    #[test]
+    fn profile_aborts_on_truncated_slices() {
+        let p = threshold2_protocol();
+        let profile = unary_threshold_profile(&p, 30, &ExploreLimits::with_max_configs(3));
+        assert!(!profile.conclusive);
+        assert!(profile.inputs.len() < 29);
+        assert_eq!(profile.verified_threshold(), None);
     }
 }

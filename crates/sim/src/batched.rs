@@ -130,9 +130,7 @@ impl BatchedSimulator {
         let draws = birthday_collision_draws(&mut self.rng, n);
         // Reserve the final interaction of the batch for the exact collision
         // step, and never use more than the n available agents.
-        let l = ((draws.saturating_sub(1)) / 2)
-            .min(budget - 1)
-            .min(n / 2);
+        let l = ((draws.saturating_sub(1)) / 2).min(budget - 1).min(n / 2);
         if l == 0 {
             self.sequential_step();
             return 1;

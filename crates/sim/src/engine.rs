@@ -331,7 +331,10 @@ mod tests {
         let p = binary_counter(4); // x ≥ 16
         let mut sim = Simulator::new(p.clone(), p.initial_config_unary(40), 7);
         let converged = sim.run_until(|pr, c| pr.output(c) == Some(Output::True), 500_000);
-        assert!(converged, "40 ≥ 16 should eventually reach a true consensus");
+        assert!(
+            converged,
+            "40 ≥ 16 should eventually reach a true consensus"
+        );
     }
 
     #[test]

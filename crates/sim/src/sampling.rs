@@ -119,8 +119,7 @@ pub fn hypergeometric<R: RngCore + ?Sized>(
     // Gaussian approximation with finite-population correction.
     let p = successes as f64 / total as f64;
     let mean = draws as f64 * p;
-    let variance =
-        mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
+    let variance = mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
     let sample = mean + variance.sqrt() * standard_normal(rng) + 0.5;
     let upper = draws.min(successes);
     let lower = (draws + successes).saturating_sub(total);
@@ -142,7 +141,10 @@ pub fn multivariate_hypergeometric<R: RngCore + ?Sized>(
 ) {
     debug_assert_eq!(sizes.len(), out.len());
     let mut remaining_total: u64 = sizes.iter().sum();
-    assert!(draws <= remaining_total, "cannot draw more agents than exist");
+    assert!(
+        draws <= remaining_total,
+        "cannot draw more agents than exist"
+    );
     let mut remaining_draws = draws;
     for (i, &size) in sizes.iter().enumerate() {
         if remaining_draws == 0 {
@@ -187,7 +189,9 @@ mod tests {
     #[test]
     fn binomial_moments_small_n() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..20_000).map(|_| binomial(&mut rng, 40, 0.3) as f64).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| binomial(&mut rng, 40, 0.3) as f64)
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 12.0).abs() < 0.15, "mean {mean}");
         assert!((var - 8.4).abs() < 0.5, "var {var}");
@@ -197,8 +201,9 @@ mod tests {
     fn binomial_moments_inversion_regime() {
         let mut rng = StdRng::seed_from_u64(2);
         // n large, mean small: exercises the CDF-walk path.
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| binomial(&mut rng, 10_000, 0.001) as f64).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| binomial(&mut rng, 10_000, 0.001) as f64)
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
         assert!((var - 10.0).abs() < 0.7, "var {var}");
@@ -207,8 +212,9 @@ mod tests {
     #[test]
     fn binomial_moments_gaussian_regime() {
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| binomial(&mut rng, 1_000_000, 0.25) as f64).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| binomial(&mut rng, 1_000_000, 0.25) as f64)
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 250_000.0).abs() < 50.0, "mean {mean}");
         let expected_var = 187_500.0;
@@ -225,8 +231,7 @@ mod tests {
         let (mean, var) = mean_and_var(&samples);
         let p = 0.3;
         let expected_mean = draws as f64 * p;
-        let expected_var =
-            expected_mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
+        let expected_var = expected_mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
         assert!((mean - expected_mean).abs() < 0.2, "mean {mean}");
         assert!((var / expected_var - 1.0).abs() < 0.07, "var {var}");
     }
@@ -276,11 +281,15 @@ mod tests {
     fn birthday_draws_scale_like_sqrt_n() {
         let mut rng = StdRng::seed_from_u64(8);
         let n = 1_000_000u64;
-        let samples: Vec<f64> =
-            (0..5_000).map(|_| birthday_collision_draws(&mut rng, n) as f64).collect();
+        let samples: Vec<f64> = (0..5_000)
+            .map(|_| birthday_collision_draws(&mut rng, n) as f64)
+            .collect();
         let (mean, _) = mean_and_var(&samples);
         // Rayleigh mean = √(π n / 2) ≈ 1253 for n = 10⁶.
         let expected = (std::f64::consts::PI * n as f64 / 2.0).sqrt();
-        assert!((mean / expected - 1.0).abs() < 0.05, "mean {mean} vs {expected}");
+        assert!(
+            (mean / expected - 1.0).abs() < 0.05,
+            "mean {mean} vs {expected}"
+        );
     }
 }

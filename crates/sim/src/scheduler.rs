@@ -77,7 +77,10 @@ impl UniformScheduler {
 impl PairScheduler for UniformScheduler {
     fn select_pair<R: Rng + ?Sized>(&mut self, config: &Config, rng: &mut R) -> (StateId, StateId) {
         let n = config.size();
-        assert!(n >= 2, "a configuration must hold at least two agents to interact");
+        assert!(
+            n >= 2,
+            "a configuration must hold at least two agents to interact"
+        );
         self.refresh(config);
         // Pick the first agent uniformly among n agents.
         let first_bucket = self.bucket_of(rng.gen_range(0..n));

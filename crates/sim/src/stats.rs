@@ -32,11 +32,7 @@ impl SummaryStats {
         }
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
-        let variance = samples
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
-            / count as f64;
+        let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
         SummaryStats {
             count,
             mean,
@@ -67,10 +63,7 @@ pub struct ConvergenceStats {
 /// Aggregates a set of convergence outcomes.
 pub fn aggregate_outcomes(outcomes: &[ConvergenceOutcome]) -> ConvergenceStats {
     let converged: Vec<&ConvergenceOutcome> = outcomes.iter().filter(|o| o.converged).collect();
-    let parallel: Vec<f64> = converged
-        .iter()
-        .filter_map(|o| o.parallel_time)
-        .collect();
+    let parallel: Vec<f64> = converged.iter().filter_map(|o| o.parallel_time).collect();
     let interactions: Vec<f64> = converged
         .iter()
         .filter_map(|o| o.interactions_to_convergence.map(|i| i as f64))

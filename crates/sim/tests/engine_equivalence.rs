@@ -24,7 +24,8 @@ fn mean_parallel_time(
         .with_engine(engine);
     let result = popproto_sim::run_experiment(&exp);
     assert_eq!(
-        result.stats.converged_runs as u64, seeds,
+        result.stats.converged_runs as u64,
+        seeds,
         "{} runs failed to converge on {}",
         seeds - result.stats.converged_runs as u64,
         protocol.name()
@@ -40,7 +41,11 @@ fn assert_same_stable_output(protocol: &Protocol, input: &Input) {
         let seq_out = run_until_convergence(&mut seq, ConvergenceCriterion::Silent, u64::MAX);
         let mut bat = BatchedSimulator::new(protocol.clone(), ic.clone(), seed);
         let bat_out = run_until_convergence(&mut bat, ConvergenceCriterion::Silent, u64::MAX);
-        assert!(seq_out.converged && bat_out.converged, "{}", protocol.name());
+        assert!(
+            seq_out.converged && bat_out.converged,
+            "{}",
+            protocol.name()
+        );
         assert_eq!(
             seq_out.output,
             bat_out.output,

@@ -78,13 +78,7 @@ pub fn longest_bad_sequence(search: &ControlledSearch) -> BadSequenceResult {
     let mut current: Vec<Vec<u64>> = Vec::new();
     let mut nodes: u64 = 0;
     let mut truncated = false;
-    extend(
-        search,
-        &mut current,
-        &mut best,
-        &mut nodes,
-        &mut truncated,
-    );
+    extend(search, &mut current, &mut best, &mut nodes, &mut truncated);
     BadSequenceResult {
         sequence: best,
         exact: !truncated,
@@ -138,7 +132,13 @@ fn vectors_with_norm_at_most(dim: usize, max_norm: u64) -> Vec<Vec<u64>> {
     out
 }
 
-fn enumerate_rec(dim: usize, budget: u64, pos: usize, current: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+fn enumerate_rec(
+    dim: usize,
+    budget: u64,
+    pos: usize,
+    current: &mut Vec<u64>,
+    out: &mut Vec<Vec<u64>>,
+) {
     if pos == dim {
         out.push(current.clone());
         return;
@@ -193,7 +193,12 @@ mod tests {
     fn dimension_two_is_strictly_longer_than_dimension_one() {
         let d1 = longest_bad_sequence(&ControlledSearch::new(1, 2));
         let d2 = longest_bad_sequence(&ControlledSearch::new(2, 2));
-        assert!(d2.len() > d1.len(), "d2 = {} should exceed d1 = {}", d2.len(), d1.len());
+        assert!(
+            d2.len() > d1.len(),
+            "d2 = {} should exceed d1 = {}",
+            d2.len(),
+            d1.len()
+        );
     }
 
     #[test]

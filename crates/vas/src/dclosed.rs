@@ -174,11 +174,14 @@ impl Ideal {
     /// Inclusion test `self ⊆ other`.
     pub fn included_in(&self, other: &Ideal) -> bool {
         assert_eq!(self.num_states(), other.num_states(), "dimension mismatch");
-        self.bounds.iter().zip(&other.bounds).all(|(a, b)| match (a, b) {
-            (_, None) => true,
-            (None, Some(_)) => false,
-            (Some(x), Some(y)) => x <= y,
-        })
+        self.bounds
+            .iter()
+            .zip(&other.bounds)
+            .all(|(a, b)| match (a, b) {
+                (_, None) => true,
+                (None, Some(_)) => false,
+                (Some(x), Some(y)) => x <= y,
+            })
     }
 
     /// The norm: the largest finite bound (0 if all bounds are ω or 0).
@@ -217,7 +220,9 @@ impl DownwardClosedSet {
 
     /// A set consisting of a single ideal.
     pub fn from_ideal(ideal: Ideal) -> Self {
-        DownwardClosedSet { ideals: vec![ideal] }
+        DownwardClosedSet {
+            ideals: vec![ideal],
+        }
     }
 
     /// The ideals of the (minimised) representation.
@@ -238,7 +243,11 @@ impl DownwardClosedSet {
     /// Adds an ideal, keeping the representation minimal (no ideal included
     /// in another).
     pub fn insert(&mut self, ideal: Ideal) {
-        if self.ideals.iter().any(|existing| ideal.included_in(existing)) {
+        if self
+            .ideals
+            .iter()
+            .any(|existing| ideal.included_in(existing))
+        {
             return;
         }
         self.ideals.retain(|existing| !existing.included_in(&ideal));

@@ -139,7 +139,10 @@ pub fn hilbert_basis_equalities(matrix: &[Vec<i64>], options: &HilbertOptions) -
                     }
                     let mut v2 = value.clone();
                     v2.add_scaled(col, 1);
-                    if !next.iter().any(|(existing, _): &(Vec<u64>, ZVec)| existing == &t2) {
+                    if !next
+                        .iter()
+                        .any(|(existing, _): &(Vec<u64>, ZVec)| existing == &t2)
+                    {
                         next.push((t2, v2));
                     }
                 }
@@ -291,8 +294,7 @@ mod tests {
     #[test]
     fn classic_three_variable_example() {
         // x0 + x1 - x2 = 0: minimal solutions (1,0,1) and (0,1,1).
-        let basis =
-            hilbert_basis_equalities(&[vec![1, 1, -1]], &HilbertOptions::default());
+        let basis = hilbert_basis_equalities(&[vec![1, 1, -1]], &HilbertOptions::default());
         assert!(basis.complete);
         assert_eq!(basis.solutions, vec![vec![0, 1, 1], vec![1, 0, 1]]);
     }
@@ -313,7 +315,10 @@ mod tests {
         assert!(basis.complete);
         assert!(!basis.is_empty());
         for s in &basis.solutions {
-            assert!(is_solution_equalities(&matrix, s), "{s:?} is not a solution");
+            assert!(
+                is_solution_equalities(&matrix, s),
+                "{s:?} is not a solution"
+            );
         }
         for a in &basis.solutions {
             for b in &basis.solutions {
@@ -413,6 +418,14 @@ mod tests {
     fn max_norm_reporting() {
         let basis = hilbert_basis_equalities(&[vec![2, -3]], &HilbertOptions::default());
         assert_eq!(basis.max_norm1(), 5);
-        assert_eq!(HilbertBasis { solutions: vec![], complete: true, nodes_visited: 0 }.max_norm1(), 0);
+        assert_eq!(
+            HilbertBasis {
+                solutions: vec![],
+                complete: true,
+                nodes_visited: 0
+            }
+            .max_norm1(),
+            0
+        );
     }
 }

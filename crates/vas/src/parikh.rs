@@ -242,7 +242,7 @@ mod tests {
         let m = displacement_matrix(&p);
         assert_eq!(m.len(), 3); // states
         assert_eq!(m[0].len(), 3); // transitions
-        // t0 = (1,1 ↦ 0,2): column 0 is (+1, -2, +1).
+                                   // t0 = (1,1 ↦ 0,2): column 0 is (+1, -2, +1).
         assert_eq!((m[0][0], m[1][0], m[2][0]), (1, -2, 1));
         // t1 = (0,2 ↦ 2,2): column 1 is (-1, 0, +1).
         assert_eq!((m[0][1], m[1][1], m[2][1]), (-1, 0, 1));

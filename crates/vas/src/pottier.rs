@@ -76,11 +76,8 @@ impl RealisabilitySystem {
     /// `Σ_t π(t)·Δt(q) ≥ 0` per non-input state `q`.
     pub fn new(protocol: &Protocol) -> Self {
         let n = protocol.num_states();
-        let input_states: Vec<StateId> = protocol
-            .input_variables()
-            .iter()
-            .map(|v| v.state)
-            .collect();
+        let input_states: Vec<StateId> =
+            protocol.input_variables().iter().map(|v| v.state).collect();
         let constrained_states: Vec<StateId> = protocol
             .state_ids()
             .filter(|q| !input_states.contains(q))
@@ -172,7 +169,8 @@ mod tests {
         b.add_transition((one, one), (zero, two)).unwrap();
         b.add_transition((two, two), (zero, four)).unwrap();
         for &a in &[zero, one, two, four] {
-            b.add_transition_idempotent((a, four), (four, four)).unwrap();
+            b.add_transition_idempotent((a, four), (four, four))
+                .unwrap();
         }
         b.set_input_state("x", one);
         b.build().unwrap()
@@ -185,10 +183,7 @@ mod tests {
         let q = p.num_states() as u64;
         let xi = pottier_constant(&p);
         assert_eq!(xi, BigNat::from(2 * t + 1).pow(q) * BigNat::from(2u64));
-        assert_eq!(
-            pottier_constant_u64(&p),
-            2 * (2 * t + 1).pow(q as u32)
-        );
+        assert_eq!(pottier_constant_u64(&p), 2 * (2 * t + 1).pow(q as u32));
         let xi_det = pottier_constant_deterministic(&p);
         assert_eq!(xi_det, BigNat::from(q + 2).pow(q) * BigNat::from(2u64));
         // For this protocol |T| ≥ |Q|, so the deterministic constant is smaller.
@@ -240,7 +235,10 @@ mod tests {
         let p = binary_counter();
         let sys = RealisabilitySystem::new(&p);
         let basis = sys.basis(&HilbertOptions::default());
-        assert!(basis.complete, "basis search should complete for this small protocol");
+        assert!(
+            basis.complete,
+            "basis search should complete for this small protocol"
+        );
         assert!(!basis.is_empty());
         let bound = sys.pottier_bound_u64();
         assert!(

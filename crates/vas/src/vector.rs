@@ -63,7 +63,11 @@ impl ZVec {
 
     /// The ∞-norm `‖v‖_∞ = max |vᵢ|`.
     pub fn norm_inf(&self) -> u64 {
-        self.entries.iter().map(|e| e.unsigned_abs()).max().unwrap_or(0)
+        self.entries
+            .iter()
+            .map(|e| e.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns `true` if all entries are ≥ 0.

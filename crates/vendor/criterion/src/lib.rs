@@ -82,7 +82,12 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Benchmarks `f`, passing it `input`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -210,7 +215,9 @@ where
     }
     BenchResult {
         label: label.to_string(),
-        mean: total.checked_div(total_iters.max(1) as u32).unwrap_or(Duration::ZERO),
+        mean: total
+            .checked_div(total_iters.max(1) as u32)
+            .unwrap_or(Duration::ZERO),
         samples,
     }
 }
@@ -244,7 +251,9 @@ mod tests {
     fn harness_runs_and_reports() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("smoke");
-        group.sample_size(2).measurement_time(Duration::from_millis(20));
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20));
         group.bench_with_input(BenchmarkId::from_parameter(10u32), &10u32, |b, &n| {
             b.iter(|| (0..n).sum::<u32>())
         });

@@ -70,7 +70,9 @@ impl Value {
             Value::Array(items) => items
                 .get(i)
                 .ok_or_else(|| DeError::custom(format!("missing array element {i}"))),
-            other => Err(DeError::custom(format!("expected an array, found {other:?}"))),
+            other => Err(DeError::custom(format!(
+                "expected an array, found {other:?}"
+            ))),
         }
     }
 
@@ -319,13 +321,20 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(value: &Value) -> Result<Self, DeError> {
-        Ok((A::from_value(value.index(0)?)?, B::from_value(value.index(1)?)?))
+        Ok((
+            A::from_value(value.index(0)?)?,
+            B::from_value(value.index(1)?)?,
+        ))
     }
 }
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -366,7 +375,11 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -426,10 +439,7 @@ mod tests {
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"
         );
-        assert_eq!(
-            Option::<u64>::from_value(&Value::Null).unwrap(),
-            None
-        );
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
         assert_eq!(
             Vec::<u64>::from_value(&vec![1u64, 2].to_value()).unwrap(),
             vec![1, 2]

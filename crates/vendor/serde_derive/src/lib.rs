@@ -258,9 +258,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
-                })
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -327,9 +325,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?,")
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?,"))
                 .collect();
             format!("Ok({name} {{ {} }})", entries.join(" "))
         }

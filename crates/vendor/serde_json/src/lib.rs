@@ -192,7 +192,10 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
-            _ => Err(Error::new(format!("unexpected character at byte {}", self.pos))),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
         }
     }
 
@@ -356,7 +359,10 @@ mod tests {
     fn round_trips_nested_values() {
         let v = Value::Object(vec![
             ("name".into(), Value::Str("flock(3) \"x\"".into())),
-            ("counts".into(), Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+            (
+                "counts".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
             ("mean".into(), Value::Float(2.5)),
             ("neg".into(), Value::Int(-3)),
             ("ok".into(), Value::Bool(true)),
@@ -379,7 +385,7 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(from_str::<Value>("{invalid}").is_err());
-        assert!(from_str::<Value>("[1, 2") .is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
         assert!(from_str::<Value>("12 tail").is_err());
     }
 }

@@ -48,7 +48,8 @@ pub fn approximate_majority() -> Protocol {
     b.add_transition((bb, u), (bb, bb)).unwrap();
     b.set_input_state("x0", a);
     b.set_input_state("x1", bb);
-    b.build().expect("approximate majority construction is well-formed")
+    b.build()
+        .expect("approximate majority construction is well-formed")
 }
 
 #[cfg(test)]
@@ -63,7 +64,10 @@ mod tests {
         assert_eq!(p.num_transitions(), 4);
         assert!(p.is_leaderless());
         assert!(!p.is_unary());
-        assert!(!p.is_deterministic(), "⦃A, B⦄ has two candidate transitions");
+        assert!(
+            !p.is_deterministic(),
+            "⦃A, B⦄ has two candidate transitions"
+        );
     }
 
     #[test]

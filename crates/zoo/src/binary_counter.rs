@@ -45,7 +45,8 @@ pub fn binary_counter(k: u32) -> Protocol {
             .expect("states were just declared");
     }
     b.set_input_state("x", powers[0]);
-    b.build().expect("binary counter construction is well-formed")
+    b.build()
+        .expect("binary counter construction is well-formed")
 }
 
 /// The threshold computed by [`binary_counter`]`(k)`, i.e. `2^k`.

@@ -82,7 +82,13 @@ mod tests {
     #[test]
     fn catalog_contains_each_family() {
         let cat = catalog();
-        for family in ["flock", "binary_counter", "leader_counter", "majority", "modulo"] {
+        for family in [
+            "flock",
+            "binary_counter",
+            "leader_counter",
+            "majority",
+            "modulo",
+        ] {
             assert!(
                 cat.iter().any(|i| i.family == family),
                 "missing family {family}"

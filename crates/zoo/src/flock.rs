@@ -24,13 +24,20 @@ use popproto_model::{Output, Protocol, ProtocolBuilder};
 /// assert!(p.is_leaderless());
 /// ```
 pub fn flock(eta: u64) -> Protocol {
-    assert!(eta >= 1, "flock protocol requires a threshold of at least 1");
+    assert!(
+        eta >= 1,
+        "flock protocol requires a threshold of at least 1"
+    );
     let mut b = ProtocolBuilder::new(format!("flock({eta})"));
     let states: Vec<_> = (0..=eta)
         .map(|v| {
             b.add_state(
                 v.to_string(),
-                if v == eta { Output::True } else { Output::False },
+                if v == eta {
+                    Output::True
+                } else {
+                    Output::False
+                },
             )
         })
         .collect();
@@ -38,11 +45,7 @@ pub fn flock(eta: u64) -> Protocol {
     for a in 0..=eta {
         for v in a..=eta {
             let sum = a + v;
-            let (post_lo, post_hi) = if sum >= eta {
-                (eta, eta)
-            } else {
-                (0, sum)
-            };
+            let (post_lo, post_hi) = if sum >= eta { (eta, eta) } else { (0, sum) };
             // Skip silent transitions such as 0,0 ↦ 0,0.
             if (a == post_lo && v == post_hi) || (a == post_hi && v == post_lo) {
                 continue;

@@ -38,10 +38,16 @@ pub fn leader_counter(k: u32) -> Protocol {
     // The flooding accept state.
     let accept = b.add_state("F", Output::True);
     // Bit leaders: bit_i is either 0 or 1.
-    let bit0: Vec<_> = (0..k).map(|i| b.add_state(format!("bit{i}=0"), Output::False)).collect();
-    let bit1: Vec<_> = (0..k).map(|i| b.add_state(format!("bit{i}=1"), Output::False)).collect();
+    let bit0: Vec<_> = (0..k)
+        .map(|i| b.add_state(format!("bit{i}=0"), Output::False))
+        .collect();
+    let bit1: Vec<_> = (0..k)
+        .map(|i| b.add_state(format!("bit{i}=1"), Output::False))
+        .collect();
     // Carries in flight towards bit i (a carry into bit 0 is the token itself).
-    let carry: Vec<_> = (1..k).map(|i| b.add_state(format!("carry{i}"), Output::False)).collect();
+    let carry: Vec<_> = (1..k)
+        .map(|i| b.add_state(format!("carry{i}"), Output::False))
+        .collect();
     let carry_into = |i: usize| if i == 0 { token } else { carry[i - 1] };
 
     for i in 0..k as usize {
@@ -50,7 +56,11 @@ pub fn leader_counter(k: u32) -> Protocol {
         b.add_transition((incoming, bit0[i]), (spent, bit1[i]))
             .expect("states were just declared");
         // Incoming carry meets bit i = 1: clear the bit, propagate the carry.
-        let outgoing = if i + 1 < k as usize { carry_into(i + 1) } else { accept };
+        let outgoing = if i + 1 < k as usize {
+            carry_into(i + 1)
+        } else {
+            accept
+        };
         b.add_transition((incoming, bit1[i]), (outgoing, bit0[i]))
             .expect("states were just declared");
     }
@@ -70,7 +80,8 @@ pub fn leader_counter(k: u32) -> Protocol {
         b.add_leader(q, 1);
     }
     b.set_input_state("x", token);
-    b.build().expect("leader counter construction is well-formed")
+    b.build()
+        .expect("leader counter construction is well-formed")
 }
 
 /// The threshold computed by [`leader_counter`]`(k)`, i.e. `2^k`.

@@ -31,10 +31,14 @@ pub fn majority() -> Protocol {
     let big_b = b.add_state("B", Output::False);
     let small_a = b.add_state("a", Output::True);
     let small_b = b.add_state("b", Output::False);
-    b.add_transition((big_a, big_b), (small_a, small_b)).unwrap();
-    b.add_transition((big_a, small_b), (big_a, small_a)).unwrap();
-    b.add_transition((big_b, small_a), (big_b, small_b)).unwrap();
-    b.add_transition((small_a, small_b), (small_b, small_b)).unwrap();
+    b.add_transition((big_a, big_b), (small_a, small_b))
+        .unwrap();
+    b.add_transition((big_a, small_b), (big_a, small_a))
+        .unwrap();
+    b.add_transition((big_b, small_a), (big_b, small_b))
+        .unwrap();
+    b.add_transition((small_a, small_b), (small_b, small_b))
+        .unwrap();
     b.set_input_state("x0", big_a);
     b.set_input_state("x1", big_b);
     b.build().expect("majority construction is well-formed")

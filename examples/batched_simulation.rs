@@ -29,7 +29,10 @@ fn main() {
         .map(|a| a.parse().expect("seed must be an integer"))
         .unwrap_or(42);
     assert!(population >= 2, "need at least two agents");
-    assert!((1..=99).contains(&percent), "majority percent must be in 1..=99");
+    assert!(
+        (1..=99).contains(&percent),
+        "majority percent must be in 1..=99"
+    );
 
     let protocol = approximate_majority();
     let a = population * percent / 100;

@@ -18,7 +18,11 @@ fn main() {
     let report = verify_unary_threshold(&protocol, 8, 12, &ExploreLimits::default());
     println!(
         "exhaustive verification of x >= 8 on inputs 2..=12: {}",
-        if report.all_correct() { "correct" } else { "INCORRECT" }
+        if report.all_correct() {
+            "correct"
+        } else {
+            "INCORRECT"
+        }
     );
 
     // 3. Simulate a population of 500 agents and measure the parallel time.

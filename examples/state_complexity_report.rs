@@ -1,13 +1,21 @@
-//! End-to-end report: run every experiment (E1–E10) at small scale and print
+//! End-to-end report: run every experiment (E1–E10) at small scale — plus
+//! the E8 large-population rows (batched engine, n ∈ {10⁶, 10⁸}) — and print
 //! the aggregated markdown report, plus the raw JSON for archival.
 //!
 //! Run with `cargo run --release --example state_complexity_report`.
+//! Pass `--small` to skip the large-population E8 rows (useful on slow
+//! machines; they take a few seconds of wall clock).
 
-use popproto::experiments::run_all_small;
+use popproto::experiments::{run_all_small, run_all_with_large_e8};
 use popproto::report::render_full;
 
 fn main() {
-    let report = run_all_small();
+    let small = std::env::args().any(|a| a == "--small");
+    let report = if small {
+        run_all_small()
+    } else {
+        run_all_with_large_e8()
+    };
     println!("{}", render_full(&report));
     println!("\n## Raw data (JSON)\n");
     match serde_json::to_string_pretty(&report) {

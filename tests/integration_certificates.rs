@@ -22,7 +22,12 @@ fn pumping_certificates_bound_the_threshold_from_above() {
         // For an accepting-class certificate, a ≥ η; either way a is an upper
         // bound on any threshold the protocol could compute.
         if cert.output == Output::True {
-            assert!(cert.a >= eta, "{}: a = {} < η = {eta}", protocol.name(), cert.a);
+            assert!(
+                cert.a >= eta,
+                "{}: a = {} < η = {eta}",
+                protocol.name(),
+                cert.a
+            );
         }
     }
 }
@@ -97,7 +102,9 @@ fn concentration_reports_respect_corollary_57() {
         let report =
             find_zero_concentrated_multiset(&protocol, &accepting, &HilbertOptions::default());
         assert!(report.basis_complete, "{}", protocol.name());
-        let found = report.found.expect("accepting states admit a concentrated multiset");
+        let found = report
+            .found
+            .expect("accepting states admit a concentrated multiset");
         assert!(found.parikh.size() <= report.pottier_half_bound);
         assert!(found.input >= 1);
         assert!(found.input <= 2 * report.pottier_half_bound);

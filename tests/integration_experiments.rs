@@ -16,7 +16,12 @@ fn e1_shape_binary_counter_dominates_flock() {
     let counter_rate = e1
         .records
         .iter()
-        .filter(|r| matches!(r.family, popproto::busy_beaver::WitnessFamily::BinaryCounter))
+        .filter(|r| {
+            matches!(
+                r.family,
+                popproto::busy_beaver::WitnessFamily::BinaryCounter
+            )
+        })
         .map(|r| r.log2_eta_per_state())
         .fold(0.0f64, f64::max);
     let flock_rate = e1
@@ -106,7 +111,11 @@ fn e8_parallel_time_grows_slowly_with_population() {
     // Every run converges and the mean parallel time does not explode by the
     // population factor (it is roughly O(n log n)/n per the literature).
     for row in &rows {
-        assert_eq!(row.converged, row.runs, "{} n={}", row.protocol, row.population);
+        assert_eq!(
+            row.converged, row.runs,
+            "{} n={}",
+            row.protocol, row.population
+        );
     }
     for protocol in ["flock(4)", "binary_counter(3) [x >= 2^3]"] {
         let t16 = rows
@@ -137,8 +146,14 @@ fn e10_controlled_bad_sequences_match_closed_forms() {
     // Dimension 2 exceeds dimension 1 at equal δ ≥ 1 whenever both are exact
     // (at δ = 0 both start with the zero vector and stop immediately).
     for delta in 1..=2u64 {
-        let d1 = rows.iter().find(|r| r.dimension == 1 && r.delta == delta).unwrap();
-        let d2 = rows.iter().find(|r| r.dimension == 2 && r.delta == delta).unwrap();
+        let d1 = rows
+            .iter()
+            .find(|r| r.dimension == 1 && r.delta == delta)
+            .unwrap();
+        let d2 = rows
+            .iter()
+            .find(|r| r.dimension == 2 && r.delta == delta)
+            .unwrap();
         if d1.exact && d2.exact {
             assert!(d2.length > d1.length);
         }

@@ -11,7 +11,10 @@ use popproto_zoo::{binary_counter, flock, leader_counter, modulo};
 fn simulate_to_silence(protocol: &Protocol, input: Input, seed: u64) -> Option<bool> {
     let mut sim = Simulator::new(protocol.clone(), protocol.initial_config(&input), seed);
     let outcome = run_until_convergence(&mut sim, ConvergenceCriterion::Silent, 10_000_000);
-    assert!(outcome.converged, "simulation must reach a silent configuration");
+    assert!(
+        outcome.converged,
+        "simulation must reach a silent configuration"
+    );
     outcome.output
 }
 
@@ -89,7 +92,9 @@ fn monotonicity_property_of_executions() {
         let p = &instance.protocol;
         for t in p.transitions() {
             let pre = t.pre.as_config(p.num_states());
-            let post = t.fire(&pre).expect("a transition is enabled at its own precondition");
+            let post = t
+                .fire(&pre)
+                .expect("a transition is enabled at its own precondition");
             let padding = Config::from_counts(vec![1; p.num_states()]);
             let padded_pre = pre.plus(&padding);
             let padded_post = t.fire(&padded_pre).expect("monotonicity: still enabled");

@@ -84,7 +84,8 @@ fn stable_sets_are_downward_closed_on_slices() {
     // subconfiguration of a 1-stable configuration is 1-stable.
     let p = binary_counter(2);
     let limits = ExploreLimits::default();
-    let stable = popproto_reach::basis_extract::stable_configs_of_size(&p, Output::True, 5, &limits);
+    let stable =
+        popproto_reach::basis_extract::stable_configs_of_size(&p, Output::True, 5, &limits);
     assert!(!stable.is_empty());
     for c in &stable {
         for (q, count) in c.iter() {
@@ -126,7 +127,8 @@ fn basis_elements_certify_membership_of_larger_stable_configs() {
     let p = binary_counter(2);
     let limits = ExploreLimits::default();
     let basis = extract_stable_basis(&p, Output::True, 5, 1, &limits);
-    let larger = popproto_reach::basis_extract::stable_configs_of_size(&p, Output::True, 8, &limits);
+    let larger =
+        popproto_reach::basis_extract::stable_configs_of_size(&p, Output::True, 8, &limits);
     assert!(!larger.is_empty());
     for c in &larger {
         assert!(
