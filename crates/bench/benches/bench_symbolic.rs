@@ -1,0 +1,171 @@
+//! Symbolic-engine benchmark: the all-`n` fixpoint machinery against the
+//! per-`n` enumerative loop, and the busy-beaver pre-filter on the real
+//! `BB_det(3)` candidate space.
+//!
+//! Emits a machine-readable `BENCH_symbolic.json` at the workspace root with
+//! three measurements:
+//!
+//! * `fixpoint_vs_enumerative` — wall time of a full symbolic analysis +
+//!   all-`n` certification vs the enumerative threshold profile over the
+//!   slices `2..=16`, per zoo threshold protocol.  The comparison
+//!   understates the symbolic advantage: the enumerative side only ever
+//!   decides 15 slices, the symbolic side decides *all* of them.
+//! * `prefilter` — over a prefix of the canonical 3-state candidate space:
+//!   how many candidates the staged symbolic pre-filter rejects, and the
+//!   aggregate cost of filtering vs concretely profiling those rejected
+//!   candidates (the work the old search performed on them).
+//! * `e7_with_prefilter` — the full `BB_det(3)` search with the pre-filter
+//!   wired in: total time, the exact value (must stay 3), and the number of
+//!   orbits rejected before any concrete slice was built, including one
+//!   `example_rejection` whose old-path exploration cost is spelled out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popproto::enumeration::{busy_beaver_search, decode_candidate};
+use popproto_model::Protocol;
+use popproto_reach::{unary_threshold_profile, ExploreLimits, ReachabilityGraph};
+use popproto_symbolic::{threshold_prefilter, SymbolicLimits, SymbolicVerifier};
+use popproto_zoo::{binary_counter, flock, leader_counter};
+use std::time::{Duration, Instant};
+
+fn bench_symbolic_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_analyze");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let p = flock(3);
+    group.bench_function("flock3_analyze_and_certify", |b| {
+        b.iter(|| {
+            let verifier = SymbolicVerifier::analyze(&p, &SymbolicLimits::default());
+            assert!(verifier.certify_threshold(3).is_certified());
+        })
+    });
+    group.finish();
+}
+
+fn emit_bench_json(_c: &mut Criterion) {
+    let mut entries: Vec<String> = Vec::new();
+    let limits = SymbolicLimits::default();
+    let explore = ExploreLimits::default();
+
+    // 1. Symbolic fixpoint vs the per-n enumerative loop.
+    let instances: Vec<(Protocol, u64)> = vec![
+        (flock(3), 3),
+        (flock(5), 5),
+        (binary_counter(2), 4),
+        (binary_counter(3), 8),
+        (leader_counter(2), 4),
+    ];
+    let mut rows: Vec<String> = Vec::new();
+    for (p, eta) in &instances {
+        let start = Instant::now();
+        let verifier = SymbolicVerifier::analyze(p, &limits);
+        let verdict = verifier.certify_threshold(*eta);
+        let symbolic_seconds = start.elapsed().as_secs_f64();
+        assert!(verdict.is_certified(), "{}: {verdict:?}", p.name());
+
+        let max_slice = 16u64;
+        let start = Instant::now();
+        let profile = unary_threshold_profile(p, max_slice, &explore);
+        let enumerative_seconds = start.elapsed().as_secs_f64();
+        assert!(profile.supports(*eta));
+        println!(
+            "[symbolic] {}: all-n certificate in {symbolic_seconds:.4}s vs \
+             {enumerative_seconds:.4}s for slices 2..={max_slice} ({})",
+            p.name(),
+            verdict.summary()
+        );
+        rows.push(format!(
+            "    {{\"protocol\": \"{}\", \"eta\": {eta}, \"verdict\": \"{}\", \"symbolic_seconds\": {symbolic_seconds:.6}, \"enumerative_slices\": {max_slice}, \"enumerative_seconds\": {enumerative_seconds:.6}}}",
+            p.name(),
+            verdict.summary()
+        ));
+    }
+    entries.push(format!(
+        "  \"fixpoint_vs_enumerative\": [\n{}\n  ]",
+        rows.join(",\n")
+    ));
+
+    // 2. The pre-filter over a prefix of the 3-state candidate space: cost
+    // of filtering vs the concrete profiling the old search spent on the
+    // rejected candidates.
+    let prefilter_limits = SymbolicLimits::prefilter();
+    let max_input = 6u64;
+    let sample = 20_000u128;
+    let mut rejected = 0usize;
+    let mut filter_seconds = 0f64;
+    let mut profile_seconds = 0f64;
+    let mut example: Option<(u128, usize, usize)> = None;
+    for k in 0..sample {
+        let candidate = decode_candidate(3, k);
+        let start = Instant::now();
+        let may_compute = threshold_prefilter(&candidate, max_input, &prefilter_limits);
+        filter_seconds += start.elapsed().as_secs_f64();
+        if may_compute {
+            continue;
+        }
+        rejected += 1;
+        let start = Instant::now();
+        let profile = unary_threshold_profile(&candidate, max_input, &explore);
+        profile_seconds += start.elapsed().as_secs_f64();
+        assert_eq!(
+            profile.verified_threshold(),
+            None,
+            "prefilter rejected a verifying candidate {k}"
+        );
+        if example.is_none() && !profile.inputs.is_empty() {
+            // Old-path cost of this candidate: every slice the profile
+            // explored, with its concrete configuration count.
+            let slices = profile.inputs.len();
+            let configs: usize = (2..=max_input)
+                .map(|i| {
+                    ReachabilityGraph::explore(
+                        &candidate,
+                        &[candidate.initial_config_unary(i)],
+                        &explore,
+                    )
+                    .len()
+                })
+                .sum();
+            example = Some((k, slices, configs));
+        }
+    }
+    let (ex_k, ex_slices, ex_configs) = example.expect("some candidate is rejected");
+    println!(
+        "[symbolic] prefilter on {sample} candidates: {rejected} rejected in \
+         {filter_seconds:.3}s (profiling those costs {profile_seconds:.3}s); \
+         e.g. candidate {ex_k} previously explored {ex_configs} configs over {ex_slices} slices"
+    );
+    entries.push(format!(
+        "  \"prefilter\": {{\n    \"states\": 3,\n    \"max_input\": {max_input},\n    \"candidates_sampled\": {sample},\n    \"rejected\": {rejected},\n    \"filter_seconds\": {filter_seconds:.4},\n    \"old_path_profile_seconds\": {profile_seconds:.4},\n    \"example_rejection\": {{\"candidate_index\": {ex_k}, \"old_path_slices\": {ex_slices}, \"old_path_configs_explored\": {ex_configs}}}\n  }}"
+    ));
+
+    // 3. The full BB_det(3) search with the pre-filter wired in.
+    let start = Instant::now();
+    let result = busy_beaver_search(3, max_input, u64::MAX, &explore);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(result.best_eta, Some(3), "BB_det(3) must not change");
+    assert!(result.pruned_symbolic > 0, "the pre-filter never fired");
+    println!(
+        "[symbolic] BB_det(3) = {:?} in {seconds:.2}s: {} orbits rejected symbolically \
+         before any concrete slice, {} pruned by symmetry, {} threshold protocols",
+        result.best_eta,
+        result.pruned_symbolic,
+        result.pruned_symmetric,
+        result.threshold_protocols
+    );
+    entries.push(format!(
+        "  \"e7_with_prefilter\": {{\n    \"states\": 3,\n    \"max_input\": {max_input},\n    \"best_eta\": {},\n    \"seconds\": {seconds:.3},\n    \"pruned_symbolic\": {},\n    \"pruned_symmetric\": {},\n    \"threshold_protocols\": {}\n  }}",
+        result.best_eta.map(|e| e.to_string()).unwrap_or_else(|| "null".into()),
+        result.pruned_symbolic,
+        result.pruned_symmetric,
+        result.threshold_protocols
+    ));
+
+    let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_symbolic.json");
+    std::fs::write(path, &json).expect("failed to write BENCH_symbolic.json");
+    println!("[symbolic] wrote {path}");
+}
+
+criterion_group!(benches, bench_symbolic_analysis, emit_bench_json);
+criterion_main!(benches);

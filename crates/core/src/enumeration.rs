@@ -41,9 +41,23 @@
 //! index space is fanned out across scoped worker threads.  The result is
 //! deterministic regardless of thread count: ties between equal thresholds
 //! are broken towards the smallest candidate index.
+//!
+//! # Symbolic pre-filtering
+//!
+//! Before any concrete slice is explored, each canonical candidate passes
+//! through [`popproto_symbolic::threshold_prefilter`]: a staged symbolic
+//! check (no accepting states → no coverable accepting state → reachable
+//! 1-stable configurations all below the `|L| + max_input` agents the
+//! mandatory accept at `max_input` needs).  The filter is *sound for the
+//! bounded semantics* — it rejects only candidates whose
+//! [`verified_threshold`] provably returns `None` — so `best_eta`, the
+//! witness and `threshold_protocols` are unchanged; it merely skips the
+//! per-input exploration for hopeless candidates
+//! ([`EnumerationResult::pruned_symbolic`] counts them).
 
 use popproto_model::{Output, Protocol, ProtocolBuilder, StateId};
 use popproto_reach::{unary_threshold_profile, ExploreLimits};
+use popproto_symbolic::{threshold_prefilter, SymbolicLimits};
 use serde::{Deserialize, Serialize};
 
 /// The result of the exhaustive busy-beaver search for one state count.
@@ -64,6 +78,9 @@ pub struct EnumerationResult {
     /// Candidates skipped as non-canonical members of an already-covered
     /// state-relabelling orbit.
     pub pruned_symmetric: u64,
+    /// Canonical candidates rejected by the symbolic pre-filter before any
+    /// concrete slice was explored (each would have profiled to `None`).
+    pub pruned_symbolic: u64,
     /// The verification cap used (thresholds are only confirmed up to this input).
     pub max_input: u64,
 }
@@ -188,6 +205,7 @@ fn heap_permutations(items: &mut [usize], k: usize, emit: &mut impl FnMut(&[usiz
 struct LocalResult {
     threshold_protocols: u64,
     pruned_symmetric: u64,
+    pruned_symbolic: u64,
     /// Best verified candidate as `(eta, candidate_index, witness)`.
     best: Option<(u64, u128, Protocol)>,
 }
@@ -202,9 +220,11 @@ fn scan_range(
     let num_pairs = space.pairs.len();
     let mut assignment = vec![0usize; num_pairs];
     let mut relabeled = vec![0usize; num_pairs];
+    let symbolic_limits = SymbolicLimits::prefilter();
     let mut local = LocalResult {
         threshold_protocols: 0,
         pruned_symmetric: 0,
+        pruned_symbolic: 0,
         best: None,
     };
     let mut k = start;
@@ -221,6 +241,11 @@ fn scan_range(
                 continue;
             }
             let protocol = build_candidate(space, &assignment, outputs);
+            if !threshold_prefilter(&protocol, max_input, &symbolic_limits) {
+                local.pruned_symbolic += 1;
+                k += 1;
+                continue;
+            }
             if let Some(eta) =
                 unary_threshold_profile(&protocol, max_input, limits).verified_threshold()
             {
@@ -326,12 +351,14 @@ pub fn busy_beaver_search_with_threads(
         protocols_examined: u64::try_from(total).unwrap_or(u64::MAX),
         threshold_protocols: 0,
         pruned_symmetric: 0,
+        pruned_symbolic: 0,
         max_input,
     };
     let mut best: Option<(u64, u128, Protocol)> = None;
     for local in locals {
         result.threshold_protocols += local.threshold_protocols;
         result.pruned_symmetric += local.pruned_symmetric;
+        result.pruned_symbolic += local.pruned_symbolic;
         if let Some((eta, k, witness)) = local.best {
             let better = match &best {
                 None => true,
@@ -347,6 +374,20 @@ pub fn busy_beaver_search_with_threads(
         result.witness = Some(witness);
     }
     result
+}
+
+/// Materialises the candidate protocol with encoding index `k` of the
+/// `num_states` search space.
+///
+/// This is the exact decoding the search itself uses (same pair order, same
+/// output-bit layout); the bench harness samples the candidate space through
+/// it so its pre-filter statistics cannot drift from the real enumeration.
+pub fn decode_candidate(num_states: usize, k: u128) -> Protocol {
+    let space = SearchSpace::new(num_states);
+    assert!(k < space.total_candidates(), "candidate index out of range");
+    let mut assignment = vec![0usize; space.pairs.len()];
+    space.decode_assignment(k / space.output_patterns, &mut assignment);
+    build_candidate(&space, &assignment, (k % space.output_patterns) as u32)
 }
 
 /// Determines whether the protocol computes `x ≥ η` for some `η` confirmed on
@@ -440,7 +481,22 @@ mod tests {
             assert_eq!(par.protocols_examined, seq.protocols_examined);
             assert_eq!(par.threshold_protocols, seq.threshold_protocols);
             assert_eq!(par.pruned_symmetric, seq.pruned_symmetric);
+            assert_eq!(par.pruned_symbolic, seq.pruned_symbolic);
         }
+    }
+
+    #[test]
+    fn symbolic_prefilter_rejects_candidates_before_exploration() {
+        // Already in the 2-state space, many candidates (e.g. every
+        // all-output-0 one) are symbolically hopeless: they must be counted
+        // as pruned without changing the search outcome.
+        let limits = ExploreLimits::default();
+        let result = busy_beaver_search(2, 6, 100_000, &limits);
+        assert!(
+            result.pruned_symbolic > 0,
+            "the symbolic pre-filter never fired"
+        );
+        assert_eq!(result.best_eta, Some(2));
     }
 
     #[test]

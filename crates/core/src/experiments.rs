@@ -17,10 +17,11 @@ use crate::pipeline::{analyze_leaderless_protocol, LeaderlessAnalysis, PipelineO
 use crate::saturation::{analyze_saturation, SaturationAnalysis};
 use popproto_model::{Input, Output, Protocol};
 use popproto_numerics::Magnitude;
-use popproto_reach::{extract_stable_basis, ExploreLimits};
+use popproto_reach::{extract_stable_basis, unary_threshold_profile, ExploreLimits};
 use popproto_sim::{run_experiment, EngineKind, SimulationExperiment};
+use popproto_symbolic::{SymbolicLimits, SymbolicVerifier, ThresholdVerdict};
 use popproto_vas::{longest_bad_sequence, ControlledSearch, HilbertOptions, RealisabilitySystem};
-use popproto_zoo::{approximate_majority, binary_counter, flock, modulo};
+use popproto_zoo::{approximate_majority, binary_counter, catalog, flock, modulo};
 use serde::{Deserialize, Serialize};
 
 /// E1 — busy beaver witness families (Theorem 2.2 / Example 2.1).
@@ -299,6 +300,91 @@ pub fn experiment_e8_large(populations: &[u64], runs: u64) -> Vec<E8Row> {
     rows
 }
 
+/// One row of the E11 report: the symbolic all-`n` verdict of a zoo
+/// threshold protocol, cross-checked against the enumerative per-slice
+/// verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymbolicRow {
+    /// Protocol analysed.
+    pub protocol: String,
+    /// The threshold the protocol is supposed to compute.
+    pub eta: u64,
+    /// The all-`n` verdict of the [`SymbolicVerifier`].
+    pub verdict: ThresholdVerdict,
+    /// Number of Karp–Miller labels generated for the ω-cover.
+    pub cover_labels: usize,
+    /// Ideals in the canonical cover representation.
+    pub cover_ideals: usize,
+    /// Size of the backward-coverability basis behind `SC_1` (0 if the
+    /// stable set was unavailable).
+    pub sc1_basis: usize,
+    /// Ideals in the symbolic `SC_1` representation.
+    pub sc1_ideals: usize,
+    /// Rounds of the silencing certificate, if one was found.
+    pub silencing_rounds: Option<usize>,
+    /// Whether the symbolic verdict agrees with the enumerative per-slice
+    /// verdicts up to [`SymbolicRow::enumerative_checked_up_to`]; `None`
+    /// when the verdict was inconclusive and there was nothing to
+    /// cross-check against.
+    pub matches_enumerative: Option<bool>,
+    /// Largest input whose slice was enumeratively cross-checked.
+    pub enumerative_checked_up_to: u64,
+}
+
+/// E11 — symbolic vs enumerative verification on the zoo threshold
+/// protocols: an all-`n` verdict per protocol, cross-checked slice by slice
+/// up to `max_slice_input`.
+pub fn experiment_symbolic(max_slice_input: u64) -> Vec<SymbolicRow> {
+    let limits = SymbolicLimits::default();
+    let explore = ExploreLimits::default();
+    let mut rows = Vec::new();
+    for instance in catalog() {
+        let Some(eta) = instance.predicate.as_unary_threshold() else {
+            continue; // majority/modulo are not threshold predicates
+        };
+        let p = &instance.protocol;
+        let verifier = SymbolicVerifier::analyze(p, &limits);
+        let verdict = verifier.certify_threshold(eta);
+        let profile = unary_threshold_profile(p, max_slice_input, &explore);
+        // Compare the profiled slices against the η pattern directly rather
+        // than through `supports`: the profiler short-circuits (conclusive =
+        // false) as soon as no threshold *in its own window* remains
+        // feasible, which happens legitimately when η ≥ max_slice_input and
+        // every slice rejects — the slices still agree with η.
+        let consistent = profile
+            .inputs
+            .iter()
+            .all(|p| p.exhaustive && if p.input >= eta { p.accepts } else { p.rejects });
+        let matches_enumerative = match &verdict {
+            ThresholdVerdict::CertifiedAllN { .. } => Some(consistent),
+            ThresholdVerdict::Refuted {
+                failing_input: Some(i),
+                ..
+            } if *i <= max_slice_input => Some(!consistent),
+            // All-thresholds refutations speak about arbitrarily large
+            // inputs; bounded slices cannot cross-check them.
+            ThresholdVerdict::Refuted { .. } | ThresholdVerdict::Inconclusive { .. } => None,
+        };
+        let (sc1_basis, sc1_ideals) = verifier
+            .stable_set(Output::True)
+            .map(|s| (s.basis_size, s.set.len()))
+            .unwrap_or((0, 0));
+        rows.push(SymbolicRow {
+            protocol: p.name().to_string(),
+            eta,
+            verdict,
+            cover_labels: verifier.cover().labels,
+            cover_ideals: verifier.cover().set.len(),
+            sc1_basis,
+            sc1_ideals,
+            silencing_rounds: verifier.silencing_certificate().map(|c| c.num_rounds()),
+            matches_enumerative,
+            enumerative_checked_up_to: profile.inputs.last().map(|p| p.input).unwrap_or(1),
+        });
+    }
+    rows
+}
+
 /// One row of the E10 report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct E10Row {
@@ -361,6 +447,8 @@ pub struct FullReport {
     pub e8_large: Vec<E8Row>,
     /// E10 — controlled bad sequences.
     pub e10: Vec<E10Row>,
+    /// E11 — symbolic all-`n` verdicts vs enumerative slices.
+    pub symbolic: Vec<SymbolicRow>,
 }
 
 /// Runs every experiment at a small, test-friendly scale.
@@ -378,6 +466,7 @@ pub fn run_all_small() -> FullReport {
         e8: experiment_e8(&[16, 32], 3, 200_000),
         e8_large: experiment_e8_large(&[100_000], 2),
         e10: experiment_e10(2, 2, 200_000),
+        symbolic: experiment_symbolic(8),
     }
 }
 
@@ -430,6 +519,31 @@ mod tests {
         };
         assert_eq!(len(1, 2), 3);
         assert!(len(2, 2) > len(1, 2));
+    }
+
+    #[test]
+    fn symbolic_experiment_certifies_the_threshold_zoo() {
+        let rows = experiment_symbolic(8);
+        // flock(3), flock(5), binary_counter(2), binary_counter(3),
+        // leader_counter(2) are the threshold instances of the catalog.
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(
+                row.verdict.is_certified(),
+                "{} (η = {}): {:?}",
+                row.protocol,
+                row.eta,
+                row.verdict
+            );
+            assert_eq!(
+                row.matches_enumerative,
+                Some(true),
+                "{} disagrees",
+                row.protocol
+            );
+            assert!(row.silencing_rounds.is_some());
+            assert!(row.sc1_ideals >= 1);
+        }
     }
 
     #[test]

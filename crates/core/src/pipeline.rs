@@ -17,8 +17,12 @@
 //!    `IC(b) =θ⇒ D_b` with `D` being `2|θ|`-saturated, concluding `η ≤ a`.
 //!
 //! The one condition that quantifies over infinitely many configurations
-//! (`B + N^S ⊆ SC`) is replaced by stability spot-checks of the pumped
-//! configurations, whose depth is recorded in the result.
+//! (`B + N^S ⊆ SC`) is checked two ways: stability spot-checks of the pumped
+//! configurations (whose depth is recorded in the result), and — when the
+//! symbolic engine's backward fixpoint converges — the *exact* inclusion of
+//! the ideal `↓(B, ω·S)` in the all-`n` stable set `SC_b` computed by
+//! [`popproto_symbolic::symbolic_stable_sets`], which covers every `λ` at
+//! once instead of a bounded prefix.
 
 use crate::constants::{theorem_5_9_bound, theorem_5_9_simple_bound};
 use popproto_model::{Config, Output, Protocol, StateId};
@@ -26,7 +30,10 @@ use popproto_numerics::Magnitude;
 use popproto_reach::{
     is_stable_config, min_input_for_saturation, ExploreLimits, ReachabilityGraph, StableSets,
 };
-use popproto_vas::{BasisElement, HilbertOptions, ParikhImage, RealisabilitySystem};
+use popproto_symbolic::{symbolic_stable_sets, SymbolicLimits};
+use popproto_vas::{
+    BasisElement, DownwardClosedSet, HilbertOptions, Ideal, ParikhImage, RealisabilitySystem,
+};
 use serde::{Deserialize, Serialize};
 
 /// Tunable knobs of the pipeline.
@@ -103,10 +110,16 @@ pub struct Lemma52Checks {
     pub pump_depth_checked: u64,
     /// All spot-checks passed.
     pub pump_stable: bool,
+    /// Exact symbolic check of `B + N^S ⊆ SC_b` (the condition the spot
+    /// checks only sample): `Some(true)` if the ideal `↓(B, ω·S)` is
+    /// included in the all-`n` stable set, `Some(false)` if it provably is
+    /// not, `None` if the symbolic stable set was unavailable or inexact.
+    pub pump_stable_symbolic: Option<bool>,
 }
 
 impl Lemma52Checks {
-    /// `true` if every check passed.
+    /// `true` if every check passed (an explicit symbolic counterexample to
+    /// `B + N^S ⊆ SC_b` overrides the bounded spot-checks).
     pub fn all_passed(&self) -> bool {
         self.saturation_reach
             && self.stable_reach
@@ -114,6 +127,7 @@ impl Lemma52Checks {
             && self.parikh_realises_increment
             && self.saturation_sufficient
             && self.pump_stable
+            && self.pump_stable_symbolic != Some(false)
     }
 }
 
@@ -175,6 +189,10 @@ pub fn analyze_leaderless_protocol(
     // target set S, which comes from the stable configuration reached from
     // D; we therefore iterate over a few scales m and stop at the first that
     // fits together.
+    //
+    // The symbolic stable sets are protocol-level facts shared by every
+    // scale iteration; compute each output class at most once.
+    let mut symbolic_sc: [Option<Option<popproto_symbolic::SymbolicStableSet>>; 2] = [None, None];
     let system = RealisabilitySystem::new(protocol);
     let hilbert_basis = system.basis(&options.hilbert);
 
@@ -259,6 +277,33 @@ pub fn analyze_leaderless_protocol(
                 }
             }
         }
+        // Exact check of `B + N^S ⊆ SC_b`: `B + N^S` and the ideal
+        // `↓(B, ω·S)` have the same downward closure, and `SC_b` is downward
+        // closed (Lemma 3.1), so inclusion of the ideal in the symbolic
+        // stable set decides the pumping condition for *every* λ at once.
+        let sc_slot = &mut symbolic_sc[match output {
+            Output::False => 0,
+            Output::True => 1,
+        }];
+        let pump_stable_symbolic = sc_slot
+            .get_or_insert_with(|| {
+                symbolic_stable_sets(protocol, output, &SymbolicLimits::default())
+            })
+            .as_ref()
+            .filter(|sc| sc.exact)
+            .map(|sc| {
+                let bounds: Vec<Option<u64>> = protocol
+                    .state_ids()
+                    .map(|q| {
+                        if omega.contains(&q) {
+                            None
+                        } else {
+                            Some(element.base().get(q))
+                        }
+                    })
+                    .collect();
+                DownwardClosedSet::from_ideal(Ideal::new(bounds)).included_in(&sc.set)
+            });
 
         let checks = Lemma52Checks {
             saturation_reach,
@@ -268,6 +313,7 @@ pub fn analyze_leaderless_protocol(
             saturation_sufficient,
             pump_depth_checked: pump_checked,
             pump_stable,
+            pump_stable_symbolic,
         };
         if !checks.all_passed() {
             continue;
@@ -306,6 +352,9 @@ mod tests {
         let analysis = analyze_leaderless_protocol(&p, &PipelineOptions::default());
         let cert = analysis.certificate.expect("flock(3) yields a certificate");
         assert!(cert.checks.all_passed());
+        // The symbolic engine confirms B + N^S ⊆ SC_b exactly (all λ), not
+        // just up to the spot-check depth.
+        assert_eq!(cert.checks.pump_stable_symbolic, Some(true));
         // The certificate bounds the threshold from above: η = 3 ≤ a.
         assert!(analysis.empirical_bound.unwrap() >= 3);
         // And the empirical bound is astronomically below the Theorem 5.9 bound.

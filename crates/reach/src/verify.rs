@@ -149,9 +149,11 @@ pub struct ThresholdProfile {
     /// Per-input profiles for `2..=max_input`, in input order.  May stop
     /// early (see [`ThresholdProfile::conclusive`]).
     pub inputs: Vec<InputProfile>,
-    /// `false` if profiling stopped early because some slice settles on
-    /// neither output (or was not exhaustively explored): no threshold can
-    /// verify, whatever the remaining inputs do.
+    /// `false` if profiling stopped early because no threshold can verify,
+    /// whatever the remaining inputs do: some slice settled on neither
+    /// output, was not exhaustively explored, or the accept/reject pattern
+    /// seen so far is consistent with no `η ∈ [2, max_input]` (e.g. a
+    /// rejecting input above an accepting one).
     pub conclusive: bool,
 }
 
@@ -191,9 +193,18 @@ impl ThresholdProfile {
 /// Profiles a unary protocol on all inputs `2 ≤ i ≤ max_input`, exploring
 /// each slice exactly once.
 ///
-/// Profiling aborts early (marking the profile inconclusive) as soon as a
-/// slice is found on which the protocol settles on neither output or the
-/// exploration is not exhaustive — no threshold can verify past that point.
+/// Profiling aborts early (marking the profile inconclusive) as soon as no
+/// threshold can verify, whatever the remaining inputs do:
+///
+/// * a slice settles on neither output, or its exploration is truncated;
+/// * the window of still-feasible thresholds becomes empty.  An accepting
+///   input `i` forces `η ≤ i`, a rejecting input `i` forces `η ≥ i + 1`, so
+///   the feasible window `[lo, hi]` shrinks monotonically as inputs are
+///   profiled in increasing order; a reject above an accept empties it.
+///
+/// The busy-beaver enumeration relies on this reject-on-first-failure
+/// behaviour: a candidate whose verdict flips the wrong way at input `i`
+/// stops after slice `i` instead of exploring all `max_input − 1` slices.
 pub fn unary_threshold_profile(
     protocol: &Protocol,
     max_input: u64,
@@ -201,6 +212,9 @@ pub fn unary_threshold_profile(
 ) -> ThresholdProfile {
     let mut inputs = Vec::with_capacity(max_input.saturating_sub(1) as usize);
     let mut conclusive = true;
+    // Feasible thresholds form a window [lo, hi] ⊆ [2, max_input].
+    let mut lo = 2u64;
+    let mut hi = max_input;
     for i in 2..=max_input {
         let ic = protocol.initial_config_unary(i);
         let graph = ReachabilityGraph::explore(protocol, &[ic], limits);
@@ -217,6 +231,15 @@ pub fn unary_threshold_profile(
         };
         inputs.push(profile);
         if !profile.exhaustive || (!profile.rejects && !profile.accepts) {
+            conclusive = false;
+            break;
+        }
+        if profile.accepts {
+            hi = hi.min(i);
+        } else {
+            lo = lo.max(i + 1);
+        }
+        if lo > hi {
             conclusive = false;
             break;
         }
@@ -349,8 +372,9 @@ mod tests {
         assert_eq!(profile.verified_threshold(), None);
         // The broken protocol never accepts, so no input slice accepts…
         assert!(profile.inputs.iter().all(|p| !p.accepts));
-        // …and it rejects everywhere (it is constantly 0), so the profile is
-        // conclusive but supports no threshold in range.
+        // …and it rejects everywhere (it is constantly 0): once every input
+        // up to max_input has rejected, no threshold in range remains
+        // feasible and the profile reports itself inconclusive.
         for eta in 2..5 {
             assert!(!profile.supports(eta));
         }
@@ -358,6 +382,37 @@ mod tests {
 
     fn limits_default() -> ExploreLimits {
         ExploreLimits::default()
+    }
+
+    #[test]
+    fn profile_short_circuits_when_no_threshold_remains_feasible() {
+        // A parity protocol (x ≡ 0 mod 2): accepts input 2, rejects input 3.
+        // No threshold is consistent with an accept below a reject, so the
+        // profile must stop right after slice 3 instead of exploring all
+        // slices up to 30.
+        let mut b = ProtocolBuilder::new("parity");
+        let a0 = b.add_state("a0", Output::True);
+        let a1 = b.add_state("a1", Output::False);
+        let p1 = b.add_state("p1", Output::True);
+        let p0 = b.add_state("p0", Output::False);
+        b.add_transition((a1, a1), (a0, p1)).unwrap();
+        b.add_transition((a0, a1), (a1, p0)).unwrap();
+        b.add_transition((a0, a0), (a0, p1)).unwrap();
+        b.add_transition((a0, p0), (a0, p1)).unwrap();
+        b.add_transition((a1, p1), (a1, p0)).unwrap();
+        b.set_input_state("x", a1);
+        let p = b.build().unwrap();
+
+        let profile = unary_threshold_profile(&p, 30, &ExploreLimits::default());
+        assert!(!profile.conclusive);
+        assert_eq!(
+            profile.inputs.len(),
+            2,
+            "profiling must stop after the infeasible slice 3"
+        );
+        assert!(profile.inputs[0].accepts && !profile.inputs[0].rejects);
+        assert!(profile.inputs[1].rejects && !profile.inputs[1].accepts);
+        assert_eq!(profile.verified_threshold(), None);
     }
 
     #[test]

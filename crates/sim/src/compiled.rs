@@ -1,6 +1,6 @@
 //! A protocol compiled into dense lookup tables for the simulation hot path.
 //!
-//! [`Protocol`](popproto_model::Protocol) stores transitions as a flat list,
+//! [`Protocol`] stores transitions as a flat list,
 //! so answering "which transitions apply to the pair `⦃a, b⦄`?" is an O(T)
 //! scan that allocates a fresh `Vec` — unacceptable at millions of
 //! interactions per second.  [`CompiledProtocol`] is built once per

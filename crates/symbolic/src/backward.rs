@@ -1,0 +1,278 @@
+//! Backward coverability with antichain-minimised frontiers, and the
+//! all-`n` stable sets it induces.
+//!
+//! Population protocols are well-structured: the predecessor of an
+//! upward-closed set of configurations is upward-closed, and Dickson's lemma
+//! makes the standard backward fixpoint terminate.  Given target
+//! configurations `m₁ … m_k`, [`backward_coverability`] computes the finite
+//! antichain of **minimal** configurations that can reach the upward closure
+//! `↑{m₁ … m_k}` — valid for every population size at once.
+//!
+//! The payoff is [`symbolic_stable_sets`]: by Definition 2 a configuration
+//! `C` fails to be `b`-stable iff it can *cover* some state of output
+//! `≠ b` (reach a configuration with at least one agent populating it).
+//! `SC_b` is therefore the complement of `pre*(↑{1·q : O(q) ≠ b})` — the
+//! least backward fixpoint of the coverability operator — and the complement
+//! of an upward-closed set is downward-closed with a small ideal basis
+//! (Lemma 3.1 in action: the finite basis witnesses downward closure for
+//! *all* population sizes simultaneously).
+
+use crate::SymbolicLimits;
+use popproto_model::{Output, Protocol};
+use popproto_vas::{DownwardClosedSet, Ideal};
+use serde::{Deserialize, Serialize};
+
+/// The minimal basis of an upward-closed set `pre*(↑targets)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverabilityBasis {
+    /// The antichain of minimal elements, as raw count vectors.
+    pub minimal: Vec<Vec<u64>>,
+    /// Number of predecessor candidates generated before convergence.
+    pub generated: usize,
+    /// `true` if the fixpoint converged below the basis cap.  When `false`
+    /// the basis is an *under*-approximation of `pre*` (its complement
+    /// over-approximates the stable set).
+    pub complete: bool,
+}
+
+impl CoverabilityBasis {
+    /// Returns `true` if `counts` covers some minimal element, i.e. belongs
+    /// to the upward-closed set.
+    pub fn contains_counts(&self, counts: &[u64]) -> bool {
+        self.minimal
+            .iter()
+            .any(|m| m.iter().zip(counts).all(|(&lo, &c)| c >= lo))
+    }
+}
+
+/// Computes the minimal basis of `pre*(↑targets)` by the standard backward
+/// algorithm, keeping the frontier antichain-minimised at every step.
+///
+/// For a transition `t : (a, b) ↦ (c, d)` and a minimal target `m`, the
+/// minimal configuration that fires `t` into `↑m` is
+/// `q ↦ max(pre_t(q), m(q) − post_t(q) + pre_t(q))`.
+pub fn backward_coverability(
+    protocol: &Protocol,
+    targets: &[Vec<u64>],
+    limits: &SymbolicLimits,
+) -> CoverabilityBasis {
+    let n = protocol.num_states();
+    let transitions: Vec<(Vec<u64>, Vec<u64>)> = protocol
+        .non_silent_transitions()
+        .map(|t| {
+            let mut pre = vec![0u64; n];
+            pre[t.pre.lo().index()] += 1;
+            pre[t.pre.hi().index()] += 1;
+            let mut post = vec![0u64; n];
+            post[t.post.lo().index()] += 1;
+            post[t.post.hi().index()] += 1;
+            (pre, post)
+        })
+        .collect();
+
+    let mut minimal: Vec<Vec<u64>> = Vec::new();
+    let mut worklist: Vec<Vec<u64>> = Vec::new();
+    let mut generated = 0usize;
+    let insert = |cand: Vec<u64>, minimal: &mut Vec<Vec<u64>>, worklist: &mut Vec<Vec<u64>>| {
+        if minimal
+            .iter()
+            .any(|m| m.iter().zip(&cand).all(|(a, b)| a <= b))
+        {
+            return;
+        }
+        minimal.retain(|m| !cand.iter().zip(m).all(|(a, b)| a <= b));
+        worklist.push(cand.clone());
+        minimal.push(cand);
+    };
+    for t in targets {
+        assert_eq!(t.len(), n, "target dimension mismatch");
+        insert(t.clone(), &mut minimal, &mut worklist);
+    }
+
+    let mut complete = true;
+    while let Some(m) = worklist.pop() {
+        // A frontier element subsumed since it was queued contributes only
+        // non-minimal predecessors; skip it.
+        if !minimal.contains(&m) {
+            continue;
+        }
+        if minimal.len() > limits.max_backward_basis || generated > 64 * limits.max_backward_basis {
+            complete = false;
+            break;
+        }
+        for (pre, post) in &transitions {
+            generated += 1;
+            let cand: Vec<u64> = (0..n)
+                .map(|q| pre[q].max((m[q] + pre[q]).saturating_sub(post[q])))
+                .collect();
+            insert(cand, &mut minimal, &mut worklist);
+        }
+    }
+    CoverabilityBasis {
+        minimal,
+        generated,
+        complete,
+    }
+}
+
+/// The complement of the upward-closed set `↑{m₁ … m_k}`, as a canonical
+/// downward-closed set.
+///
+/// `¬↑m = ⋃_{q : m(q) ≥ 1} ↓⟨…, m(q) − 1 at q, ω elsewhere⟩`, and the
+/// complement of the union is the intersection of the per-element
+/// complements.  Returns `None` if an intermediate antichain exceeds
+/// `limits.max_ideals` (the result would not be trustworthy to compute
+/// further with).
+pub fn complement_of_upward(
+    minimal: &[Vec<u64>],
+    num_states: usize,
+    limits: &SymbolicLimits,
+) -> Option<DownwardClosedSet> {
+    let mut result = DownwardClosedSet::from_ideal(Ideal::full(num_states));
+    for m in minimal {
+        let mut layer = DownwardClosedSet::empty();
+        for (q, &count) in m.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let mut bounds: Vec<Option<u64>> = vec![None; num_states];
+            bounds[q] = Some(count - 1);
+            layer.insert(Ideal::new(bounds));
+        }
+        // An all-zero element covers everything: the complement is empty.
+        result = result.intersect(&layer);
+        if result.len() > limits.max_ideals {
+            return None;
+        }
+        if result.is_empty() {
+            break;
+        }
+    }
+    Some(result)
+}
+
+/// A symbolically computed stable set `SC_b`, valid for every population
+/// size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymbolicStableSet {
+    /// The output class the set stabilises to.
+    pub output: Output,
+    /// The stable set as a canonical finite union of ideals.
+    pub set: DownwardClosedSet,
+    /// Size of the backward-coverability basis the set was derived from.
+    pub basis_size: usize,
+    /// `true` if the backward fixpoint converged: the set is then *exactly*
+    /// `SC_b`.  When `false` it is an over-approximation (sound for
+    /// refutations, not for certifications).
+    pub exact: bool,
+}
+
+/// Computes `SC_b` for all population sizes: the complement of the least
+/// backward coverability fixpoint of the states with output `≠ b`.
+///
+/// Returns `None` if the ideal representation of the complement exceeds the
+/// configured cap.
+pub fn symbolic_stable_sets(
+    protocol: &Protocol,
+    b: Output,
+    limits: &SymbolicLimits,
+) -> Option<SymbolicStableSet> {
+    let n = protocol.num_states();
+    let targets: Vec<Vec<u64>> = protocol
+        .state_ids()
+        .filter(|&q| protocol.output_of(q) != b)
+        .map(|q| {
+            let mut unit = vec![0u64; n];
+            unit[q.index()] = 1;
+            unit
+        })
+        .collect();
+    let basis = backward_coverability(protocol, &targets, limits);
+    let set = complement_of_upward(&basis.minimal, n, limits)?;
+    Some(SymbolicStableSet {
+        output: b,
+        set,
+        basis_size: basis.minimal.len(),
+        exact: basis.complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::{Config, Output, ProtocolBuilder};
+
+    fn threshold2_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("x >= 2");
+        let zero = b.add_state("0", Output::False);
+        let one = b.add_state("1", Output::False);
+        let two = b.add_state("2", Output::True);
+        b.add_transition((one, one), (zero, two)).unwrap();
+        b.add_transition((zero, two), (two, two)).unwrap();
+        b.add_transition((one, two), (two, two)).unwrap();
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn backward_basis_is_an_antichain_of_coverers() {
+        let p = threshold2_protocol();
+        // Target: cover one agent in state 2.
+        let basis = backward_coverability(&p, &[vec![0, 0, 1]], &SymbolicLimits::default());
+        assert!(basis.complete);
+        for a in &basis.minimal {
+            for b in &basis.minimal {
+                if a != b {
+                    assert!(!a.iter().zip(b).all(|(x, y)| x <= y), "{a:?} ≤ {b:?}");
+                }
+            }
+        }
+        // ⟨2·q1⟩ can produce a q2; a single q1 cannot.
+        assert!(basis.contains_counts(&[0, 2, 0]));
+        assert!(basis.contains_counts(&[0, 0, 1]));
+        assert!(!basis.contains_counts(&[0, 1, 0]));
+        assert!(!basis.contains_counts(&[5, 0, 0]));
+    }
+
+    #[test]
+    fn symbolic_stable_set_of_threshold_protocol() {
+        let p = threshold2_protocol();
+        let sc1 = symbolic_stable_sets(&p, Output::True, &SymbolicLimits::default()).unwrap();
+        assert!(sc1.exact);
+        // 1-stable configurations are exactly ⟨k·q2⟩: no agent outside q2,
+        // since any q0/q1 agent either is a 0-output agent already or lets
+        // the population produce one.
+        assert!(sc1.set.contains(&Config::from_counts(vec![0, 0, 50])));
+        assert!(!sc1.set.contains(&Config::from_counts(vec![1, 0, 50])));
+        assert!(!sc1.set.contains(&Config::from_counts(vec![0, 1, 50])));
+
+        let sc0 = symbolic_stable_sets(&p, Output::False, &SymbolicLimits::default()).unwrap();
+        assert!(sc0.exact);
+        // 0-stable: no q2 agent and at most one q1 agent (two q1s make a q2).
+        assert!(sc0.set.contains(&Config::from_counts(vec![9, 1, 0])));
+        assert!(!sc0.set.contains(&Config::from_counts(vec![0, 2, 0])));
+        assert!(!sc0.set.contains(&Config::from_counts(vec![9, 0, 1])));
+    }
+
+    #[test]
+    fn complement_handles_degenerate_bases() {
+        let limits = SymbolicLimits::default();
+        // Empty basis: nothing is coverable, the complement is everything.
+        let all = complement_of_upward(&[], 2, &limits).unwrap();
+        assert!(all.contains(&Config::from_counts(vec![7, 7])));
+        // All-zero element: everything is covered, the complement is empty.
+        let none = complement_of_upward(&[vec![0, 0]], 2, &limits).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn basis_cap_reports_incomplete() {
+        let p = threshold2_protocol();
+        let limits = SymbolicLimits {
+            max_backward_basis: 0,
+            ..SymbolicLimits::default()
+        };
+        let basis = backward_coverability(&p, &[vec![0, 0, 1]], &limits);
+        assert!(!basis.complete);
+    }
+}

@@ -1,0 +1,476 @@
+//! The [`SymbolicVerifier`]: all-`n` verdicts for threshold predicates, and
+//! the symbolic pre-filter used by the busy-beaver enumeration.
+//!
+//! # Certification argument (soundness)
+//!
+//! To certify that a unary protocol computes `x ≥ η` for **every** input
+//! `i ≥ 2` the verifier combines four symbolic artifacts:
+//!
+//! 1. a [`SilencingCertificate`]: every configuration can keep firing
+//!    non-silent transitions only finitely often, so every reachable `C`
+//!    can reach a *silent* configuration `D`;
+//! 2. the silent ideals intersected with the (complete) Karp–Miller cover:
+//!    a downward-closed over-approximation of all reachable silent
+//!    configurations, for all population sizes;
+//! 3. the invariant cones, which bound (via exact Fourier–Motzkin) the size
+//!    of silent configurations *with the wrong consensus* inside that
+//!    over-approximation — if that bound `M` is finite, every reachable
+//!    silent configuration of size `> M` has consensus `1`;
+//! 4. exhaustive per-slice verification of the finitely many inputs below
+//!    the cutoff `max(η, M + 1 − |L|)` (the existing `reach` machinery).
+//!
+//! For `i` above the cutoff: any reachable `C` reaches a silent `D` (1),
+//! which is reachable and silent, hence inside the over-approximation (2),
+//! of size `|L| + i > M`, hence of consensus `1` (3); a silent consensus-`1`
+//! configuration is `1`-stable, so `C` can reach `SC_1` — exactly the
+//! paper's Section 3 correctness characterisation for an accepting input.
+//! Below the cutoff the characterisation is checked slice by slice (4).
+//!
+//! Refutations are sound in the other direction: if `SC_1` (over-approximated
+//! by the complement of a possibly-truncated backward fixpoint) intersected
+//! with the complete cover contains no configurations of unbounded size, the
+//! protocol cannot accept arbitrarily large inputs and computes no threshold
+//! at all.  The same argument against a finite horizon `max_input` powers
+//! [`threshold_prefilter`]: a candidate whose reachable `1`-stable
+//! configurations are all smaller than `|L| + max_input` can never satisfy
+//! `verified_threshold` — it is rejected before a single concrete slice is
+//! explored.
+
+use crate::backward::{symbolic_stable_sets, SymbolicStableSet};
+use crate::cover::{karp_miller, KarpMillerCover};
+use crate::invariants::{invariant_cones, max_bad_silent_size, BadSilentBound, InvariantCones};
+use crate::termination::{find_silencing_certificate, SilencingCertificate};
+use crate::{complement_of_upward, SymbolicLimits};
+use popproto_model::{Output, Protocol};
+use popproto_reach::unary_threshold_profile;
+use popproto_vas::DownwardClosedSet;
+use serde::{Deserialize, Serialize};
+
+/// The all-`n` verdict for one threshold `η`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdVerdict {
+    /// The protocol provably computes `x ≥ η` for every input `i ≥ 2`.
+    CertifiedAllN {
+        /// The certified threshold.
+        eta: u64,
+        /// Inputs `2 ≤ i < cutoff_input` were verified slice by slice; the
+        /// symbolic argument covers every `i ≥ cutoff_input`.
+        cutoff_input: u64,
+        /// Rounds of the silencing certificate backing the argument.
+        silencing_rounds: usize,
+    },
+    /// The protocol provably does not compute `x ≥ η` (for this or any
+    /// threshold, depending on the reason).
+    Refuted {
+        /// Human-readable explanation of the refutation.
+        reason: String,
+        /// A concrete failing input, when the refutation is per-slice.
+        failing_input: Option<u64>,
+    },
+    /// The symbolic machinery could not decide all population sizes.
+    Inconclusive {
+        /// What was missing.
+        reason: String,
+    },
+}
+
+impl ThresholdVerdict {
+    /// Returns `true` for a [`ThresholdVerdict::CertifiedAllN`] verdict.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, ThresholdVerdict::CertifiedAllN { .. })
+    }
+
+    /// Returns `true` for a [`ThresholdVerdict::Refuted`] verdict.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, ThresholdVerdict::Refuted { .. })
+    }
+
+    /// A compact rendering for report tables.
+    pub fn summary(&self) -> String {
+        match self {
+            ThresholdVerdict::CertifiedAllN { cutoff_input, .. } => {
+                format!("all n (symbolic for i ≥ {cutoff_input})")
+            }
+            ThresholdVerdict::Refuted { failing_input, .. } => match failing_input {
+                Some(i) => format!("refuted at input {i}"),
+                None => "refuted for all thresholds".to_string(),
+            },
+            ThresholdVerdict::Inconclusive { .. } => "inconclusive".to_string(),
+        }
+    }
+}
+
+/// Symbolic analysis of one unary protocol, reusable across thresholds.
+#[derive(Debug, Clone)]
+pub struct SymbolicVerifier {
+    protocol: Protocol,
+    limits: SymbolicLimits,
+    cover: KarpMillerCover,
+    silent: Option<DownwardClosedSet>,
+    cones: InvariantCones,
+    stable: [Option<SymbolicStableSet>; 2],
+    silencing: Option<SilencingCertificate>,
+}
+
+impl SymbolicVerifier {
+    /// Computes every symbolic artifact for the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol is not unary (the threshold machinery and the
+    /// invariant constants are specific to a single input variable).
+    pub fn analyze(protocol: &Protocol, limits: &SymbolicLimits) -> Self {
+        assert!(
+            protocol.is_unary(),
+            "the symbolic verifier handles unary protocols"
+        );
+        let cover = karp_miller(protocol, limits);
+        let silent = silent_ideals(protocol, limits);
+        let cones = invariant_cones(protocol, limits);
+        let stable = [
+            symbolic_stable_sets(protocol, Output::False, limits),
+            symbolic_stable_sets(protocol, Output::True, limits),
+        ];
+        let silencing = find_silencing_certificate(protocol, limits);
+        SymbolicVerifier {
+            protocol: protocol.clone(),
+            limits: limits.clone(),
+            cover,
+            silent,
+            cones,
+            stable,
+            silencing,
+        }
+    }
+
+    /// The Karp–Miller cover.
+    pub fn cover(&self) -> &KarpMillerCover {
+        &self.cover
+    }
+
+    /// The silent ideals (downward closure of the silent configurations),
+    /// when their representation stayed below the ideal cap.
+    pub fn silent_set(&self) -> Option<&DownwardClosedSet> {
+        self.silent.as_ref()
+    }
+
+    /// The symbolic stable set `SC_b`, if computed.
+    pub fn stable_set(&self, b: Output) -> Option<&SymbolicStableSet> {
+        self.stable[match b {
+            Output::False => 0,
+            Output::True => 1,
+        }]
+        .as_ref()
+    }
+
+    /// The silencing certificate, if one was found.
+    pub fn silencing_certificate(&self) -> Option<&SilencingCertificate> {
+        self.silencing.as_ref()
+    }
+
+    /// Returns `false` if the protocol provably cannot pass
+    /// `verified_threshold` at horizon `max_input` (see
+    /// [`threshold_prefilter`]); `true` means "cannot rule it out".
+    pub fn may_compute_threshold(&self, max_input: u64) -> bool {
+        let bound = self
+            .stable_set(Output::True)
+            .and_then(|sc1| accepting_population_bound(sc1, &self.cover));
+        match bound {
+            None => true,
+            Some(max) => max >= self.protocol.leaders().size() + max_input,
+        }
+    }
+
+    /// Decides `x ≥ eta` for every population size, as far as the symbolic
+    /// machinery reaches.
+    pub fn certify_threshold(&self, eta: u64) -> ThresholdVerdict {
+        // Sound refutation first: no unboundedly large reachable 1-stable
+        // configurations means no threshold verifies at any horizon.
+        if let Some(max) = self
+            .stable_set(Output::True)
+            .and_then(|sc1| accepting_population_bound(sc1, &self.cover))
+        {
+            return ThresholdVerdict::Refuted {
+                reason: format!(
+                    "reachable 1-stable configurations have at most {max} agents: \
+                     arbitrarily large inputs can never be accepted"
+                ),
+                failing_input: None,
+            };
+        }
+
+        let Some(silencing) = &self.silencing else {
+            return ThresholdVerdict::Inconclusive {
+                reason: "no silencing certificate (iterated linear ranking not found)".into(),
+            };
+        };
+        let Some(silent) = &self.silent else {
+            return ThresholdVerdict::Inconclusive {
+                reason: "silent ideals exceeded the representation cap".into(),
+            };
+        };
+        let silent_cover = if self.cover.complete {
+            let refined = silent.intersect(&self.cover.set);
+            if refined.len() > self.limits.max_ideals {
+                silent.clone()
+            } else {
+                refined
+            }
+        } else {
+            silent.clone()
+        };
+        let bad = max_bad_silent_size(
+            &self.protocol,
+            &silent_cover,
+            Output::True,
+            &self.cones,
+            &self.limits,
+        );
+        let BadSilentBound::Bounded { max_size } = bad else {
+            return ThresholdVerdict::Inconclusive {
+                reason: "wrong-consensus silent configurations of unbounded size survive \
+                         the invariants"
+                    .into(),
+            };
+        };
+
+        let leaders = self.protocol.leaders().size();
+        let cutoff_input = eta.max((max_size + 1).saturating_sub(leaders)).max(2);
+        if cutoff_input > self.limits.max_cutoff_input {
+            return ThresholdVerdict::Inconclusive {
+                reason: format!(
+                    "cutoff input {cutoff_input} exceeds the enumerative window \
+                     ({} allowed)",
+                    self.limits.max_cutoff_input
+                ),
+            };
+        }
+
+        // Slice-by-slice verification below the cutoff.
+        if cutoff_input > 2 {
+            let profile =
+                unary_threshold_profile(&self.protocol, cutoff_input - 1, &self.limits.explore);
+            for p in &profile.inputs {
+                if !p.exhaustive {
+                    return ThresholdVerdict::Inconclusive {
+                        reason: format!("slice {} exceeded the exploration limits", p.input),
+                    };
+                }
+                let ok = if p.input >= eta { p.accepts } else { p.rejects };
+                if !ok {
+                    return ThresholdVerdict::Refuted {
+                        reason: format!(
+                            "input {} does not {} as x ≥ {eta} requires",
+                            p.input,
+                            if p.input >= eta { "accept" } else { "reject" }
+                        ),
+                        failing_input: Some(p.input),
+                    };
+                }
+            }
+            if profile.inputs.len() as u64 != cutoff_input.saturating_sub(2) {
+                // The profile short-circuited for a reason not caught above.
+                return ThresholdVerdict::Inconclusive {
+                    reason: "per-slice profile stopped early".into(),
+                };
+            }
+        }
+
+        ThresholdVerdict::CertifiedAllN {
+            eta,
+            cutoff_input,
+            silencing_rounds: silencing.num_rounds(),
+        }
+    }
+}
+
+/// The downward-closed set of *silent* configurations.
+///
+/// Silence is downward closed (removing agents never enables a transition),
+/// and equals the complement of the upward closure of the minimal enabling
+/// configurations of the non-silent transitions — the "silent ideals".
+/// Returns `None` if the ideal representation exceeds the configured cap.
+pub fn silent_ideals(protocol: &Protocol, limits: &SymbolicLimits) -> Option<DownwardClosedSet> {
+    let n = protocol.num_states();
+    let minimal: Vec<Vec<u64>> = protocol
+        .non_silent_transitions()
+        .map(|t| {
+            let mut pre = vec![0u64; n];
+            pre[t.pre.lo().index()] += 1;
+            pre[t.pre.hi().index()] += 1;
+            pre
+        })
+        .collect();
+    complement_of_upward(&minimal, n, limits)
+}
+
+/// Staged symbolic pre-filter for busy-beaver candidates: returns `false`
+/// only when `verified_threshold(protocol, max_input, _)` provably returns
+/// `None`, without exploring a single concrete slice.
+///
+/// Stages, cheapest first:
+///
+/// 1. no state has output `1` — nothing can ever be accepted;
+/// 2. no state with output `1` is *coverable* (support saturation from the
+///    ω-initial configuration) — same conclusion;
+/// 3. the exact check: `SC_1 ∩ cover` contains no configuration of
+///    `|L| + max_input` agents, so the mandatory accept at `max_input`
+///    cannot happen.
+pub fn threshold_prefilter(protocol: &Protocol, max_input: u64, limits: &SymbolicLimits) -> bool {
+    // Stage 1: an accepting consensus needs at least one 1-output state.
+    if protocol.states_with_output(Output::True).is_empty() {
+        return false;
+    }
+
+    // Stage 2: support saturation (a Boolean abstraction of the cover).
+    let n = protocol.num_states();
+    let mut coverable = vec![false; n];
+    for var in protocol.input_variables() {
+        coverable[var.state.index()] = true;
+    }
+    for (q, &count) in protocol.leaders().counts().iter().enumerate() {
+        if count > 0 {
+            coverable[q] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for t in protocol.non_silent_transitions() {
+            if coverable[t.pre.lo().index()] && coverable[t.pre.hi().index()] {
+                for q in [t.post.lo().index(), t.post.hi().index()] {
+                    if !coverable[q] {
+                        coverable[q] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if !protocol
+        .state_ids()
+        .any(|q| protocol.output_of(q) == Output::True && coverable[q.index()])
+    {
+        return false;
+    }
+
+    // Stage 3: bounded accepting stable sets.
+    let Some(sc1) = symbolic_stable_sets(protocol, Output::True, limits) else {
+        return true;
+    };
+    if sc1.set.is_empty() {
+        return false;
+    }
+    let cover = karp_miller(protocol, limits);
+    match accepting_population_bound(&sc1, &cover) {
+        None => true,
+        Some(max) => max >= protocol.leaders().size() + max_input,
+    }
+}
+
+/// The largest population of a reachable 1-stable configuration, when it is
+/// provably finite: `Some(max)` only if the cover is complete (a sound
+/// over-approximation of reachability) and `SC_1 ∩ cover` is bounded.
+///
+/// This single bound backs all three consumers — the pre-filter stage 3,
+/// [`SymbolicVerifier::may_compute_threshold`] and the all-thresholds
+/// refutation of [`SymbolicVerifier::certify_threshold`] — so the soundness
+/// direction is encoded exactly once.
+fn accepting_population_bound(sc1: &SymbolicStableSet, cover: &KarpMillerCover) -> Option<u64> {
+    if !cover.complete {
+        return None;
+    }
+    sc1.set.intersect(&cover.set).max_population()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popproto_model::ProtocolBuilder;
+
+    fn threshold2_protocol() -> Protocol {
+        let mut b = ProtocolBuilder::new("x >= 2");
+        let zero = b.add_state("0", Output::False);
+        let one = b.add_state("1", Output::False);
+        let two = b.add_state("2", Output::True);
+        b.add_transition((one, one), (zero, two)).unwrap();
+        b.add_transition((zero, two), (two, two)).unwrap();
+        b.add_transition((one, two), (two, two)).unwrap();
+        b.set_input_state("x", one);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn certifies_the_threshold_protocol_for_all_n() {
+        let p = threshold2_protocol();
+        let verifier = SymbolicVerifier::analyze(&p, &SymbolicLimits::default());
+        let verdict = verifier.certify_threshold(2);
+        assert!(verdict.is_certified(), "got {verdict:?}");
+        if let ThresholdVerdict::CertifiedAllN { cutoff_input, .. } = verdict {
+            assert!(cutoff_input <= 3);
+        }
+    }
+
+    #[test]
+    fn refutes_the_wrong_threshold_per_slice() {
+        let p = threshold2_protocol();
+        let verifier = SymbolicVerifier::analyze(&p, &SymbolicLimits::default());
+        let verdict = verifier.certify_threshold(4);
+        match verdict {
+            ThresholdVerdict::Refuted { failing_input, .. } => {
+                // Inputs 2 and 3 accept although x ≥ 4 must reject them.
+                assert!(matches!(failing_input, Some(2) | Some(3)));
+            }
+            other => panic!("expected a per-slice refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refutes_protocols_with_no_unbounded_accepting_stable_set() {
+        // Never accepts: single 0-output state.
+        let mut b = ProtocolBuilder::new("never");
+        let s = b.add_state("s", Output::False);
+        b.set_input_state("x", s);
+        let p = b.build().unwrap();
+        let verifier = SymbolicVerifier::analyze(&p, &SymbolicLimits::default());
+        let verdict = verifier.certify_threshold(3);
+        assert!(verdict.is_refuted(), "got {verdict:?}");
+        assert!(!verifier.may_compute_threshold(6));
+    }
+
+    #[test]
+    fn prefilter_stages_reject_hopeless_candidates() {
+        let limits = SymbolicLimits::default();
+        // Stage 1: all outputs 0.
+        let mut b = ProtocolBuilder::new("all-zero");
+        let s = b.add_state("s", Output::False);
+        let t = b.add_state("t", Output::False);
+        b.add_transition((s, s), (t, t)).unwrap();
+        b.set_input_state("x", s);
+        assert!(!threshold_prefilter(&b.build().unwrap(), 6, &limits));
+
+        // Stage 2: the only 1-output state is unreachable support-wise.
+        let mut b = ProtocolBuilder::new("unreachable-accept");
+        let s = b.add_state("s", Output::False);
+        let t = b.add_state("t", Output::True);
+        b.add_transition((s, t), (t, t)).unwrap();
+        b.set_input_state("x", s);
+        assert!(!threshold_prefilter(&b.build().unwrap(), 6, &limits));
+
+        // Stage 3: the accepting state is everywhere, but two accepting
+        // agents destroy each other, so 1-stable configurations have at most
+        // one agent — far below the |L| + max_input agents an accept at the
+        // verification horizon requires.
+        let mut b = ProtocolBuilder::new("self-destructing-accept");
+        let q0 = b.add_state("a", Output::False);
+        let q1 = b.add_state("b", Output::True);
+        b.add_transition((q1, q1), (q0, q0)).unwrap();
+        b.set_input_state("x", q1);
+        assert!(!threshold_prefilter(&b.build().unwrap(), 6, &limits));
+
+        // A genuine threshold protocol passes.
+        assert!(threshold_prefilter(&threshold2_protocol(), 6, &limits));
+    }
+}

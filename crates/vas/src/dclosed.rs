@@ -188,6 +188,38 @@ impl Ideal {
     pub fn norm(&self) -> u64 {
         self.bounds.iter().filter_map(|b| *b).max().unwrap_or(0)
     }
+
+    /// The intersection `↓u ∩ ↓v = ↓(u ⊓ v)`: ideals are closed under
+    /// intersection, with the pointwise minimum of the bounds (`ω` is the
+    /// neutral element).
+    pub fn intersect(&self, other: &Ideal) -> Ideal {
+        assert_eq!(self.num_states(), other.num_states(), "dimension mismatch");
+        Ideal {
+            bounds: self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .map(|(a, b)| match (a, b) {
+                    (None, x) => *x,
+                    (x, None) => *x,
+                    (Some(x), Some(y)) => Some(*x.min(y)),
+                })
+                .collect(),
+        }
+    }
+
+    /// The largest population size of any configuration in the ideal:
+    /// `Σ_q u(q)`, or `None` if some bound is ω (sizes are unbounded).
+    pub fn max_population(&self) -> Option<u64> {
+        self.bounds
+            .iter()
+            .try_fold(0u64, |acc, b| b.map(|limit| acc.saturating_add(limit)))
+    }
+
+    /// Returns `true` if some bound is ω, i.e. the ideal is infinite.
+    pub fn is_unbounded(&self) -> bool {
+        self.bounds.iter().any(Option::is_none)
+    }
 }
 
 impl fmt::Display for Ideal {
@@ -207,9 +239,32 @@ impl fmt::Display for Ideal {
 }
 
 /// A downward-closed set represented as a finite union of ideals.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+///
+/// The representation is kept *canonical*: the ideals form an antichain (no
+/// ideal is included in another) and are stored in a fixed sorted order, so
+/// two equal sets built along different routes have identical
+/// representations.  [`DownwardClosedSet::insert`] maintains the antichain
+/// incrementally; [`DownwardClosedSet::canonicalize`] restores the full
+/// invariant (used internally by `union`/`intersect`, and available for
+/// representations obtained from external sources such as deserialisation).
+///
+/// Equality is *semantic* (mutual inclusion), so it is independent of the
+/// insertion order even for non-canonical representations.
+#[derive(Debug, Clone, Eq, Serialize, Deserialize, Default)]
 pub struct DownwardClosedSet {
     ideals: Vec<Ideal>,
+}
+
+impl PartialEq for DownwardClosedSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ideals.is_empty() || other.ideals.is_empty() {
+            return self.ideals.is_empty() == other.ideals.is_empty();
+        }
+        if self.ideals[0].num_states() != other.ideals[0].num_states() {
+            return false;
+        }
+        self.included_in(other) && other.included_in(self)
+    }
 }
 
 impl DownwardClosedSet {
@@ -264,16 +319,60 @@ impl DownwardClosedSet {
         self.ideals.iter().any(|i| i.contains(c))
     }
 
-    /// Union of two sets.
+    /// Restores the canonical representation: removes subsumed ideals
+    /// (antichain reduction), deduplicates, and sorts the survivors into a
+    /// fixed order (`ω` bounds sort above every finite bound).
+    ///
+    /// `insert` keeps the antichain invariant incrementally, but
+    /// representations obtained from external sources (deserialisation,
+    /// manual assembly) may contain duplicate or subsumed ideals that would
+    /// otherwise keep growing through repeated `union`/`intersect` chains.
+    pub fn canonicalize(&mut self) {
+        let ideals = std::mem::take(&mut self.ideals);
+        for ideal in ideals {
+            self.insert(ideal);
+        }
+        self.sort_ideals();
+    }
+
+    /// Sorts the ideals into the canonical order (`None` = ω sorts above
+    /// every finite bound, so larger ideals come later).  Sufficient on its
+    /// own for representations built through `insert`, which already
+    /// maintains the antichain invariant — `canonicalize` adds the
+    /// re-insertion pass only for externally assembled representations.
+    fn sort_ideals(&mut self) {
+        let key = |b: &Option<u64>| b.map_or((1u8, 0u64), |k| (0, k));
+        self.ideals
+            .sort_by(|a, b| a.bounds().iter().map(key).cmp(b.bounds().iter().map(key)));
+    }
+
+    /// Union of two sets, in canonical form.
     pub fn union(&self, other: &DownwardClosedSet) -> DownwardClosedSet {
         let mut out = self.clone();
         for i in &other.ideals {
             out.insert(i.clone());
         }
+        out.sort_ideals();
+        out
+    }
+
+    /// Intersection of two sets, in canonical form: downward-closed sets are
+    /// closed under intersection, with `(⋃ᵢ Iᵢ) ∩ (⋃ⱼ Jⱼ) = ⋃ᵢⱼ (Iᵢ ∩ Jⱼ)`.
+    pub fn intersect(&self, other: &DownwardClosedSet) -> DownwardClosedSet {
+        let mut out = DownwardClosedSet::empty();
+        for i in &self.ideals {
+            for j in &other.ideals {
+                out.insert(i.intersect(j));
+            }
+        }
+        out.sort_ideals();
         out
     }
 
     /// Inclusion test `self ⊆ other`.
+    ///
+    /// Sound for canonical *and* non-canonical representations: an ideal is
+    /// included in a union of ideals iff it is included in one of them.
     pub fn included_in(&self, other: &DownwardClosedSet) -> bool {
         self.ideals
             .iter()
@@ -283,6 +382,14 @@ impl DownwardClosedSet {
     /// The largest finite bound over all ideals (a norm for the representation).
     pub fn norm(&self) -> u64 {
         self.ideals.iter().map(Ideal::norm).max().unwrap_or(0)
+    }
+
+    /// The largest population size over all configurations of the set, or
+    /// `None` if some ideal is unbounded.  The empty set reports `Some(0)`.
+    pub fn max_population(&self) -> Option<u64> {
+        self.ideals
+            .iter()
+            .try_fold(0u64, |acc, i| i.max_population().map(|m| acc.max(m)))
     }
 }
 
@@ -386,6 +493,79 @@ mod tests {
         assert!(b.included_in(&u));
         assert!(!u.included_in(&a));
         assert_eq!(u.norm(), 2);
+    }
+
+    #[test]
+    fn ideal_intersection_and_population_bounds() {
+        let i = Ideal::new(vec![Some(2), None, Some(5)]);
+        let j = Ideal::new(vec![Some(3), Some(4), None]);
+        let k = i.intersect(&j);
+        assert_eq!(k.bounds(), &[Some(2), Some(4), Some(5)]);
+        // The intersection contains exactly the common configurations.
+        for a in 0..=4u64 {
+            for b in 0..=5 {
+                for c in 0..=6 {
+                    let cfg = cfg(&[a, b, c]);
+                    assert_eq!(k.contains(&cfg), i.contains(&cfg) && j.contains(&cfg));
+                }
+            }
+        }
+        assert_eq!(k.max_population(), Some(11));
+        assert!(!k.is_unbounded());
+        assert_eq!(i.max_population(), None);
+        assert!(i.is_unbounded());
+    }
+
+    #[test]
+    fn set_intersection_is_canonical_and_semantically_correct() {
+        let mut a = DownwardClosedSet::empty();
+        a.insert(Ideal::new(vec![Some(2), None]));
+        a.insert(Ideal::new(vec![None, Some(1)]));
+        let mut b = DownwardClosedSet::empty();
+        b.insert(Ideal::new(vec![Some(1), None]));
+        let isect = a.intersect(&b);
+        // ⟨2,ω⟩∩⟨1,ω⟩ = ⟨1,ω⟩ absorbs ⟨ω,1⟩∩⟨1,ω⟩ = ⟨1,1⟩.
+        assert_eq!(isect.len(), 1);
+        for x in 0..=3u64 {
+            for y in 0..=3 {
+                let cfg = cfg(&[x, y]);
+                assert_eq!(isect.contains(&cfg), a.contains(&cfg) && b.contains(&cfg));
+            }
+        }
+        assert!(isect.included_in(&a));
+        assert!(isect.included_in(&b));
+    }
+
+    #[test]
+    fn canonicalize_removes_duplicates_and_orders_deterministically() {
+        let mut forward = DownwardClosedSet::empty();
+        forward.insert(Ideal::new(vec![Some(1), None]));
+        forward.insert(Ideal::new(vec![None, Some(1)]));
+        let mut backward = DownwardClosedSet::empty();
+        backward.insert(Ideal::new(vec![None, Some(1)]));
+        backward.insert(Ideal::new(vec![Some(0), Some(0)])); // subsumed
+        backward.insert(Ideal::new(vec![Some(1), None]));
+        // Semantic equality holds regardless of insertion order…
+        assert_eq!(forward, backward);
+        // …and canonicalisation makes the representations identical.
+        forward.canonicalize();
+        backward.canonicalize();
+        assert_eq!(forward.ideals(), backward.ideals());
+        assert_eq!(forward.len(), 2);
+        // Unions are canonical: both orders yield the same representation.
+        let u1 = forward.union(&backward);
+        let u2 = backward.union(&forward);
+        assert_eq!(u1.ideals(), u2.ideals());
+    }
+
+    #[test]
+    fn set_population_bound() {
+        let mut s = DownwardClosedSet::empty();
+        assert_eq!(s.max_population(), Some(0));
+        s.insert(Ideal::new(vec![Some(2), Some(3)]));
+        assert_eq!(s.max_population(), Some(5));
+        s.insert(Ideal::new(vec![None, Some(0)]));
+        assert_eq!(s.max_population(), None);
     }
 
     #[test]

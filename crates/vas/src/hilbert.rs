@@ -111,6 +111,11 @@ pub fn hilbert_basis_equalities(matrix: &[Vec<i64>], options: &HilbertOptions) -
 
     while !frontier.is_empty() {
         let mut next = Vec::new();
+        // Dedupe per level through a hash set: the previous linear scan of
+        // the next-level frontier was quadratic and dominated the runtime on
+        // systems with ~20 variables (the invariant cones of the symbolic
+        // verifier).
+        let mut queued: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
         for (t, value) in frontier {
             nodes += 1;
             if nodes > options.node_budget {
@@ -137,12 +142,9 @@ pub fn hilbert_basis_equalities(matrix: &[Vec<i64>], options: &HilbertOptions) -
                     if minimal.iter().any(|m| dominated_by(m, &t2)) {
                         continue;
                     }
-                    let mut v2 = value.clone();
-                    v2.add_scaled(col, 1);
-                    if !next
-                        .iter()
-                        .any(|(existing, _): &(Vec<u64>, ZVec)| existing == &t2)
-                    {
+                    if queued.insert(t2.clone()) {
+                        let mut v2 = value.clone();
+                        v2.add_scaled(col, 1);
                         next.push((t2, v2));
                     }
                 }

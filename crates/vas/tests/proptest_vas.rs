@@ -119,3 +119,143 @@ fn downward_closed_sets_behave() {
         assert!(set.included_in(&union));
     }
 }
+
+/// Builds a random ideal with bounds in `0..=max` and ~1/3 ω entries.
+fn random_ideal(rng: &mut StdRng, dim: usize, max: u64) -> Ideal {
+    Ideal::new(
+        (0..dim)
+            .map(|_| {
+                if rng.gen_range(0..3u32) == 0 {
+                    None
+                } else {
+                    Some(rng.gen_range(0..=max))
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Builds a random downward-closed set with up to 4 ideals.
+fn random_dcset(rng: &mut StdRng, dim: usize, max: u64) -> DownwardClosedSet {
+    let mut set = DownwardClosedSet::empty();
+    for _ in 0..rng.gen_range(0..=4usize) {
+        set.insert(random_ideal(rng, dim, max));
+    }
+    set
+}
+
+/// Enumerates every configuration of dimension 3 with entries `0..=max`.
+fn all_configs(max: u64) -> Vec<Config> {
+    let mut out = Vec::new();
+    for a in 0..=max {
+        for b in 0..=max {
+            for c in 0..=max {
+                out.push(Config::from_counts(vec![a, b, c]));
+            }
+        }
+    }
+    out
+}
+
+/// Ideal intersection agrees with brute-force membership on small slices.
+#[test]
+fn ideal_intersection_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    let probes = all_configs(5);
+    for _ in 0..64 {
+        let i = random_ideal(&mut rng, 3, 4);
+        let j = random_ideal(&mut rng, 3, 4);
+        let k = i.intersect(&j);
+        for c in &probes {
+            assert_eq!(
+                k.contains(c),
+                i.contains(c) && j.contains(c),
+                "{i} ∩ {j} disagrees at {c}"
+            );
+        }
+    }
+}
+
+/// Ideal inclusion is equivalent to membership containment on a slice large
+/// enough to separate the bounds.
+#[test]
+fn ideal_inclusion_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    let probes = all_configs(5);
+    for _ in 0..64 {
+        let i = random_ideal(&mut rng, 3, 4);
+        let j = random_ideal(&mut rng, 3, 4);
+        let by_membership = probes.iter().all(|c| !i.contains(c) || j.contains(c));
+        assert_eq!(
+            i.included_in(&j),
+            by_membership,
+            "{i} ⊆ {j} disagrees with brute force"
+        );
+    }
+}
+
+/// Set membership, union, intersection and inclusion all agree with
+/// configuration-by-configuration brute force.
+#[test]
+fn dcset_operations_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    let probes = all_configs(5);
+    for _ in 0..48 {
+        let a = random_dcset(&mut rng, 3, 4);
+        let b = random_dcset(&mut rng, 3, 4);
+        let union = a.union(&b);
+        let isect = a.intersect(&b);
+        for c in &probes {
+            assert_eq!(union.contains(c), a.contains(c) || b.contains(c));
+            assert_eq!(isect.contains(c), a.contains(c) && b.contains(c));
+        }
+        let included = probes.iter().all(|c| !a.contains(c) || b.contains(c));
+        assert_eq!(a.included_in(&b), included);
+        // Canonicalisation never changes the semantics.
+        let mut canonical = a.clone();
+        canonical.canonicalize();
+        assert_eq!(canonical, a);
+        for c in &probes {
+            assert_eq!(canonical.contains(c), a.contains(c));
+        }
+        // Antichain property: no ideal of the canonical form subsumes another.
+        for (x, i) in canonical.ideals().iter().enumerate() {
+            for (y, j) in canonical.ideals().iter().enumerate() {
+                if x != y {
+                    assert!(!i.included_in(j), "canonical form kept a subsumed ideal");
+                }
+            }
+        }
+    }
+}
+
+/// Semantic equality is insertion-order independent, and `max_population`
+/// matches the brute-force maximum on bounded sets.
+#[test]
+fn dcset_equality_and_population_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    for _ in 0..48 {
+        let ideals: Vec<Ideal> = (0..rng.gen_range(1..=4usize))
+            .map(|_| {
+                // Bounded ideals only, so max_population is finite.
+                Ideal::new((0..3).map(|_| Some(rng.gen_range(0..=4u64))).collect())
+            })
+            .collect();
+        let mut forward = DownwardClosedSet::empty();
+        for i in &ideals {
+            forward.insert(i.clone());
+        }
+        let mut backward = DownwardClosedSet::empty();
+        for i in ideals.iter().rev() {
+            backward.insert(i.clone());
+        }
+        assert_eq!(forward, backward);
+        let brute_max = all_configs(4)
+            .iter()
+            .filter(|c| forward.contains(c))
+            .map(Config::size)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(forward.max_population(), Some(brute_max));
+    }
+}

@@ -1,7 +1,7 @@
 //! The 3-state approximate majority protocol (Angluin, Aspnes, Eisenstat,
 //! DISC 2007).
 //!
-//! Unlike the exact 4-state [`majority`](crate::majority) protocol, this one
+//! Unlike the exact 4-state [`majority`](crate::majority()) protocol, this one
 //! converges in O(log n) parallel time with high probability — which is what
 //! makes it the standard stress-test workload for large-population
 //! simulation: at n = 10⁸ agents it stabilises after a few billion

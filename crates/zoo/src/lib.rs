@@ -2,20 +2,20 @@
 //!
 //! These are the protocols the experiments run on:
 //!
-//! * [`flock`] — the protocol `P_η` of Example 2.1 (generalised from `2^k` to
+//! * [`flock()`] — the protocol `P_η` of Example 2.1 (generalised from `2^k` to
 //!   arbitrary `η`): `η + 1` states computing `x ≥ η` by summing with a cap;
-//! * [`binary_counter`] — the succinct protocol `P'_k` of Example 2.1:
+//! * [`binary_counter()`] — the succinct protocol `P'_k` of Example 2.1:
 //!   `k + 2` states computing `x ≥ 2^k` by doubling, the witness family for
 //!   the `BB(n) ∈ Ω(2^n)` lower bound of Theorem 2.2;
-//! * [`majority`] — the classical 4-state majority protocol (`x₀ > x₁`);
-//! * [`approximate_majority`] — the 3-state approximate majority protocol,
+//! * [`majority()`] — the classical 4-state majority protocol (`x₀ > x₁`);
+//! * [`approximate_majority()`] — the 3-state approximate majority protocol,
 //!   the standard large-population simulation workload (O(log n) parallel
 //!   convergence time);
-//! * [`modulo`] — remainder predicates `x ≡ r (mod m)`;
-//! * [`leader_counter`] — a leader-assisted binary counter computing
+//! * [`modulo()`] — remainder predicates `x ≡ r (mod m)`;
+//! * [`leader_counter()`] — a leader-assisted binary counter computing
 //!   `x ≥ 2^k` with `k` bit-leaders, exercising the protocols-with-leaders
 //!   code paths of Sections 2–4;
-//! * [`catalog`] — a uniform handle on all families for the experiment
+//! * [`catalog()`] — a uniform handle on all families for the experiment
 //!   drivers.
 
 #![forbid(unsafe_code)]
