@@ -1,0 +1,162 @@
+//! Busy-beaver pipeline benchmark: the streaming, staged, resumable
+//! `BB_det(4)` prefix search (experiment E12) and the `BB_det(3)` soundness
+//! gate, emitting `BENCH_bb.json`.
+//!
+//! Two modes:
+//!
+//! * **smoke** (default, what CI runs on every push): a small-budget E12
+//!   prefix plus the kill/resume exercise — the run is split into sessions
+//!   through *serialised* checkpoints and the per-stage stats must come out
+//!   bit-identical to the uninterrupted run.  The committed
+//!   `BENCH_bb.json` is left untouched.
+//! * **full** (`BENCH_BB_FULL=1`): streams 10⁶ canonical 4-state orbits
+//!   end-to-end, repeats the kill/resume check at that scale, re-runs
+//!   `BB_det(3)` through the new pipeline against the PR 3 reference values
+//!   (`best_eta = 3`, `threshold_protocols = 46144`,
+//!   `pruned_symmetric = 186336`) as a bit-identity gate, and regenerates
+//!   `BENCH_bb.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popproto::candidate_pipeline::{PipelineStats, SearchCheckpoint, StreamingSearch};
+use popproto::enumeration::busy_beaver_search;
+use popproto::experiments::{e12_pipeline_config, e12_report_from};
+use popproto_reach::ExploreLimits;
+use std::time::Instant;
+
+const MAX_INPUT: u64 = 8;
+
+/// Runs the E12 prefix uninterrupted and returns `(search, seconds)`.
+fn straight_run(budget: u64) -> (StreamingSearch, f64) {
+    let start = Instant::now();
+    let mut search = StreamingSearch::new(4, e12_pipeline_config(MAX_INPUT));
+    search.run_for(budget);
+    (search, start.elapsed().as_secs_f64())
+}
+
+/// Replays the same budget split across sessions, each resumed from a
+/// JSON-serialised checkpoint of the previous one; returns the final stats
+/// and the largest checkpoint size seen.
+fn killed_and_resumed(budget: u64, sessions: u64) -> (PipelineStats, Option<u64>, usize) {
+    let burst = budget.div_ceil(sessions);
+    let mut search = StreamingSearch::new(4, e12_pipeline_config(MAX_INPUT));
+    let mut streamed = 0u64;
+    let mut checkpoint_bytes = 0usize;
+    while streamed < budget && !search.is_finished() {
+        let chunk = burst.min(budget - streamed);
+        streamed += search.run_for(chunk);
+        // Kill: drop the search entirely, keep only the serialised bytes.
+        let json = serde_json::to_string(&search.checkpoint()).expect("checkpoint serialises");
+        checkpoint_bytes = checkpoint_bytes.max(json.len());
+        let checkpoint: SearchCheckpoint =
+            serde_json::from_str(&json).expect("checkpoint deserialises");
+        search = StreamingSearch::from_checkpoint(&checkpoint);
+    }
+    let best = search.result().best_eta;
+    (search.stats(), best, checkpoint_bytes)
+}
+
+fn emit_bench_json(_c: &mut Criterion) {
+    let full = std::env::var_os("BENCH_BB_FULL").is_some();
+    let budget: u64 = if full { 1_000_000 } else { 20_000 };
+    let sessions = 3u64;
+
+    // 1. The streamed prefix, uninterrupted.
+    let (search, seconds) = straight_run(budget);
+    let report = e12_report_from(&search, budget);
+    assert_eq!(report.stats.canonical_orbits, budget, "budget not honoured");
+    assert_eq!(
+        report.stats.pruned_symbolic + report.stats.pruned_eta_bounded + report.stats.profiled,
+        report.stats.canonical_orbits,
+        "the funnel must account for every canonical orbit"
+    );
+    assert_eq!(
+        report.stats.truncated_orbits, 0,
+        "no 4-state prefix slice may hit the exploration cap"
+    );
+    println!(
+        "[E12] BB_det(4) prefix: {budget} canonical orbits in {seconds:.2}s \
+         ({:.0} orbits/s), funnel: {} symbolic / {} eta-floor / {} profiled / {} confirmed, \
+         {} memo hits over {} entries, best eta so far {:?}",
+        budget as f64 / seconds,
+        report.stats.pruned_symbolic,
+        report.stats.pruned_eta_bounded,
+        report.stats.profiled,
+        report.stats.threshold_protocols,
+        report.stats.memo_hits,
+        report.memo_entries,
+        report.best_eta,
+    );
+
+    // 2. Kill/resume through serialised checkpoints: bit-identical stats.
+    let (resumed_stats, resumed_best, checkpoint_bytes) = killed_and_resumed(budget, sessions);
+    assert_eq!(
+        resumed_stats, report.stats,
+        "kill/resume must reproduce the per-stage stats bit for bit"
+    );
+    assert_eq!(resumed_best, report.best_eta);
+    println!(
+        "[E12] kill/resume across {sessions} sessions: stats identical, \
+         largest checkpoint {:.1} MB",
+        checkpoint_bytes as f64 / 1e6
+    );
+
+    // 3. BB_det(3) through the new pipeline against the PR 3 reference
+    // (regenerating the JSON implies re-proving the bit-identity).
+    let mut bb3_entry = String::new();
+    if full {
+        let limits = ExploreLimits::default();
+        let start = Instant::now();
+        let bb3 = busy_beaver_search(3, 6, u64::MAX, &limits);
+        let bb3_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(bb3.best_eta, Some(3), "BB_det(3) changed");
+        assert_eq!(
+            bb3.threshold_protocols, 46_144,
+            "threshold_protocols changed"
+        );
+        assert_eq!(bb3.pruned_symmetric, 186_336, "pruned_symmetric changed");
+        assert!(
+            bb3.is_exact(),
+            "BB_det(3) must be exact (no truncated orbit)"
+        );
+        const PR3_SECONDS: f64 = 0.91;
+        println!(
+            "[E12] BB_det(3) gate: best_eta=3, threshold_protocols=46144 reproduced in \
+             {bb3_seconds:.2}s ({:.2}x the PR 3 reference {PR3_SECONDS}s)",
+            bb3_seconds / PR3_SECONDS
+        );
+        bb3_entry = format!(
+            ",\n  \"bb3_reference\": {{\n    \"best_eta\": 3,\n    \"threshold_protocols\": 46144,\n    \"pruned_symmetric\": 186336,\n    \"pruned_symbolic\": {},\n    \"memo_hits\": {},\n    \"seconds\": {bb3_seconds:.4},\n    \"pr3_seconds\": {PR3_SECONDS},\n    \"ratio_vs_pr3\": {:.3},\n    \"exact\": {}\n  }}",
+            bb3.pruned_symbolic,
+            bb3.memo_hits,
+            bb3_seconds / PR3_SECONDS,
+            bb3.is_exact()
+        );
+    }
+
+    let stats_json = serde_json::to_string(&report.stats).expect("stats serialise");
+    let json = format!(
+        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }}{bb3_entry}\n}}\n",
+        report.eta_floor,
+        budget as f64 / seconds,
+        report.memo_entries,
+        report.candidates_consumed,
+        report
+            .best_eta
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "null".into()),
+        report.finished,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bb.json");
+    if full {
+        std::fs::write(path, &json).expect("failed to write BENCH_bb.json");
+        println!("[E12] wrote {path}");
+    } else {
+        println!(
+            "[E12] smoke run complete (set BENCH_BB_FULL=1 to stream 10^6 orbits and \
+             regenerate {path})"
+        );
+    }
+}
+
+criterion_group!(benches, emit_bench_json);
+criterion_main!(benches);

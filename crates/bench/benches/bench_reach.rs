@@ -12,6 +12,10 @@
 //! * `large_slice` — a slice whose configuration count exceeds the seed's
 //!   default `ExploreLimits` cap (200k): previously truncated, now explored
 //!   to completion under the new default;
+//! * `frontier_vs_dense` — the same 411k-config slice explored by the
+//!   frontier-compressed engine (no stored adjacency, backward fixpoints by
+//!   delta regeneration) vs the dense CSR path, with both peak heap numbers
+//!   (the `exploration` rows also carry per-slice arena heap bytes now);
 //! * `e7` — the full busy-beaver search at n ∈ {2, 3} (same `max_input`,
 //!   both uncapped, so both sides report the exact fragment value), seed
 //!   loop vs the parallel, symmetry-pruned, profile-verified search.  The
@@ -29,7 +33,8 @@ use popproto::enumeration::busy_beaver_search;
 use popproto_bench::naive::{
     naive_busy_beaver_search, naive_verify_unary_threshold, NaiveReachabilityGraph,
 };
-use popproto_reach::{verify_unary_threshold, ExploreLimits, ReachabilityGraph};
+use popproto_model::Output;
+use popproto_reach::{verify_unary_threshold, ExploreLimits, FrontierGraph, ReachabilityGraph};
 use popproto_zoo::binary_counter;
 use std::time::{Duration, Instant};
 
@@ -86,10 +91,12 @@ fn emit_bench_json(_c: &mut Criterion) {
             new.len()
         );
         rows.push(format!(
-            "    {{\"protocol\": \"{}\", \"input\": {input}, \"configs\": {}, \"edges\": {}, \"seed_seconds\": {old_seconds:.6}, \"arena_seconds\": {new_seconds:.6}, \"speedup\": {speedup:.2}}}",
+            "    {{\"protocol\": \"{}\", \"input\": {input}, \"configs\": {}, \"edges\": {}, \"seed_seconds\": {old_seconds:.6}, \"arena_seconds\": {new_seconds:.6}, \"speedup\": {speedup:.2}, \"arena_heap_bytes\": {}, \"graph_heap_bytes\": {}}}",
             p.name(),
             new.len(),
-            new.num_edges()
+            new.num_edges(),
+            new.arena().heap_bytes(),
+            new.heap_bytes()
         ));
     }
     entries.push(format!("  \"exploration\": [\n{}\n  ]", rows.join(",\n")));
@@ -147,6 +154,59 @@ fn emit_bench_json(_c: &mut Criterion) {
         truncated.is_complete(),
         full.is_complete(),
         full.arena().heap_bytes() as f64 / 1e6
+    ));
+
+    // 3b. Frontier-compressed vs dense CSR on the 411k-config slice: same
+    // exact exploration, but the frontier engine stores no adjacency — peak
+    // memory is the arena plus closure bitsets.  Both peaks go into the
+    // JSON; the stable-sets computation is included on the frontier side so
+    // the regenerated backward fixpoints are part of the measurement.  The
+    // dense side reuses the section-3 graph and its timing (same protocol,
+    // input and limits) instead of re-exploring.
+    let ic = p.initial_config_unary(input);
+    let (dense, dense_seconds) = (full, seconds);
+    let start = Instant::now();
+    let mut frontier = FrontierGraph::explore(&p, std::slice::from_ref(&ic), &limits);
+    let frontier_explore_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let frontier_stable = frontier.stable_sets(&p);
+    let frontier_stable_seconds = start.elapsed().as_secs_f64();
+    let dense_stable = popproto_reach::StableSets::compute(&p, &dense);
+    for b in [Output::False, Output::True] {
+        assert_eq!(
+            dense_stable.bitset(b),
+            frontier_stable.bitset(b),
+            "frontier stable sets must match the CSR computation"
+        );
+    }
+    assert!(dense.is_complete() && frontier.is_complete());
+    assert_eq!(dense.len(), frontier.len());
+    assert!(
+        frontier.peak_bytes() < dense.heap_bytes(),
+        "frontier peak {} must undercut dense {}",
+        frontier.peak_bytes(),
+        dense.heap_bytes()
+    );
+    println!(
+        "[reach] frontier vs dense {} @ {input}: {} configs; dense {dense_seconds:.2}s / \
+         {:.1} MB (arena {:.1} MB + CSR), frontier {frontier_explore_seconds:.2}s explore + \
+         {frontier_stable_seconds:.2}s stable sets / {:.1} MB peak ({:.1}x less memory)",
+        p.name(),
+        frontier.len(),
+        dense.heap_bytes() as f64 / 1e6,
+        dense.arena().heap_bytes() as f64 / 1e6,
+        frontier.peak_bytes() as f64 / 1e6,
+        dense.heap_bytes() as f64 / frontier.peak_bytes() as f64
+    );
+    entries.push(format!(
+        "  \"frontier_vs_dense\": {{\n    \"protocol\": \"{}\",\n    \"input\": {input},\n    \"configs\": {},\n    \"edges\": {},\n    \"dense_seconds\": {dense_seconds:.3},\n    \"dense_peak_bytes\": {},\n    \"dense_arena_bytes\": {},\n    \"frontier_explore_seconds\": {frontier_explore_seconds:.3},\n    \"frontier_stable_sets_seconds\": {frontier_stable_seconds:.3},\n    \"frontier_peak_bytes\": {},\n    \"memory_ratio\": {:.2}\n  }}",
+        p.name(),
+        frontier.len(),
+        dense.num_edges(),
+        dense.heap_bytes(),
+        dense.arena().heap_bytes(),
+        frontier.peak_bytes(),
+        dense.heap_bytes() as f64 / frontier.peak_bytes() as f64
     ));
 
     // 4. E7 at n in {2, 3}, both sides uncapped over their full candidate

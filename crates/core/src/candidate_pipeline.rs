@@ -1,0 +1,797 @@
+//! The triage layer of the busy-beaver pipeline: ordered reject-early
+//! stages, cross-candidate memoization, and the resumable streaming search.
+//!
+//! Every canonical candidate produced by the
+//! [generator layer](crate::orbit_stream) runs through the same staged
+//! funnel, cheapest stage first, with a rejection counter per stage:
+//!
+//! 1. **symbolic pre-filter** ([`threshold_prefilter`]) — rejects candidates
+//!    that provably verify no threshold at all at the horizon `max_input`;
+//! 2. **η-floor filter** ([`eta_floor_prefilter`]) — when the search only
+//!    cares about thresholds `≥ eta_floor ≥ 3`, rejects candidates whose
+//!    reachable rejecting stable set `SC₀ ∩ cover` is bounded below
+//!    `|L| + 2` agents (input 2 can then never reject, so only `η = 2` is
+//!    achievable).  With `eta_floor = 2` the stage is provably inert and the
+//!    pipeline reproduces the unfloored search bit for bit;
+//! 3. **concrete slices** — a per-input [`ThresholdProfile`] in ascending
+//!    `n` with reject-on-first-failure, on the CSR or the
+//!    frontier-compressed exploration engine.
+//!
+//! # Cross-candidate memoization
+//!
+//! All three stages are functions of the candidate's *coverable-support
+//! restriction*: the sub-protocol induced by the states support-reachable
+//! from the input state.  That support is forward-closed, so no slice
+//! exploration, stable set, cover or profile can ever observe a state (or a
+//! transition) outside it — two candidates with the same restriction have
+//! identical stage outcomes.  The pipeline therefore keys a transposition
+//! table by the restriction's **exact canonical encoding** (the
+//! fingerprint; equal bytes ⟺ equal restrictions, so collisions are
+//! impossible by construction) and replays the memoized verdict instead of
+//! re-running the stages.  In the 4-state space enormous numbers of orbits
+//! share a 3-state (or smaller) sub-protocol — exactly the reuse the
+//! `BB_det(4)` rung needs.  See `crates/reach/README.md` for the full
+//! soundness argument.
+//!
+//! # Resumability
+//!
+//! [`StreamingSearch`] drives the pipeline over the whole candidate space in
+//! bounded bursts.  [`StreamingSearch::checkpoint`] serialises the generator
+//! cursor, the per-stage counters, the best candidate so far *and the memo
+//! table*; [`StreamingSearch::from_checkpoint`] restarts the search
+//! bit-identically — same verdicts, same counters, same `memo_hits` — which
+//! the equivalence suite asserts at pseudo-random kill points.
+//!
+//! [`threshold_prefilter`]: popproto_symbolic::threshold_prefilter
+//! [`eta_floor_prefilter`]: popproto_symbolic::eta_floor_prefilter
+//! [`ThresholdProfile`]: popproto_reach::ThresholdProfile
+
+use crate::enumeration::EnumerationResult;
+use crate::orbit_stream::{OrbitSpace, OrbitStream, StreamCursor, U128Parts};
+use popproto_model::{Output, Protocol, ProtocolBuilder, StateId};
+use popproto_reach::{frontier_threshold_profile, unary_threshold_profile, ExploreLimits};
+use popproto_symbolic::{eta_floor_prefilter, threshold_prefilter, SymbolicLimits};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which exact-exploration engine the concrete-slice stage runs on.
+///
+/// Both engines produce bit-identical [`popproto_reach::ThresholdProfile`]s;
+/// they differ only in peak memory (the frontier engine stores no adjacency)
+/// and constant factors (the CSR engine walks stored edges, the frontier
+/// engine regenerates them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReachEngine {
+    /// [`popproto_reach::ReachabilityGraph`]: stored CSR adjacency — fastest
+    /// on the small slices of a busy-beaver profile.
+    Csr,
+    /// [`popproto_reach::FrontierGraph`]: frontier-compressed, adjacency
+    /// regenerated on demand — peak memory bounded by the arena.
+    Frontier,
+}
+
+/// Configuration of a [`CandidatePipeline`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Verification horizon: thresholds are confirmed on inputs
+    /// `2 ..= max_input`.
+    pub max_input: u64,
+    /// Reject candidates that provably cannot verify any `η ≥ eta_floor`.
+    /// `2` disables the stage (every candidate passes), preserving the
+    /// unfloored search semantics bit for bit.
+    pub eta_floor: u64,
+    /// Limits for the concrete-slice explorations.
+    pub explore: ExploreLimits,
+    /// Caps for the symbolic stages.
+    pub symbolic: SymbolicLimits,
+    /// Enables the cross-candidate transposition table.
+    pub memoize: bool,
+    /// Maximum number of entries the transposition table may hold.  Once
+    /// full, existing entries keep answering hits but no new restriction is
+    /// inserted — the table, and with it every checkpoint, stays bounded
+    /// regardless of how deep a multi-session search streams.  Insertion
+    /// decisions depend only on the table state and the candidate order
+    /// (both checkpointed), so kill/resume stays bit-identical under any
+    /// cap.
+    pub memo_max_entries: usize,
+    /// Engine for the concrete-slice stage.
+    pub engine: ReachEngine,
+}
+
+impl PipelineConfig {
+    /// The configuration [`crate::enumeration::busy_beaver_search`] uses:
+    /// no η floor, tight symbolic caps, memoization on, CSR slices.
+    pub fn exact(max_input: u64, explore: &ExploreLimits) -> Self {
+        PipelineConfig {
+            max_input,
+            eta_floor: 2,
+            explore: *explore,
+            symbolic: SymbolicLimits::prefilter(),
+            memoize: true,
+            memo_max_entries: 4_000_000,
+            engine: ReachEngine::Csr,
+        }
+    }
+}
+
+/// Per-stage counters of a pipeline run.  All counters are functions of the
+/// candidate range alone — memoization and scheduling replay them
+/// identically (`memo_hits` included, because the memo table itself is part
+/// of every checkpoint).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Canonical orbit representatives that entered the pipeline.
+    pub canonical_orbits: u64,
+    /// Candidates skipped by the generator as non-canonical orbit members.
+    pub pruned_symmetric: u64,
+    /// Canonical candidates rejected by the symbolic pre-filter (stage 1).
+    pub pruned_symbolic: u64,
+    /// Canonical candidates rejected by the η-floor filter (stage 2).
+    pub pruned_eta_bounded: u64,
+    /// Canonical candidates that reached the concrete-slice stage.
+    pub profiled: u64,
+    /// Profiled candidates with a confirmed threshold.
+    pub threshold_protocols: u64,
+    /// Profiled candidates whose slice exploration hit [`ExploreLimits`]:
+    /// their `None` verdict is a cap artefact, not a proof, so any exactness
+    /// claim must check this is zero.
+    pub truncated_orbits: u64,
+    /// Candidates answered from the transposition table.
+    pub memo_hits: u64,
+}
+
+impl PipelineStats {
+    /// Accumulates another stats block (used by the parallel search to fold
+    /// worker-local pipelines in deterministic range order).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.canonical_orbits += other.canonical_orbits;
+        self.pruned_symmetric += other.pruned_symmetric;
+        self.pruned_symbolic += other.pruned_symbolic;
+        self.pruned_eta_bounded += other.pruned_eta_bounded;
+        self.profiled += other.profiled;
+        self.threshold_protocols += other.threshold_protocols;
+        self.truncated_orbits += other.truncated_orbits;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// The memoized outcome of the staged triage of one restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoVerdict {
+    /// Rejected by the symbolic pre-filter.
+    RejectedSymbolic,
+    /// Rejected by the η-floor filter.
+    RejectedEta,
+    /// Survived to the concrete-slice stage.
+    Profiled {
+        /// The confirmed threshold, if any.
+        verified: Option<u64>,
+        /// `true` if some slice exploration hit its limits (the `None`
+        /// verdict is then inconclusive rather than proven).
+        truncated: bool,
+    },
+}
+
+/// One serialised transposition-table entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoRecord {
+    /// The restriction fingerprint (exact canonical encoding).
+    pub fingerprint: Vec<u8>,
+    /// The memoized triage outcome.
+    pub verdict: MemoVerdict,
+}
+
+/// The best verified candidate seen so far, as `(η, encoding index)` — ties
+/// broken towards the smallest index, so the result is independent of
+/// scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BestCandidate {
+    /// The confirmed threshold.
+    pub eta: u64,
+    /// The candidate's encoding index.
+    pub index: u128,
+}
+
+/// The staged triage funnel with its transposition table.
+#[derive(Debug)]
+pub struct CandidatePipeline {
+    config: PipelineConfig,
+    memo: HashMap<Vec<u8>, MemoVerdict>,
+    stats: PipelineStats,
+    best: Option<BestCandidate>,
+    support: Vec<bool>,
+    fingerprint: Vec<u8>,
+}
+
+impl CandidatePipeline {
+    /// Creates a pipeline for candidates of `num_states` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states > 8` (the fingerprint encoding packs outputs
+    /// and state indices into single bytes; far beyond the tractable range
+    /// anyway).
+    pub fn new(num_states: usize, config: PipelineConfig) -> Self {
+        assert!(num_states <= 8, "fingerprints encode at most 8 states");
+        CandidatePipeline {
+            config,
+            memo: HashMap::new(),
+            stats: PipelineStats::default(),
+            best: None,
+            support: vec![false; num_states],
+            fingerprint: Vec::new(),
+        }
+    }
+
+    /// The configuration the pipeline runs with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The per-stage counters so far.  `pruned_symmetric` is owned by the
+    /// generator; callers fold it in when assembling a result.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// The best verified candidate so far.
+    pub fn best(&self) -> Option<BestCandidate> {
+        self.best
+    }
+
+    /// Number of distinct restrictions in the transposition table.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Runs one canonical candidate through the staged funnel.
+    ///
+    /// `assignment` must be the decoded transition assignment of `index`
+    /// (the generator exposes it as
+    /// [`OrbitStream::current_assignment`]) and `outputs` its output
+    /// bitmask.
+    pub fn offer(&mut self, space: &OrbitSpace, index: u128, assignment: &[usize], outputs: u32) {
+        self.stats.canonical_orbits += 1;
+        encode_fingerprint(
+            space,
+            assignment,
+            outputs,
+            &mut self.support,
+            &mut self.fingerprint,
+        );
+        let verdict = if self.config.memoize {
+            if let Some(&hit) = self.memo.get(&self.fingerprint) {
+                self.stats.memo_hits += 1;
+                hit
+            } else {
+                let verdict = triage(&fingerprint_protocol(&self.fingerprint), &self.config);
+                if self.memo.len() < self.config.memo_max_entries {
+                    self.memo.insert(self.fingerprint.clone(), verdict);
+                }
+                verdict
+            }
+        } else {
+            triage(&fingerprint_protocol(&self.fingerprint), &self.config)
+        };
+        self.apply(verdict, index);
+    }
+
+    fn apply(&mut self, verdict: MemoVerdict, index: u128) {
+        match verdict {
+            MemoVerdict::RejectedSymbolic => self.stats.pruned_symbolic += 1,
+            MemoVerdict::RejectedEta => self.stats.pruned_eta_bounded += 1,
+            MemoVerdict::Profiled {
+                verified,
+                truncated,
+            } => {
+                self.stats.profiled += 1;
+                if truncated {
+                    self.stats.truncated_orbits += 1;
+                }
+                if let Some(eta) = verified {
+                    self.stats.threshold_protocols += 1;
+                    let better = match self.best {
+                        None => true,
+                        Some(b) => eta > b.eta || (eta == b.eta && index < b.index),
+                    };
+                    if better {
+                        self.best = Some(BestCandidate { eta, index });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds a worker-local pipeline into this one (stats summed, bests
+    /// compared index-deterministically, memo tables kept separate — the
+    /// table is a cache, merging would only change `memo_hits` of *future*
+    /// offers).
+    pub fn merge(&mut self, other: &CandidatePipeline) {
+        self.stats.merge(&other.stats);
+        if let Some(b) = other.best {
+            let better = match self.best {
+                None => true,
+                Some(mine) => b.eta > mine.eta || (b.eta == mine.eta && b.index < mine.index),
+            };
+            if better {
+                self.best = Some(b);
+            }
+        }
+    }
+
+    /// Serialises the transposition table, sorted by fingerprint so the
+    /// checkpoint bytes are deterministic.
+    pub fn memo_records(&self) -> Vec<MemoRecord> {
+        let mut records: Vec<MemoRecord> = self
+            .memo
+            .iter()
+            .map(|(fingerprint, &verdict)| MemoRecord {
+                fingerprint: fingerprint.clone(),
+                verdict,
+            })
+            .collect();
+        records.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        records
+    }
+
+    fn restore(&mut self, stats: PipelineStats, best: Option<BestCandidate>, memo: &[MemoRecord]) {
+        self.stats = stats;
+        self.best = best;
+        self.memo = memo
+            .iter()
+            .map(|r| (r.fingerprint.clone(), r.verdict))
+            .collect();
+    }
+}
+
+/// The staged triage of one (restricted) candidate protocol.
+fn triage(protocol: &Protocol, config: &PipelineConfig) -> MemoVerdict {
+    if !threshold_prefilter(protocol, config.max_input, &config.symbolic) {
+        return MemoVerdict::RejectedSymbolic;
+    }
+    if !eta_floor_prefilter(protocol, config.eta_floor, &config.symbolic) {
+        return MemoVerdict::RejectedEta;
+    }
+    let profile = match config.engine {
+        ReachEngine::Csr => unary_threshold_profile(protocol, config.max_input, &config.explore),
+        ReachEngine::Frontier => {
+            frontier_threshold_profile(protocol, config.max_input, &config.explore)
+        }
+    };
+    MemoVerdict::Profiled {
+        verified: profile.verified_threshold(),
+        truncated: profile.inputs.iter().any(|p| !p.exhaustive),
+    }
+}
+
+/// Encodes the coverable-support restriction of `(assignment, outputs)` as
+/// its exact canonical byte string.
+///
+/// Layout: `[k, outputs_bitmask, (post_lo, post_hi) per support pair]` with
+/// support states densely relabelled in increasing original order and pairs
+/// enumerated `(0,0), (0,1) … (k-1,k-1)`.  Two candidates get equal bytes
+/// iff their restrictions are equal protocols — the encoding is injective,
+/// so the transposition table is collision-free by construction.
+fn encode_fingerprint(
+    space: &OrbitSpace,
+    assignment: &[usize],
+    outputs: u32,
+    support: &mut [bool],
+    bytes: &mut Vec<u8>,
+) {
+    space.coverable_support(assignment, support);
+    let n = space.num_states();
+    let mut map = [u8::MAX; 8];
+    let mut k = 0u8;
+    for (q, &covered) in support.iter().enumerate() {
+        if covered {
+            map[q] = k;
+            k += 1;
+        }
+    }
+    bytes.clear();
+    bytes.push(k);
+    let mut out_bits = 0u8;
+    for q in 0..n {
+        if support[q] && (outputs >> q) & 1 == 1 {
+            out_bits |= 1 << map[q];
+        }
+    }
+    bytes.push(out_bits);
+    for a in 0..n {
+        if !support[a] {
+            continue;
+        }
+        for b in a..n {
+            if !support[b] {
+                continue;
+            }
+            let (c, d) = space.pairs()[assignment[space.pair_position(a, b)]];
+            // The support is forward-closed, so the post pair is inside it.
+            let (lo, hi) = (map[c].min(map[d]), map[c].max(map[d]));
+            bytes.push(lo);
+            bytes.push(hi);
+        }
+    }
+}
+
+/// Materialises the restriction protocol a fingerprint encodes.  The triage
+/// stages run on this protocol, which makes the memoized verdict a function
+/// of the fingerprint *by construction*.
+fn fingerprint_protocol(bytes: &[u8]) -> Protocol {
+    let k = bytes[0] as usize;
+    let out_bits = bytes[1];
+    let mut b = ProtocolBuilder::new("restricted");
+    let states: Vec<StateId> = (0..k)
+        .map(|i| b.add_state(format!("s{i}"), Output::from_bool((out_bits >> i) & 1 == 1)))
+        .collect();
+    let mut idx = 2;
+    for a in 0..k {
+        for pair_b in a..k {
+            let lo = bytes[idx] as usize;
+            let hi = bytes[idx + 1] as usize;
+            idx += 2;
+            if (a, pair_b) == (lo, hi) {
+                continue; // silent
+            }
+            b.add_transition_idempotent((states[a], states[pair_b]), (states[lo], states[hi]))
+                .expect("states were just declared");
+        }
+    }
+    b.set_input_state("x", states[0]);
+    b.build()
+        .expect("fingerprint decodes to a well-formed protocol")
+}
+
+/// A serialisable snapshot of a [`StreamingSearch`] between two orbits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Checkpoint format version.
+    pub version: u32,
+    /// State count of the candidate space.
+    pub num_states: usize,
+    /// The pipeline configuration (must not change across resumes).
+    pub config: PipelineConfig,
+    /// The generator cursor.
+    pub cursor: StreamCursor,
+    /// Per-stage counters at the checkpoint.
+    pub stats: PipelineStats,
+    /// Threshold of the best candidate so far.
+    pub best_eta: Option<u64>,
+    /// Encoding index of the best candidate so far.
+    pub best_index: Option<U128Parts>,
+    /// The transposition table, sorted by fingerprint.
+    pub memo: Vec<MemoRecord>,
+}
+
+/// The resumable streaming busy-beaver search: generator + pipeline driven
+/// in bounded bursts with serialisable checkpoints in between.
+#[derive(Debug)]
+pub struct StreamingSearch {
+    space: OrbitSpace,
+    pipeline: CandidatePipeline,
+    cursor: StreamCursor,
+}
+
+impl StreamingSearch {
+    /// Starts a fresh search over the whole `num_states` candidate space.
+    pub fn new(num_states: usize, config: PipelineConfig) -> Self {
+        let space = OrbitSpace::new(num_states);
+        let cursor = OrbitStream::new(&space).cursor();
+        StreamingSearch {
+            pipeline: CandidatePipeline::new(num_states, config),
+            space,
+            cursor,
+        }
+    }
+
+    /// Restores a search from a checkpoint, bit-identically: the next
+    /// [`StreamingSearch::run_for`] continues exactly where the
+    /// checkpointed run stopped, with the same memo table.
+    pub fn from_checkpoint(checkpoint: &SearchCheckpoint) -> Self {
+        assert_eq!(checkpoint.version, CHECKPOINT_VERSION, "unknown version");
+        let space = OrbitSpace::new(checkpoint.num_states);
+        let mut pipeline = CandidatePipeline::new(checkpoint.num_states, checkpoint.config.clone());
+        let best = match (checkpoint.best_eta, checkpoint.best_index) {
+            (Some(eta), Some(index)) => Some(BestCandidate {
+                eta,
+                index: index.get(),
+            }),
+            _ => None,
+        };
+        pipeline.restore(checkpoint.stats.clone(), best, &checkpoint.memo);
+        StreamingSearch {
+            space,
+            pipeline,
+            cursor: checkpoint.cursor.clone(),
+        }
+    }
+
+    /// Streams up to `max_orbits` further canonical orbits through the
+    /// pipeline; returns how many were processed (less than `max_orbits`
+    /// only when the space is exhausted).
+    pub fn run_for(&mut self, max_orbits: u64) -> u64 {
+        let mut stream = OrbitStream::resume(&self.space, &self.cursor);
+        let mut processed = 0;
+        while processed < max_orbits {
+            let Some(k) = stream.next_canonical() else {
+                break;
+            };
+            let outputs = (k % self.space.output_patterns()) as u32;
+            self.pipeline
+                .offer(&self.space, k, stream.current_assignment(), outputs);
+            processed += 1;
+        }
+        self.cursor = stream.cursor();
+        processed
+    }
+
+    /// Returns `true` once the whole candidate space has been consumed.
+    pub fn is_finished(&self) -> bool {
+        self.cursor.next.get() >= self.cursor.end.get()
+    }
+
+    /// The candidate space being searched.
+    pub fn space(&self) -> &OrbitSpace {
+        &self.space
+    }
+
+    /// The pipeline configuration the search runs with.
+    pub fn config(&self) -> &PipelineConfig {
+        self.pipeline.config()
+    }
+
+    /// The per-stage counters, with the generator's `pruned_symmetric`
+    /// folded in.
+    pub fn stats(&self) -> PipelineStats {
+        let mut stats = self.pipeline.stats().clone();
+        stats.pruned_symmetric = self.cursor.pruned_symmetric;
+        stats
+    }
+
+    /// Number of distinct restrictions in the transposition table.
+    pub fn memo_len(&self) -> usize {
+        self.pipeline.memo_len()
+    }
+
+    /// Serialises the full search state.
+    pub fn checkpoint(&self) -> SearchCheckpoint {
+        let best = self.pipeline.best();
+        SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            num_states: self.space.num_states(),
+            config: self.pipeline.config().clone(),
+            cursor: self.cursor.clone(),
+            stats: self.stats(),
+            best_eta: best.map(|b| b.eta),
+            best_index: best.map(|b| b.index.into()),
+            memo: self.pipeline.memo_records(),
+        }
+    }
+
+    /// Assembles the search result so far as an [`EnumerationResult`]
+    /// (witness rebuilt from the best candidate's encoding index).
+    pub fn result(&self) -> EnumerationResult {
+        let stats = self.stats();
+        let best = self.pipeline.best();
+        EnumerationResult {
+            num_states: self.space.num_states(),
+            best_eta: best.map(|b| b.eta),
+            witness: best.map(|b| self.space.protocol_at(b.index)),
+            protocols_examined: u64::try_from(self.cursor.next.get()).unwrap_or(u64::MAX),
+            threshold_protocols: stats.threshold_protocols,
+            pruned_symmetric: stats.pruned_symmetric,
+            pruned_symbolic: stats.pruned_symbolic,
+            pruned_eta_bounded: stats.pruned_eta_bounded,
+            truncated_orbits: stats.truncated_orbits,
+            memo_hits: stats.memo_hits,
+            max_input: self.pipeline.config().max_input,
+        }
+    }
+}
+
+const CHECKPOINT_VERSION: u32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumeration::verified_threshold;
+    use serde_json;
+
+    fn config(max_input: u64) -> PipelineConfig {
+        PipelineConfig::exact(max_input, &ExploreLimits::default())
+    }
+
+    /// Drives a pipeline over a whole space sequentially.
+    fn run_space(num_states: usize, cfg: PipelineConfig) -> (PipelineStats, Option<BestCandidate>) {
+        let space = OrbitSpace::new(num_states);
+        let mut pipeline = CandidatePipeline::new(num_states, cfg);
+        let mut stream = OrbitStream::new(&space);
+        while let Some(k) = stream.next_canonical() {
+            let outputs = (k % space.output_patterns()) as u32;
+            pipeline.offer(&space, k, stream.current_assignment(), outputs);
+        }
+        let mut stats = pipeline.stats().clone();
+        stats.pruned_symmetric = stream.pruned_symmetric();
+        (stats, pipeline.best())
+    }
+
+    #[test]
+    fn memoization_changes_no_verdict() {
+        let with = {
+            let mut c = config(6);
+            c.memoize = true;
+            run_space(2, c)
+        };
+        let without = {
+            let mut c = config(6);
+            c.memoize = false;
+            run_space(2, c)
+        };
+        assert_eq!(with.1, without.1);
+        assert!(
+            with.0.memo_hits > 0,
+            "the 2-state space must share restrictions"
+        );
+        let mut a = with.0.clone();
+        let mut b = without.0.clone();
+        a.memo_hits = 0;
+        b.memo_hits = 0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memo_cap_bounds_the_table_without_changing_verdicts() {
+        let uncapped = run_space(2, config(6));
+        let capped = {
+            let mut c = config(6);
+            c.memo_max_entries = 5;
+            run_space(2, c)
+        };
+        assert_eq!(capped.1, uncapped.1, "best candidate must not change");
+        let mut a = capped.0.clone();
+        let mut b = uncapped.0.clone();
+        // A capped table can only ever answer a subset of the hits.
+        assert!(a.memo_hits <= b.memo_hits);
+        a.memo_hits = 0;
+        b.memo_hits = 0;
+        assert_eq!(a, b, "only memo_hits may differ under a cap");
+
+        // Kill/resume stays bit-identical under the cap (the table state is
+        // checkpointed, so insertion decisions replay deterministically).
+        let mut c = config(6);
+        c.memo_max_entries = 5;
+        let mut reference = StreamingSearch::new(2, c.clone());
+        while !reference.is_finished() {
+            reference.run_for(u64::MAX);
+        }
+        let mut search = StreamingSearch::new(2, c);
+        while !search.is_finished() {
+            search.run_for(13);
+            let json = serde_json::to_string(&search.checkpoint()).unwrap();
+            let checkpoint: SearchCheckpoint = serde_json::from_str(&json).unwrap();
+            search = StreamingSearch::from_checkpoint(&checkpoint);
+        }
+        assert_eq!(search.stats(), reference.stats());
+        assert!(search.memo_len() <= 5);
+    }
+
+    #[test]
+    fn engines_agree_on_the_whole_two_state_space() {
+        let csr = {
+            let mut c = config(6);
+            c.engine = ReachEngine::Csr;
+            run_space(2, c)
+        };
+        let frontier = {
+            let mut c = config(6);
+            c.engine = ReachEngine::Frontier;
+            run_space(2, c)
+        };
+        assert_eq!(csr, frontier);
+    }
+
+    #[test]
+    fn eta_floor_three_preserves_a_three_state_best() {
+        // BB_det(3) = 3 ≥ the floor, so the floored search must find the
+        // same best candidate while actually rejecting η ≤ 2 candidates.
+        let unfloored = run_space(3, config(5));
+        let floored = {
+            let mut c = config(5);
+            c.eta_floor = 3;
+            run_space(3, c)
+        };
+        assert_eq!(unfloored.1, floored.1, "best candidate must not change");
+        assert!(
+            floored.0.pruned_eta_bounded > 0,
+            "the η-floor stage never fired"
+        );
+        assert!(
+            floored.0.threshold_protocols < unfloored.0.threshold_protocols,
+            "η = 2 candidates must no longer reach the profile stage"
+        );
+    }
+
+    #[test]
+    fn streaming_search_matches_the_one_shot_pipeline() {
+        let (stats, best) = run_space(2, config(6));
+        let mut search = StreamingSearch::new(2, config(6));
+        while !search.is_finished() {
+            search.run_for(37);
+        }
+        assert_eq!(search.stats(), stats);
+        let result = search.result();
+        assert_eq!(result.best_eta, best.map(|b| b.eta));
+        if let (Some(b), Some(witness)) = (best, &result.witness) {
+            assert_eq!(
+                verified_threshold(witness, 6, &ExploreLimits::default()),
+                Some(b.eta)
+            );
+            assert_eq!(*witness, search.space().protocol_at(b.index));
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_stats_and_memo_hits() {
+        // Uninterrupted reference.
+        let mut reference = StreamingSearch::new(2, config(6));
+        while !reference.is_finished() {
+            reference.run_for(u64::MAX);
+        }
+        // Kill/resume through serialised checkpoints at awkward points.
+        let mut search = StreamingSearch::new(2, config(6));
+        let mut burst = 1u64;
+        while !search.is_finished() {
+            search.run_for(burst);
+            burst = burst * 3 % 101 + 1;
+            let json = serde_json::to_string(&search.checkpoint()).unwrap();
+            let checkpoint: SearchCheckpoint = serde_json::from_str(&json).unwrap();
+            search = StreamingSearch::from_checkpoint(&checkpoint);
+        }
+        assert_eq!(
+            search.stats(),
+            reference.stats(),
+            "stats must be bit-identical"
+        );
+        assert_eq!(search.memo_len(), reference.memo_len());
+        let a = search.result();
+        let b = reference.result();
+        assert_eq!(a.best_eta, b.best_eta);
+        assert_eq!(a.witness, b.witness);
+        assert_eq!(a.protocols_examined, b.protocols_examined);
+    }
+
+    #[test]
+    fn fingerprints_are_injective_on_a_sample() {
+        // Decoding a fingerprint and re-encoding the decoded protocol's
+        // structure must round-trip: spot-check injectivity by verifying
+        // that distinct fingerprints yield distinct restriction protocols
+        // and equal fingerprints equal ones.
+        let space = OrbitSpace::new(3);
+        let mut assignment = vec![0usize; space.pairs().len()];
+        let mut support = vec![false; 3];
+        let mut seen: HashMap<Vec<u8>, Protocol> = HashMap::new();
+        let mut bytes = Vec::new();
+        for k in (0..space.total_candidates()).step_by(499) {
+            space.decode_assignment(k / space.output_patterns(), &mut assignment);
+            let outputs = (k % space.output_patterns()) as u32;
+            encode_fingerprint(&space, &assignment, outputs, &mut support, &mut bytes);
+            let restricted = fingerprint_protocol(&bytes);
+            match seen.get(&bytes) {
+                Some(prev) => assert_eq!(*prev, restricted),
+                None => {
+                    for (other_bytes, other) in &seen {
+                        if *other == restricted {
+                            panic!(
+                                "two fingerprints {:?} / {:?} decode to the same protocol",
+                                other_bytes, bytes
+                            );
+                        }
+                    }
+                    seen.insert(bytes.clone(), restricted);
+                }
+            }
+        }
+        assert!(seen.len() > 1);
+    }
+}

@@ -1,5 +1,5 @@
 //! Exact busy-beaver values for tiny state counts, by exhaustive protocol
-//! enumeration (experiment E7).
+//! enumeration (experiment E7), on the streaming staged pipeline.
 //!
 //! The search space of *all* protocols is doubly exponential, so the
 //! enumeration restricts itself to a documented fragment:
@@ -13,20 +13,27 @@
 //! Within this fragment the computed value `BB_det(n)` is exact (for
 //! thresholds below the verification cap); it is a lower bound on the true
 //! `BB(n)` because the fragment is a subset of all protocols, and every
-//! protocol it reports is a genuine witness.
+//! protocol it reports is a genuine witness.  Exactness additionally
+//! requires [`EnumerationResult::is_exact`]: a candidate whose slice
+//! exploration hit [`ExploreLimits`] contributes an *inconclusive* `None`
+//! verdict, which [`EnumerationResult::truncated_orbits`] now surfaces
+//! instead of silently counting the candidate as examined.
 //!
-//! # Symmetry pruning and parallelism
+//! # Architecture
 //!
-//! Two candidates that differ only by a relabelling of their states compute
-//! the same predicate, so the search examines one representative per
-//! isomorphism class:
+//! The search is the composition of two layers that this module merely
+//! drives:
 //!
-//! * the input state is **fixed to state 0** — any candidate with input
-//!   state `q` is isomorphic to one with input state 0 via the transposition
-//!   `(0 q)`, which removes a factor `n` from the space;
-//! * among the remaining relabellings (the `(n-1)!` permutations fixing
-//!   state 0), only the candidate whose encoding index is **minimal within
-//!   its orbit** is verified ([`pruned on symmetry`](EnumerationResult::pruned_symmetric)).
+//! * the [generator](crate::orbit_stream) — [`OrbitSpace`] describes the
+//!   encoded candidate space (input state fixed to 0, one representative
+//!   per state-relabelling orbit) and [`OrbitStream`] walks any index range
+//!   lazily, yielding canonical candidates in increasing index order;
+//! * the [triage pipeline](crate::candidate_pipeline) —
+//!   [`CandidatePipeline`] runs each candidate through ordered
+//!   reject-early stages (symbolic pre-filter, η-floor filter, concrete
+//!   slices with reject-on-first-failure) with a per-stage counter each,
+//!   memoizing stage outcomes across candidates that share a
+//!   coverable-support restriction.
 //!
 //! Both reductions preserve the exact `BB_det(n)` value: verification
 //! verdicts are invariant under state relabelling (the reachability graphs
@@ -34,30 +41,24 @@
 //! Because the canonical representative always has the *smallest* index of
 //! its orbit, the pruned search also agrees with the unpruned one on any
 //! index-prefix of the space (relevant when `max_protocols` caps the
-//! enumeration).  See `crates/reach/README.md` for the full argument.
+//! enumeration).  See `crates/reach/README.md` for the full argument,
+//! including the soundness of the cross-candidate memoization.
 //!
-//! Candidates are verified with a single [`unary_threshold_profile`] pass
-//! (one exploration per input, answering all thresholds at once), and the
-//! index space is fanned out across scoped worker threads.  The result is
-//! deterministic regardless of thread count: ties between equal thresholds
-//! are broken towards the smallest candidate index.
+//! The index space is fanned out across scoped worker threads.  The result
+//! is deterministic regardless of thread count: ties between equal
+//! thresholds are broken towards the smallest candidate index, and every
+//! per-stage counter is a function of the candidate range alone
+//! ([`EnumerationResult::memo_hits`] excepted — worker-local caches see
+//! different candidate subsets under different chunkings).
 //!
-//! # Symbolic pre-filtering
-//!
-//! Before any concrete slice is explored, each canonical candidate passes
-//! through [`popproto_symbolic::threshold_prefilter`]: a staged symbolic
-//! check (no accepting states → no coverable accepting state → reachable
-//! 1-stable configurations all below the `|L| + max_input` agents the
-//! mandatory accept at `max_input` needs).  The filter is *sound for the
-//! bounded semantics* — it rejects only candidates whose
-//! [`verified_threshold`] provably returns `None` — so `best_eta`, the
-//! witness and `threshold_protocols` are unchanged; it merely skips the
-//! per-input exploration for hopeless candidates
-//! ([`EnumerationResult::pruned_symbolic`] counts them).
+//! For searches too large for one sitting (the `BB_det(4)` prefix of
+//! experiment E12), drive the same pipeline through the checkpointable
+//! [`StreamingSearch`](crate::candidate_pipeline::StreamingSearch) instead.
 
-use popproto_model::{Output, Protocol, ProtocolBuilder, StateId};
+use crate::candidate_pipeline::{CandidatePipeline, PipelineConfig};
+use crate::orbit_stream::{OrbitSpace, OrbitStream};
+use popproto_model::Protocol;
 use popproto_reach::{unary_threshold_profile, ExploreLimits};
-use popproto_symbolic::{threshold_prefilter, SymbolicLimits};
 use serde::{Deserialize, Serialize};
 
 /// The result of the exhaustive busy-beaver search for one state count.
@@ -81,209 +82,29 @@ pub struct EnumerationResult {
     /// Canonical candidates rejected by the symbolic pre-filter before any
     /// concrete slice was explored (each would have profiled to `None`).
     pub pruned_symbolic: u64,
+    /// Canonical candidates rejected by the η-floor filter (always `0` for
+    /// [`busy_beaver_search`], which runs unfloored).
+    pub pruned_eta_bounded: u64,
+    /// Canonical candidates whose slice exploration hit [`ExploreLimits`]:
+    /// their `None` verdict is a resource artefact, not a proof.  Any
+    /// exactness claim must check [`EnumerationResult::is_exact`].
+    pub truncated_orbits: u64,
+    /// Candidates whose staged verdict was replayed from the
+    /// cross-candidate transposition table (diagnostic; depends on worker
+    /// chunking, unlike every other counter).
+    pub memo_hits: u64,
     /// The verification cap used (thresholds are only confirmed up to this input).
     pub max_input: u64,
 }
 
-/// Static description of the candidate space for one state count.
-struct SearchSpace {
-    num_states: usize,
-    /// Unordered pairs `(a, b)` with `a ≤ b`, in enumeration order; also the
-    /// list of possible post pairs (a transition maps a pair to a pair).
-    pairs: Vec<(usize, usize)>,
-    /// `pair_index[a][b]` = position of `⦃a, b⦄` in `pairs` (symmetric).
-    pair_index: Vec<Vec<usize>>,
-    /// Non-identity permutations of `0..num_states` fixing state 0.
-    perms: Vec<Vec<usize>>,
-    /// Number of post choices per pair (= `pairs.len()`).
-    choices: u128,
-    /// Number of output assignments (= `2^num_states`).
-    output_patterns: u128,
-}
-
-impl SearchSpace {
-    fn new(num_states: usize) -> Self {
-        let pairs: Vec<(usize, usize)> = (0..num_states)
-            .flat_map(|a| (a..num_states).map(move |b| (a, b)))
-            .collect();
-        let mut pair_index = vec![vec![0usize; num_states]; num_states];
-        for (i, &(a, b)) in pairs.iter().enumerate() {
-            pair_index[a][b] = i;
-            pair_index[b][a] = i;
-        }
-        let perms = permutations_fixing_zero(num_states);
-        SearchSpace {
-            num_states,
-            choices: pairs.len() as u128,
-            output_patterns: 1u128 << num_states,
-            pairs,
-            pair_index,
-            perms,
-        }
+impl EnumerationResult {
+    /// Returns `true` if every candidate's verdict was conclusive: no
+    /// orbit's slice exploration was truncated by [`ExploreLimits`].  The
+    /// computed `BB_det(n)` is exact for the fragment only when this holds
+    /// (and the enumeration was not capped by `max_protocols`).
+    pub fn is_exact(&self) -> bool {
+        self.truncated_orbits == 0
     }
-
-    /// Total number of candidate encodings: `choices^pairs · 2^n`.
-    fn total_candidates(&self) -> u128 {
-        self.choices
-            .checked_pow(self.pairs.len() as u32)
-            .and_then(|f| f.checked_mul(self.output_patterns))
-            .unwrap_or(u128::MAX)
-    }
-
-    fn decode_assignment(&self, mut function_index: u128, assignment: &mut [usize]) {
-        for slot in assignment.iter_mut() {
-            *slot = (function_index % self.choices) as usize;
-            function_index /= self.choices;
-        }
-    }
-
-    /// Returns `true` if `(assignment, outputs)` has the smallest encoding
-    /// index within its orbit under state relabellings fixing state 0.
-    fn is_canonical(&self, assignment: &[usize], outputs: u32, relabeled: &mut [usize]) -> bool {
-        'perms: for perm in &self.perms {
-            for (i, &(a, b)) in self.pairs.iter().enumerate() {
-                let j = self.pair_index[perm[a]][perm[b]];
-                let (c, d) = self.pairs[assignment[i]];
-                relabeled[j] = self.pair_index[perm[c]][perm[d]];
-            }
-            let mut relabeled_outputs = 0u32;
-            for (q, &pq) in perm.iter().enumerate() {
-                if (outputs >> q) & 1 == 1 {
-                    relabeled_outputs |= 1 << pq;
-                }
-            }
-            // Compare (relabeled, relabeled_outputs) against (assignment,
-            // outputs) in candidate-index order: the function index is the
-            // little-endian number with digits `assignment[i]` in base
-            // `choices` (most significant digit last), then the outputs.
-            for i in (0..assignment.len()).rev() {
-                if relabeled[i] < assignment[i] {
-                    return false;
-                }
-                if relabeled[i] > assignment[i] {
-                    continue 'perms;
-                }
-            }
-            if relabeled_outputs < outputs {
-                return false;
-            }
-        }
-        true
-    }
-}
-
-fn permutations_fixing_zero(num_states: usize) -> Vec<Vec<usize>> {
-    let mut perms = Vec::new();
-    if num_states <= 1 {
-        return perms;
-    }
-    let mut tail: Vec<usize> = (1..num_states).collect();
-    heap_permutations(&mut tail, 0, &mut |p| {
-        let mut full = Vec::with_capacity(num_states);
-        full.push(0);
-        full.extend_from_slice(p);
-        if full.iter().enumerate().any(|(i, &v)| i != v) {
-            perms.push(full);
-        }
-    });
-    perms
-}
-
-fn heap_permutations(items: &mut [usize], k: usize, emit: &mut impl FnMut(&[usize])) {
-    if k == items.len() {
-        emit(items);
-        return;
-    }
-    for i in k..items.len() {
-        items.swap(k, i);
-        heap_permutations(items, k + 1, emit);
-        items.swap(k, i);
-    }
-}
-
-/// The outcome of one worker's scan over a contiguous index range.
-struct LocalResult {
-    threshold_protocols: u64,
-    pruned_symmetric: u64,
-    pruned_symbolic: u64,
-    /// Best verified candidate as `(eta, candidate_index, witness)`.
-    best: Option<(u64, u128, Protocol)>,
-}
-
-fn scan_range(
-    space: &SearchSpace,
-    start: u128,
-    end: u128,
-    max_input: u64,
-    limits: &ExploreLimits,
-) -> LocalResult {
-    let num_pairs = space.pairs.len();
-    let mut assignment = vec![0usize; num_pairs];
-    let mut relabeled = vec![0usize; num_pairs];
-    let symbolic_limits = SymbolicLimits::prefilter();
-    let mut local = LocalResult {
-        threshold_protocols: 0,
-        pruned_symmetric: 0,
-        pruned_symbolic: 0,
-        best: None,
-    };
-    let mut k = start;
-    while k < end {
-        let function_index = k / space.output_patterns;
-        space.decode_assignment(function_index, &mut assignment);
-        let out_lo = (k % space.output_patterns) as u32;
-        let block_end = (function_index + 1) * space.output_patterns;
-        let out_hi = (end.min(block_end) - function_index * space.output_patterns) as u32;
-        for outputs in out_lo..out_hi {
-            if !space.is_canonical(&assignment, outputs, &mut relabeled) {
-                local.pruned_symmetric += 1;
-                k += 1;
-                continue;
-            }
-            let protocol = build_candidate(space, &assignment, outputs);
-            if !threshold_prefilter(&protocol, max_input, &symbolic_limits) {
-                local.pruned_symbolic += 1;
-                k += 1;
-                continue;
-            }
-            if let Some(eta) =
-                unary_threshold_profile(&protocol, max_input, limits).verified_threshold()
-            {
-                local.threshold_protocols += 1;
-                let better = match &local.best {
-                    None => true,
-                    Some((best_eta, best_k, _)) => {
-                        eta > *best_eta || (eta == *best_eta && k < *best_k)
-                    }
-                };
-                if better {
-                    local.best = Some((eta, k, protocol));
-                }
-            }
-            k += 1;
-        }
-    }
-    local
-}
-
-fn build_candidate(space: &SearchSpace, assignment: &[usize], outputs: u32) -> Protocol {
-    let mut b = ProtocolBuilder::new(format!("enum-{}", space.num_states));
-    let states: Vec<StateId> = (0..space.num_states)
-        .map(|i| b.add_state(format!("s{i}"), Output::from_bool((outputs >> i) & 1 == 1)))
-        .collect();
-    for (&pair, &post_idx) in space.pairs.iter().zip(assignment) {
-        let post = space.pairs[post_idx];
-        if pair == post {
-            continue; // implicit no-op
-        }
-        b.add_transition_idempotent(
-            (states[pair.0], states[pair.1]),
-            (states[post.0], states[post.1]),
-        )
-        .expect("states were just declared");
-    }
-    b.set_input_state("x", states[0]);
-    b.build().expect("candidate construction is well-formed")
 }
 
 /// Exhaustively searches deterministic leaderless protocols with `num_states`
@@ -309,8 +130,9 @@ pub fn busy_beaver_search(
 
 /// [`busy_beaver_search`] with an explicit worker-thread count.
 ///
-/// The result is identical for every `threads ≥ 1` (determinism is part of
-/// the equivalence test suite).
+/// The result is identical for every `threads ≥ 1`
+/// ([`EnumerationResult::memo_hits`] excepted; determinism is part of the
+/// equivalence test suite).
 pub fn busy_beaver_search_with_threads(
     num_states: usize,
     max_input: u64,
@@ -318,23 +140,34 @@ pub fn busy_beaver_search_with_threads(
     limits: &ExploreLimits,
     threads: usize,
 ) -> EnumerationResult {
-    let space = SearchSpace::new(num_states);
+    let space = OrbitSpace::new(num_states);
     let total = space.total_candidates().min(max_protocols as u128);
+    let config = PipelineConfig::exact(max_input, limits);
 
-    let locals: Vec<LocalResult> = if threads <= 1 || total < 2 {
-        vec![scan_range(&space, 0, total, max_input, limits)]
+    let scan = |start: u128, end: u128| -> (CandidatePipeline, u64) {
+        let mut pipeline = CandidatePipeline::new(num_states, config.clone());
+        let mut stream = OrbitStream::range(&space, start, end);
+        while let Some(k) = stream.next_canonical() {
+            let outputs = (k % space.output_patterns()) as u32;
+            pipeline.offer(&space, k, stream.current_assignment(), outputs);
+        }
+        (pipeline, stream.pruned_symmetric())
+    };
+
+    let locals: Vec<(CandidatePipeline, u64)> = if threads <= 1 || total < 2 {
+        vec![scan(0, total)]
     } else {
         let workers = threads
             .min(usize::try_from(total).unwrap_or(usize::MAX))
             .max(1);
         let chunk = total.div_ceil(workers as u128);
         std::thread::scope(|scope| {
-            let space = &space;
+            let scan = &scan;
             let handles: Vec<_> = (0..workers as u128)
                 .map(|w| {
                     let start = w * chunk;
                     let end = ((w + 1) * chunk).min(total);
-                    scope.spawn(move || scan_range(space, start, end, max_input, limits))
+                    scope.spawn(move || scan(start, end))
                 })
                 .collect();
             handles
@@ -344,50 +177,41 @@ pub fn busy_beaver_search_with_threads(
         })
     };
 
-    let mut result = EnumerationResult {
+    // Fold worker pipelines in range order (deterministic merges).
+    let mut merged = CandidatePipeline::new(num_states, config);
+    let mut pruned_symmetric = 0u64;
+    for (local, local_pruned) in &locals {
+        merged.merge(local);
+        pruned_symmetric += local_pruned;
+    }
+    let stats = merged.stats();
+    EnumerationResult {
         num_states,
-        best_eta: None,
-        witness: None,
+        best_eta: merged.best().map(|b| b.eta),
+        witness: merged.best().map(|b| space.protocol_at(b.index)),
         protocols_examined: u64::try_from(total).unwrap_or(u64::MAX),
-        threshold_protocols: 0,
-        pruned_symmetric: 0,
-        pruned_symbolic: 0,
+        threshold_protocols: stats.threshold_protocols,
+        pruned_symmetric,
+        pruned_symbolic: stats.pruned_symbolic,
+        pruned_eta_bounded: stats.pruned_eta_bounded,
+        truncated_orbits: stats.truncated_orbits,
+        memo_hits: stats.memo_hits,
         max_input,
-    };
-    let mut best: Option<(u64, u128, Protocol)> = None;
-    for local in locals {
-        result.threshold_protocols += local.threshold_protocols;
-        result.pruned_symmetric += local.pruned_symmetric;
-        result.pruned_symbolic += local.pruned_symbolic;
-        if let Some((eta, k, witness)) = local.best {
-            let better = match &best {
-                None => true,
-                Some((best_eta, best_k, _)) => eta > *best_eta || (eta == *best_eta && k < *best_k),
-            };
-            if better {
-                best = Some((eta, k, witness));
-            }
-        }
     }
-    if let Some((eta, _, witness)) = best {
-        result.best_eta = Some(eta);
-        result.witness = Some(witness);
-    }
-    result
 }
 
 /// Materialises the candidate protocol with encoding index `k` of the
 /// `num_states` search space.
 ///
 /// This is the exact decoding the search itself uses (same pair order, same
-/// output-bit layout); the bench harness samples the candidate space through
-/// it so its pre-filter statistics cannot drift from the real enumeration.
+/// output-bit layout), so bench-harness samples drawn through it see the
+/// real candidate space.  Note the pipeline runs its pre-filter on the
+/// candidate's *coverable-support restriction* (see
+/// [`crate::candidate_pipeline`]), so a full-candidate pre-filter statistic
+/// computed on these samples is indicative rather than bit-identical: a cap
+/// can bind on the full protocol but not on its smaller restriction.
 pub fn decode_candidate(num_states: usize, k: u128) -> Protocol {
-    let space = SearchSpace::new(num_states);
-    assert!(k < space.total_candidates(), "candidate index out of range");
-    let mut assignment = vec![0usize; space.pairs.len()];
-    space.decode_assignment(k / space.output_patterns, &mut assignment);
-    build_candidate(&space, &assignment, (k % space.output_patterns) as u32)
+    OrbitSpace::new(num_states).protocol_at(k)
 }
 
 /// Determines whether the protocol computes `x ≥ η` for some `η` confirmed on
@@ -408,6 +232,7 @@ pub fn verified_threshold(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use popproto_model::{Output, ProtocolBuilder, StateId};
     use popproto_zoo::{binary_counter, flock};
 
     #[test]
@@ -431,6 +256,11 @@ mod tests {
         let result = busy_beaver_search(2, 6, 100_000, &limits);
         assert_eq!(result.best_eta, Some(2));
         assert!(result.threshold_protocols >= 1);
+        assert!(
+            result.is_exact(),
+            "no orbit may be truncated in the exact claim"
+        );
+        assert_eq!(result.truncated_orbits, 0);
         let witness = result.witness.expect("a witness protocol exists");
         assert_eq!(
             verified_threshold(&witness, 6, &limits),
@@ -482,6 +312,10 @@ mod tests {
             assert_eq!(par.threshold_protocols, seq.threshold_protocols);
             assert_eq!(par.pruned_symmetric, seq.pruned_symmetric);
             assert_eq!(par.pruned_symbolic, seq.pruned_symbolic);
+            assert_eq!(par.pruned_eta_bounded, seq.pruned_eta_bounded);
+            assert_eq!(par.truncated_orbits, seq.truncated_orbits);
+            // memo_hits is deliberately exempt: worker-local caches see
+            // different candidate subsets under different chunkings.
         }
     }
 
@@ -497,6 +331,23 @@ mod tests {
             "the symbolic pre-filter never fired"
         );
         assert_eq!(result.best_eta, Some(2));
+        // The unfloored search never rejects on the η stage.
+        assert_eq!(result.pruned_eta_bounded, 0);
+    }
+
+    #[test]
+    fn truncated_slice_explorations_are_surfaced() {
+        // With an absurdly tight exploration cap every profiled candidate's
+        // slices truncate: the result must say so instead of silently
+        // reporting `best_eta = None` as if it were proven.
+        let tight = ExploreLimits::with_max_configs(1);
+        let result = busy_beaver_search(2, 6, 100_000, &tight);
+        assert!(result.truncated_orbits > 0, "truncation went unreported");
+        assert!(!result.is_exact());
+        // Candidates with single-configuration slices (e.g. the always-true
+        // protocol) still verify exactly even under the cap — only the
+        // exactness claim for the *value* is off the table.
+        assert_eq!(result.best_eta, Some(2));
     }
 
     #[test]
@@ -507,11 +358,11 @@ mod tests {
         // contains exactly one canonical member — and that it is the one
         // with the smallest candidate index (the property the capped-prefix
         // equivalence relies on).
-        let space = SearchSpace::new(3);
-        assert_eq!(space.perms.len(), 1);
-        let perm = &space.perms[0]; // [0, 2, 1]
-        let num_pairs = space.pairs.len();
+        let space = OrbitSpace::new(3);
+        let perm = [0usize, 2, 1];
+        let num_pairs = space.pairs().len();
         let total = space.total_candidates();
+        let choices = space.pairs().len() as u128;
         let mut assignment = vec![0usize; num_pairs];
         let mut relabeled = vec![0usize; num_pairs];
         let mut canonical = 0u128;
@@ -519,13 +370,13 @@ mod tests {
         // the test fast; orbits are closed under the swap within any slice
         // plus its image, which we compute explicitly.
         for k in (0..total).step_by(97) {
-            space.decode_assignment(k / space.output_patterns, &mut assignment);
-            let outputs = (k % space.output_patterns) as u32;
+            space.decode_assignment(k / space.output_patterns(), &mut assignment);
+            let outputs = (k % space.output_patterns()) as u32;
             // Compute the orbit partner's index.
-            for (i, &(a, b)) in space.pairs.iter().enumerate() {
-                let j = space.pair_index[perm[a]][perm[b]];
-                let (c, d) = space.pairs[assignment[i]];
-                relabeled[j] = space.pair_index[perm[c]][perm[d]];
+            for (i, &(a, b)) in space.pairs().iter().enumerate() {
+                let j = space.pair_position(perm[a], perm[b]);
+                let (c, d) = space.pairs()[assignment[i]];
+                relabeled[j] = space.pair_position(perm[c], perm[d]);
             }
             let mut swapped_outputs = 0u32;
             for (q, &pq) in perm.iter().enumerate() {
@@ -535,9 +386,9 @@ mod tests {
             }
             let mut partner_function = 0u128;
             for i in (0..num_pairs).rev() {
-                partner_function = partner_function * space.choices + relabeled[i] as u128;
+                partner_function = partner_function * choices + relabeled[i] as u128;
             }
-            let partner = partner_function * space.output_patterns + swapped_outputs as u128;
+            let partner = partner_function * space.output_patterns() + swapped_outputs as u128;
             let is_canonical = space.is_canonical(&assignment, outputs, &mut relabeled);
             // Canonical iff this candidate's index is the orbit minimum.
             assert_eq!(

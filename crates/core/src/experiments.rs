@@ -9,6 +9,9 @@
 
 use crate::ackermann_bound::{theorem_4_5_bound, AckermannBound};
 use crate::busy_beaver::{lower_bound_witnesses, BusyBeaverRecord};
+use crate::candidate_pipeline::{
+    PipelineConfig, PipelineStats, ReachEngine, SearchCheckpoint, StreamingSearch,
+};
 use crate::certificate::{search_pumping_certificate, PumpingCertificate};
 use crate::concentration::{find_zero_concentrated_multiset, ConcentrationReport};
 use crate::constants::small_basis_constant;
@@ -385,6 +388,90 @@ pub fn experiment_symbolic(max_slice_input: u64) -> Vec<SymbolicRow> {
     rows
 }
 
+/// The E12 report: a streaming, staged, resumable prefix of the `BB_det(4)`
+/// search.
+///
+/// The 4-state space has ~10¹⁰ relabelling orbits — it can only be searched
+/// in checkpointed sessions.  E12 streams a fixed budget of canonical
+/// orbits through the full triage pipeline (symbolic pre-filter → η-floor
+/// filter → concrete slices on the frontier engine) and reports the
+/// per-stage rejection funnel.  `best_eta` is exact *for the streamed
+/// prefix* whenever no orbit was truncated; the η floor of 3 is sound
+/// because `BB_det(4) ≥ BB_det(3) = 3` (monotonicity: pad a 3-state witness
+/// with an isolated state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E12Report {
+    /// State count of the candidate space (4).
+    pub num_states: usize,
+    /// Verification horizon for the concrete slices.
+    pub max_input: u64,
+    /// The η floor the pipeline pruned against.
+    pub eta_floor: u64,
+    /// Canonical orbits requested.
+    pub orbit_budget: u64,
+    /// The per-stage funnel counters.
+    pub stats: PipelineStats,
+    /// Best threshold confirmed within the streamed prefix (only counts
+    /// candidates that could beat the floor).
+    pub best_eta: Option<u64>,
+    /// Distinct coverable-support restrictions in the transposition table.
+    pub memo_entries: u64,
+    /// Candidate encodings consumed (canonical or not).
+    pub candidates_consumed: u64,
+    /// `true` if the whole space was exhausted within the budget (never at
+    /// realistic budgets).
+    pub finished: bool,
+}
+
+/// Builds the pipeline configuration E12 runs with: η floor 3, frontier
+/// exploration engine, memoization on.
+pub fn e12_pipeline_config(max_input: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::exact(max_input, &ExploreLimits::default());
+    config.eta_floor = 3;
+    config.engine = ReachEngine::Frontier;
+    config
+}
+
+/// E12 — the `BB_det(4)` prefix search: streams the first `orbit_budget`
+/// canonical 4-state orbits through the staged pipeline in one session.
+pub fn experiment_e12_bb4_prefix(orbit_budget: u64, max_input: u64) -> E12Report {
+    let mut search = StreamingSearch::new(4, e12_pipeline_config(max_input));
+    search.run_for(orbit_budget);
+    e12_report_from(&search, orbit_budget)
+}
+
+/// Continues an E12 search from a serialised checkpoint for another
+/// `orbit_budget` orbits, returning the report so far and the next
+/// checkpoint.  This is the multi-session entry point: kill the process
+/// after any burst, persist the checkpoint, resume later — the stats are
+/// bit-identical to an uninterrupted run.
+pub fn experiment_e12_resume(
+    checkpoint: &SearchCheckpoint,
+    orbit_budget: u64,
+) -> (E12Report, SearchCheckpoint) {
+    let mut search = StreamingSearch::from_checkpoint(checkpoint);
+    search.run_for(orbit_budget);
+    let report = e12_report_from(&search, checkpoint.stats.canonical_orbits + orbit_budget);
+    let next = search.checkpoint();
+    (report, next)
+}
+
+/// Assembles the E12 report from a (possibly resumed) streaming search.
+pub fn e12_report_from(search: &StreamingSearch, orbit_budget: u64) -> E12Report {
+    let result = search.result();
+    E12Report {
+        num_states: result.num_states,
+        max_input: result.max_input,
+        eta_floor: search.config().eta_floor,
+        orbit_budget,
+        stats: search.stats(),
+        best_eta: result.best_eta,
+        memo_entries: search.memo_len() as u64,
+        candidates_consumed: result.protocols_examined,
+        finished: search.is_finished(),
+    }
+}
+
 /// One row of the E10 report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct E10Row {
@@ -449,6 +536,8 @@ pub struct FullReport {
     pub e10: Vec<E10Row>,
     /// E11 — symbolic all-`n` verdicts vs enumerative slices.
     pub symbolic: Vec<SymbolicRow>,
+    /// E12 — the streamed `BB_det(4)` prefix funnel.
+    pub e12: E12Report,
 }
 
 /// Runs every experiment at a small, test-friendly scale.
@@ -467,6 +556,7 @@ pub fn run_all_small() -> FullReport {
         e8_large: experiment_e8_large(&[100_000], 2),
         e10: experiment_e10(2, 2, 200_000),
         symbolic: experiment_symbolic(8),
+        e12: experiment_e12_bb4_prefix(2_000, 6),
     }
 }
 
@@ -544,6 +634,46 @@ mod tests {
             assert!(row.silencing_rounds.is_some());
             assert!(row.sc1_ideals >= 1);
         }
+    }
+
+    #[test]
+    fn e12_prefix_streams_the_requested_budget() {
+        let report = experiment_e12_bb4_prefix(1_500, 6);
+        assert_eq!(report.num_states, 4);
+        assert_eq!(report.eta_floor, 3);
+        assert_eq!(report.stats.canonical_orbits, 1_500);
+        assert!(!report.finished);
+        assert!(report.candidates_consumed >= 1_500);
+        // The funnel accounts for every canonical orbit.
+        let s = &report.stats;
+        assert_eq!(
+            s.pruned_symbolic + s.pruned_eta_bounded + s.profiled,
+            s.canonical_orbits
+        );
+        assert!(
+            s.memo_hits > 0,
+            "the early 4-state space must share restrictions"
+        );
+        assert_eq!(s.truncated_orbits, 0);
+    }
+
+    #[test]
+    fn e12_checkpoint_resume_reproduces_the_stats() {
+        let straight = experiment_e12_bb4_prefix(1_200, 6);
+        // Same budget, split across three sessions through serialised
+        // checkpoints.
+        let mut search = StreamingSearch::new(4, e12_pipeline_config(6));
+        search.run_for(400);
+        let json = serde_json::to_string(&search.checkpoint()).unwrap();
+        let cp: SearchCheckpoint = serde_json::from_str(&json).unwrap();
+        let (_, cp) = experiment_e12_resume(&cp, 500);
+        let json = serde_json::to_string(&cp).unwrap();
+        let cp: SearchCheckpoint = serde_json::from_str(&json).unwrap();
+        let (resumed, _) = experiment_e12_resume(&cp, 300);
+        assert_eq!(resumed.stats, straight.stats, "stats must be bit-identical");
+        assert_eq!(resumed.best_eta, straight.best_eta);
+        assert_eq!(resumed.memo_entries, straight.memo_entries);
+        assert_eq!(resumed.candidates_consumed, straight.candidates_consumed);
     }
 
     #[test]

@@ -30,8 +30,16 @@
 //!   0-concentrated potentially realisable multisets;
 //! * [`pipeline`] — the end-to-end Section 5 analysis of a leaderless
 //!   protocol (Lemma 5.2 certificate assembly, Theorem 5.9 comparison);
+//! * [`orbit_stream`] — the streaming generator of canonical busy-beaver
+//!   candidates: lazy, splittable into deterministic work ranges, and
+//!   checkpointable for multi-session searches;
+//! * [`candidate_pipeline`] — the staged triage funnel (symbolic
+//!   pre-filter, η-floor filter, concrete slices) with cross-candidate
+//!   memoization and the resumable
+//!   [`StreamingSearch`](candidate_pipeline::StreamingSearch);
 //! * [`enumeration`] — exact busy-beaver values for tiny state counts by
-//!   exhaustive protocol enumeration (under documented restrictions);
+//!   exhaustive protocol enumeration (under documented restrictions),
+//!   driving the generator + pipeline across worker threads;
 //! * [`experiments`] — the E1–E10 experiment drivers behind EXPERIMENTS.md
 //!   and the benchmark harness;
 //! * [`report`] — plain-text/markdown rendering of experiment results.
@@ -56,11 +64,13 @@
 
 pub mod ackermann_bound;
 pub mod busy_beaver;
+pub mod candidate_pipeline;
 pub mod certificate;
 pub mod concentration;
 pub mod constants;
 pub mod enumeration;
 pub mod experiments;
+pub mod orbit_stream;
 pub mod pipeline;
 pub mod report;
 pub mod saturation;

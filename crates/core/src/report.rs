@@ -1,7 +1,7 @@
 //! Plain-text / markdown rendering of experiment reports.
 
 use crate::busy_beaver::BusyBeaverRecord;
-use crate::experiments::{E2Row, E4Row, E5Row, E6Row, E8Row, FullReport, SymbolicRow};
+use crate::experiments::{E12Report, E2Row, E4Row, E5Row, E6Row, E8Row, FullReport, SymbolicRow};
 
 /// Renders the E1 witness table as a markdown table.
 pub fn render_e1(records: &[BusyBeaverRecord]) -> String {
@@ -152,6 +152,40 @@ pub fn render_symbolic(rows: &[SymbolicRow]) -> String {
     out
 }
 
+/// Renders the E12 staged-funnel table: how the streamed `BB_det(4)` prefix
+/// was whittled down stage by stage.
+pub fn render_e12(report: &E12Report) -> String {
+    let s = &report.stats;
+    let mut out = String::from("| stage | candidates | share of canonical |\n|---|---|---|\n");
+    let canonical = s.canonical_orbits.max(1);
+    let mut row = |stage: &str, count: u64| {
+        out.push_str(&format!(
+            "| {stage} | {count} | {:.1}% |\n",
+            count as f64 * 100.0 / canonical as f64
+        ));
+    };
+    row("canonical orbits streamed", s.canonical_orbits);
+    row("rejected: symbolic pre-filter", s.pruned_symbolic);
+    row("rejected: η-floor (SC₀ bounded)", s.pruned_eta_bounded);
+    row("profiled on concrete slices", s.profiled);
+    row("confirmed a threshold", s.threshold_protocols);
+    row("answered from memo table", s.memo_hits);
+    out.push_str(&format!(
+        "\n{} non-canonical encodings were skipped by the generator; the memo \
+         table held {} distinct coverable-support restrictions; best η so far: \
+         {} (floor {}), truncated orbits: {}.\n",
+        s.pruned_symmetric,
+        report.memo_entries,
+        report
+            .best_eta
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "—".into()),
+        report.eta_floor,
+        s.truncated_orbits
+    ));
+    out
+}
+
 /// Renders the full small-scale report.
 pub fn render_full(report: &FullReport) -> String {
     let mut out = String::new();
@@ -178,6 +212,18 @@ pub fn render_full(report: &FullReport) -> String {
              wrong-consensus silent configuration can exist, and the finitely many \
              slices below that cutoff are verified exhaustively — so the verdict holds \
              for every population size, not just the cross-checked slices.\n",
+        );
+    }
+    if report.e12.stats.canonical_orbits > 0 {
+        out.push_str("\n## E12 — streamed BB_det(4) prefix (staged pipeline)\n\n");
+        out.push_str(&render_e12(&report.e12));
+        out.push_str(
+            "\nThe 4-state candidate space (~10¹⁰ relabelling orbits) is searched as a \
+             stream: a lazy canonical-orbit generator feeds a staged triage pipeline \
+             (symbolic pre-filter, η-floor filter, concrete slices) whose verdicts are \
+             memoized across candidates sharing a coverable-support restriction, and \
+             the whole search state — generator cursor, funnel counters, memo table, \
+             best witness — checkpoints to JSON for multi-session resumption.\n",
         );
     }
     if !report.e8_large.is_empty() {
@@ -226,6 +272,17 @@ mod tests {
         // slices are consistent with the certified threshold — no row may
         // render a disagreement.
         assert!(!table.contains("| NO |"), "false disagreement:\n{table}");
+    }
+
+    #[test]
+    fn e12_funnel_renders_all_stages() {
+        let report = experiments::experiment_e12_bb4_prefix(500, 6);
+        let table = render_e12(&report);
+        assert!(table.contains("canonical orbits streamed"));
+        assert!(table.contains("symbolic pre-filter"));
+        assert!(table.contains("η-floor"));
+        assert!(table.contains("memo table"));
+        assert!(table.contains("| 500 |"));
     }
 
     #[test]

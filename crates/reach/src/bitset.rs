@@ -139,6 +139,11 @@ impl BitSet {
         out
     }
 
+    /// Approximate heap usage in bytes (the packed word buffer).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Converts to a `Vec<bool>` (compatibility with older call sites).
     pub fn to_bools(&self) -> Vec<bool> {
         (0..self.len as u32).map(|id| self.contains(id)).collect()

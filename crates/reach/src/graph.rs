@@ -81,6 +81,28 @@ pub struct ReachabilityGraph {
     complete: bool,
 }
 
+/// The non-silent transitions of a protocol as raw state-index deltas
+/// `(pre0, pre1, post0, post1)`, in transition order.
+///
+/// Shared by the CSR and the frontier-compressed explorers: their
+/// bit-identity contract depends on both applying the *same* delta list in
+/// the same order.
+pub(crate) fn transition_deltas(protocol: &Protocol) -> Vec<[usize; 4]> {
+    protocol
+        .transitions()
+        .iter()
+        .filter(|t| !t.is_silent())
+        .map(|t| {
+            [
+                t.pre.lo().index(),
+                t.pre.hi().index(),
+                t.post.lo().index(),
+                t.post.hi().index(),
+            ]
+        })
+        .collect()
+}
+
 impl ReachabilityGraph {
     /// Explores the configuration space reachable from `initial` under
     /// `protocol`, up to the given limits.
@@ -95,20 +117,7 @@ impl ReachabilityGraph {
             }
         }
 
-        // Non-silent transitions as raw index deltas `(pre0, pre1, post0, post1)`.
-        let deltas: Vec<[usize; 4]> = protocol
-            .transitions()
-            .iter()
-            .filter(|t| !t.is_silent())
-            .map(|t| {
-                [
-                    t.pre.lo().index(),
-                    t.pre.hi().index(),
-                    t.post.lo().index(),
-                    t.post.hi().index(),
-                ]
-            })
-            .collect();
+        let deltas = transition_deltas(protocol);
 
         let mut succ_off: Vec<u32> = vec![0];
         let mut succ: Vec<u32> = Vec::new();
@@ -257,6 +266,18 @@ impl ReachabilityGraph {
     /// Total number of (directed, deduplicated) edges.
     pub fn num_edges(&self) -> usize {
         self.succ.len()
+    }
+
+    /// Approximate heap usage of the graph: the arena plus both CSR
+    /// directions.  The comparison baseline for the frontier-compressed
+    /// explorer, which stores no adjacency at all.
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
+            + (self.succ_off.capacity()
+                + self.succ.capacity()
+                + self.pred_off.capacity()
+                + self.pred.capacity())
+                * std::mem::size_of::<u32>()
     }
 
     /// Identifiers of terminal (silent) configurations: no outgoing edge.

@@ -17,6 +17,9 @@
 //!   characterisation — for every input `v` and every `C` reachable from
 //!   `IC(v)`, `C` can reach `SC_{φ(v)}` — is decidable on each slice and is
 //!   implemented in [`verify`];
+//! * frontier-compressed exploration — module [`frontier`]: the same exact
+//!   semantics with no stored adjacency, bounding peak memory by the arena
+//!   plus the live frontier instead of the full edge structure;
 //! * coverability of individual states — module [`coverability`];
 //! * reachability of `j`-saturated configurations (Lemmas 5.3/5.4) — module
 //!   [`saturation`];
@@ -30,6 +33,7 @@ pub mod arena;
 pub mod basis_extract;
 pub mod bitset;
 pub mod coverability;
+pub mod frontier;
 pub mod graph;
 pub mod saturation;
 pub mod stable;
@@ -39,6 +43,7 @@ pub use arena::ConfigArena;
 pub use basis_extract::{extract_stable_basis, EmpiricalBasis};
 pub use bitset::BitSet;
 pub use coverability::{coverable_states, min_input_covering_state};
+pub use frontier::{frontier_threshold_profile, FrontierGraph};
 pub use graph::{ExploreLimits, ReachabilityGraph};
 pub use saturation::{min_input_for_saturation, SaturationWitness};
 pub use stable::{is_stable_config, StableSets};

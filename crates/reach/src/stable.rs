@@ -11,10 +11,39 @@
 //! backward closure per output class yields `SC_b` as the complement of
 //! "can reach a bad configuration" — no per-node [`Config`] is materialised.
 
+use crate::arena::ConfigArena;
 use crate::bitset::BitSet;
 use crate::graph::{ExploreLimits, ReachabilityGraph};
 use popproto_model::{Config, Output, Protocol};
 use serde::{Deserialize, Serialize};
+
+/// Classifies every interned configuration by the outputs it populates:
+/// returns `(bad_for_0, bad_for_1)` where `bad_for_b` holds the
+/// configurations populating some state of output `≠ b`.
+///
+/// Shared by [`StableSets::compute`] (CSR engine) and the
+/// frontier-compressed engine — the two must classify identically for their
+/// stable sets to stay bit-identical, so the classification exists once.
+pub(crate) fn classify_bad_sets(protocol: &Protocol, arena: &ConfigArena) -> (BitSet, BitSet) {
+    let outputs: Vec<Output> = protocol
+        .state_ids()
+        .map(|q| protocol.output_of(q))
+        .collect();
+    let mut bad_for_0 = BitSet::new(arena.len());
+    let mut bad_for_1 = BitSet::new(arena.len());
+    for (id, counts) in arena.iter() {
+        for (q, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            match outputs[q] {
+                Output::False => bad_for_1.insert(id),
+                Output::True => bad_for_0.insert(id),
+            };
+        }
+    }
+    (bad_for_0, bad_for_1)
+}
 
 /// The b-stable configurations of a reachability graph, for both outputs,
 /// stored as bitsets over the graph's identifiers.
@@ -27,31 +56,24 @@ pub struct StableSets {
 impl StableSets {
     /// Computes the stable sets of all configurations in the graph.
     pub fn compute(protocol: &Protocol, graph: &ReachabilityGraph) -> Self {
-        // One pass over the raw slices classifies every configuration:
-        // `bad_for[b]` holds the configurations populating a state of
-        // output ≠ b.
-        let outputs: Vec<Output> = protocol
-            .state_ids()
-            .map(|q| protocol.output_of(q))
-            .collect();
-        let mut bad_for_0 = BitSet::new(graph.len());
-        let mut bad_for_1 = BitSet::new(graph.len());
-        for id in graph.ids() {
-            for (q, &count) in graph.counts_of(id).iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                match outputs[q] {
-                    Output::False => bad_for_1.insert(id),
-                    Output::True => bad_for_0.insert(id),
-                };
-            }
-        }
-        // A configuration is b-stable iff it cannot reach a bad one.
+        // One pass over the raw slices classifies every configuration
+        // ([`classify_bad_sets`]); a configuration is then b-stable iff it
+        // cannot reach a bad one.
+        let (bad_for_0, bad_for_1) = classify_bad_sets(protocol, graph.arena());
         StableSets {
             stable0: graph.backward_closure_of(&bad_for_0).complement(),
             stable1: graph.backward_closure_of(&bad_for_1).complement(),
         }
+    }
+
+    /// Assembles stable sets from precomputed bitsets.
+    ///
+    /// Used by alternative exploration engines (e.g. the frontier-compressed
+    /// explorer, which computes the backward fixpoints by transition-delta
+    /// regeneration instead of over a stored CSR).  The caller is responsible
+    /// for the bitsets actually being the b-stable sets of its graph.
+    pub fn from_parts(stable0: BitSet, stable1: BitSet) -> Self {
+        StableSets { stable0, stable1 }
     }
 
     /// Returns whether configuration `id` is b-stable.

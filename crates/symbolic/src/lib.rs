@@ -48,7 +48,9 @@ pub use invariants::{invariant_cones, max_bad_silent_size, BadSilentBound, Invar
 pub use omega::{row_leq, row_to_ideal, OmegaArena, OMEGA};
 pub use rays::nonneg_cone_generators;
 pub use termination::{find_silencing_certificate, EliminationRound, SilencingCertificate};
-pub use verifier::{silent_ideals, threshold_prefilter, SymbolicVerifier, ThresholdVerdict};
+pub use verifier::{
+    eta_floor_prefilter, silent_ideals, threshold_prefilter, SymbolicVerifier, ThresholdVerdict,
+};
 
 use popproto_reach::ExploreLimits;
 use serde::{Deserialize, Serialize};

@@ -370,19 +370,66 @@ pub fn threshold_prefilter(protocol: &Protocol, max_input: u64, limits: &Symboli
     }
 }
 
-/// The largest population of a reachable 1-stable configuration, when it is
+/// The largest population of a reachable b-stable configuration, when it is
 /// provably finite: `Some(max)` only if the cover is complete (a sound
-/// over-approximation of reachability) and `SC_1 ∩ cover` is bounded.
+/// over-approximation of reachability) and `SC_b ∩ cover` is bounded.
 ///
-/// This single bound backs all three consumers — the pre-filter stage 3,
-/// [`SymbolicVerifier::may_compute_threshold`] and the all-thresholds
-/// refutation of [`SymbolicVerifier::certify_threshold`] — so the soundness
-/// direction is encoded exactly once.
-fn accepting_population_bound(sc1: &SymbolicStableSet, cover: &KarpMillerCover) -> Option<u64> {
+/// This single bound backs all four consumers — the pre-filter stage 3,
+/// [`eta_floor_prefilter`], [`SymbolicVerifier::may_compute_threshold`] and
+/// the all-thresholds refutation of
+/// [`SymbolicVerifier::certify_threshold`] — so the soundness direction is
+/// encoded exactly once.  `SC_b` itself may be an over-approximation (a
+/// truncated backward fixpoint under-approximates `pre*`, so its complement
+/// over-approximates the stable set); a finite bound on the
+/// over-approximation bounds the true set a fortiori.
+fn stable_population_bound(sc: &SymbolicStableSet, cover: &KarpMillerCover) -> Option<u64> {
     if !cover.complete {
         return None;
     }
-    sc1.set.intersect(&cover.set).max_population()
+    sc.set.intersect(&cover.set).max_population()
+}
+
+/// The [`stable_population_bound`] for the accepting stable set `SC_1`.
+fn accepting_population_bound(sc1: &SymbolicStableSet, cover: &KarpMillerCover) -> Option<u64> {
+    stable_population_bound(sc1, cover)
+}
+
+/// The η-aware symbolic pre-filter: returns `false` only when the protocol
+/// provably cannot pass `verified_threshold` with any threshold
+/// `η ≥ eta_floor`, without exploring a single concrete slice.
+///
+/// The argument, for any floor `≥ 3`: verifying `x ≥ η` with `η ≥ 3`
+/// requires input `2` to **reject**, i.e. slice `2` must contain a reachable
+/// `0`-stable configuration (of exactly `|L| + 2` agents).  Every reachable
+/// `0`-stable configuration lies in `SC₀ ∩ cover` — `SC₀` is (an
+/// over-approximation of) the all-`n` rejecting stable set and the complete
+/// Karp–Miller cover over-approximates reachability at every size — so if
+/// that intersection is bounded below `|L| + 2` agents, no input can ever
+/// reject and only the all-accepting threshold `η = 2` remains possible.
+///
+/// With `eta_floor ≤ 2` the filter never rejects (every profile shape is
+/// still admissible), so a caller that must preserve the unfloored search
+/// semantics bit for bit can simply pass `2`.
+pub fn eta_floor_prefilter(protocol: &Protocol, eta_floor: u64, limits: &SymbolicLimits) -> bool {
+    if eta_floor <= 2 {
+        return true;
+    }
+    // No 0-output state at all: no configuration is 0-stable, nothing can
+    // ever be rejected.
+    if protocol.states_with_output(Output::False).is_empty() {
+        return false;
+    }
+    let Some(sc0) = symbolic_stable_sets(protocol, Output::False, limits) else {
+        return true; // representation cap hit: cannot rule the candidate out
+    };
+    if sc0.set.is_empty() {
+        return false;
+    }
+    let cover = karp_miller(protocol, limits);
+    match stable_population_bound(&sc0, &cover) {
+        None => true,
+        Some(max) => max >= protocol.leaders().size() + 2,
+    }
 }
 
 #[cfg(test)]
@@ -472,5 +519,60 @@ mod tests {
 
         // A genuine threshold protocol passes.
         assert!(threshold_prefilter(&threshold2_protocol(), 6, &limits));
+    }
+
+    #[test]
+    fn eta_floor_prefilter_is_inert_below_three() {
+        let limits = SymbolicLimits::default();
+        // With floor ≤ 2 nothing may ever be rejected, not even a protocol
+        // that cannot reject any input.
+        let mut b = ProtocolBuilder::new("always-true");
+        let s = b.add_state("s", Output::True);
+        b.set_input_state("x", s);
+        let always = b.build().unwrap();
+        assert!(eta_floor_prefilter(&always, 2, &limits));
+        assert!(eta_floor_prefilter(&threshold2_protocol(), 2, &limits));
+    }
+
+    #[test]
+    fn eta_floor_prefilter_rejects_protocols_that_cannot_reject_input_two() {
+        let limits = SymbolicLimits::default();
+        // All-accepting outputs: SC₀ is empty, input 2 can never reject, so
+        // no η ≥ 3 is verifiable.
+        let mut b = ProtocolBuilder::new("always-true");
+        let s = b.add_state("s", Output::True);
+        b.set_input_state("x", s);
+        assert!(!eta_floor_prefilter(&b.build().unwrap(), 3, &limits));
+
+        // Two agents annihilate into an accepting pair: the only 0-stable
+        // configurations are single agents, so no slice (all of size ≥ 2)
+        // contains a reachable 0-stable configuration.
+        let mut b = ProtocolBuilder::new("instant-accept");
+        let q0 = b.add_state("in", Output::False);
+        let q1 = b.add_state("yes", Output::True);
+        b.add_transition((q0, q0), (q1, q1)).unwrap();
+        b.add_transition((q0, q1), (q1, q1)).unwrap();
+        b.set_input_state("x", q0);
+        assert!(!eta_floor_prefilter(&b.build().unwrap(), 3, &limits));
+    }
+
+    #[test]
+    fn eta_floor_prefilter_keeps_genuine_high_threshold_protocols() {
+        let limits = SymbolicLimits::default();
+        // threshold2_protocol rejects nothing (all its inputs ≥ 2 accept),
+        // so the floor-3 filter may legitimately reject it; the protocols
+        // that must survive are the ones whose computed threshold is ≥ 3.
+        for (p, eta) in [
+            (popproto_zoo::flock(3), 3u64),
+            (popproto_zoo::flock(4), 4),
+            (popproto_zoo::binary_counter(2), 4),
+            (popproto_zoo::binary_counter(3), 8),
+        ] {
+            assert!(
+                eta_floor_prefilter(&p, 3, &limits),
+                "{} computes x ≥ {eta} and must pass the floor-3 filter",
+                p.name()
+            );
+        }
     }
 }
