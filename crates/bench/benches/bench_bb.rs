@@ -1,25 +1,34 @@
 //! Busy-beaver pipeline benchmark: the streaming, staged, resumable
-//! `BB_det(4)` prefix search (experiment E12) and the `BB_det(3)` soundness
-//! gate, emitting `BENCH_bb.json`.
+//! `BB_det(4)` prefix search (experiment E12), its **parallel segmented**
+//! rebuild on the work-stealing pool, and the `BB_det(3)` soundness gate,
+//! emitting `BENCH_bb.json`.
 //!
-//! Two modes:
+//! Modes:
 //!
-//! * **smoke** (default, what CI runs on every push): a small-budget E12
-//!   prefix plus the kill/resume exercise — the run is split into sessions
-//!   through *serialised* checkpoints and the per-stage stats must come out
-//!   bit-identical to the uninterrupted run.  The committed
-//!   `BENCH_bb.json` is left untouched.
+//! * **smoke** (default, what CI matrix-runs on every push at
+//!   `BENCH_BB_WORKERS` ∈ {1, 4}): a small-budget E12 prefix, the
+//!   sequential kill/resume exercise, the segmented run at the requested
+//!   worker count with (a) a funnel bit-identity assert against the
+//!   sequential stream and (b) a multi-cursor kill/resume assert across a
+//!   *different* worker count, plus the fingerprint-canonicalization
+//!   hit-rate delta.  The committed `BENCH_bb.json` is left untouched.
 //! * **full** (`BENCH_BB_FULL=1`): streams 10⁶ canonical 4-state orbits
-//!   end-to-end, repeats the kill/resume check at that scale, re-runs
-//!   `BB_det(3)` through the new pipeline against the PR 3 reference values
-//!   (`best_eta = 3`, `threshold_protocols = 46144`,
-//!   `pruned_symmetric = 186336`) as a bit-identity gate, and regenerates
+//!   sequentially and at 1/2/4/8 workers (the `parallel_scaling` section),
+//!   asserts funnel/best/witness bit-identity at every worker count,
+//!   re-runs `BB_det(3)` against the PR 3 reference values as a
+//!   bit-identity gate, measures the canonicalization delta at scale, runs
+//!   an entropy-ordered prefix for contrast, and regenerates
 //!   `BENCH_bb.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use popproto::candidate_pipeline::{PipelineStats, SearchCheckpoint, StreamingSearch};
 use popproto::enumeration::busy_beaver_search;
-use popproto::experiments::{e12_pipeline_config, e12_report_from};
+use popproto::experiments::{
+    e12_pipeline_config, e12_report_from, e12_segmented_report_from, e12_segmented_search,
+    E12SegmentedReport,
+};
+use popproto::orbit_stream::SegmentOrder;
+use popproto::segmented::{SegmentedCheckpoint, SegmentedSearch};
 use popproto_reach::ExploreLimits;
 use std::time::Instant;
 
@@ -55,12 +64,121 @@ fn killed_and_resumed(budget: u64, sessions: u64) -> (PipelineStats, Option<u64>
     (search.stats(), best, checkpoint_bytes)
 }
 
+/// Runs the segmented E12 at `workers` until the merged prefix holds
+/// `budget` orbits; returns `(report, seconds)`.
+fn segmented_run(budget: u64, workers: usize, order: SegmentOrder) -> (E12SegmentedReport, f64) {
+    let start = Instant::now();
+    let mut search = e12_segmented_search(MAX_INPUT, order);
+    search.run(workers, budget);
+    let seconds = start.elapsed().as_secs_f64();
+    (e12_segmented_report_from(&search, budget, workers), seconds)
+}
+
+/// Asserts the segmented prefix reproduces the sequential stream bit for bit
+/// on the same orbit count: funnel counters, best η, witness set.
+fn assert_segmented_matches_sequential(report: &E12SegmentedReport) {
+    let mut reference = StreamingSearch::new(4, e12_pipeline_config(MAX_INPUT));
+    reference.run_for(report.prefix_orbits);
+    let ref_stats = reference.stats();
+    assert_eq!(
+        report.stats.canonical_orbits, ref_stats.canonical_orbits,
+        "orbit counts diverged"
+    );
+    assert_eq!(
+        report.stats.pruned_symbolic, ref_stats.pruned_symbolic,
+        "symbolic funnel diverged"
+    );
+    assert_eq!(
+        report.stats.pruned_eta_bounded, ref_stats.pruned_eta_bounded,
+        "eta-floor funnel diverged"
+    );
+    assert_eq!(
+        report.stats.profiled, ref_stats.profiled,
+        "profiled diverged"
+    );
+    assert_eq!(
+        report.stats.threshold_protocols, ref_stats.threshold_protocols,
+        "confirmed diverged"
+    );
+    assert_eq!(
+        report.stats.truncated_orbits, ref_stats.truncated_orbits,
+        "truncation diverged"
+    );
+    assert_eq!(
+        report.best_eta,
+        reference.result().best_eta,
+        "best eta diverged"
+    );
+    let ref_confirmed: Vec<u128> = reference.confirmed().to_vec();
+    let seg_confirmed: Vec<u128> = report.confirmed.iter().map(|c| c.get()).collect();
+    assert_eq!(seg_confirmed, ref_confirmed, "witness sets diverged");
+}
+
+/// Kills a segmented run mid-budget at `workers_a`, resumes it at
+/// `workers_b` through a JSON multi-cursor checkpoint, and asserts the
+/// completed run equals an uninterrupted single-worker run.
+fn assert_segmented_kill_resume(budget: u64, workers_a: usize, workers_b: usize) {
+    let mut straight = e12_segmented_search(MAX_INPUT, SegmentOrder::Index);
+    straight.run(1, budget);
+    let expected = straight.result();
+
+    let mut search = e12_segmented_search(MAX_INPUT, SegmentOrder::Index);
+    search.run(workers_a, budget / 2);
+    let json = serde_json::to_string(&search.checkpoint()).expect("checkpoint serialises");
+    let checkpoint: SegmentedCheckpoint =
+        serde_json::from_str(&json).expect("checkpoint deserialises");
+    let mut resumed = SegmentedSearch::from_checkpoint(&checkpoint);
+    resumed.run(workers_b, budget);
+    let result = resumed.result();
+    assert_eq!(result.prefix_orbits, expected.prefix_orbits);
+    assert_eq!(result.best, expected.best, "kill/resume best diverged");
+    assert_eq!(
+        result.confirmed, expected.confirmed,
+        "kill/resume witness set diverged"
+    );
+    let mut a = result.stats.clone();
+    let mut b = expected.stats.clone();
+    // Identical segmentation ⟹ identical local hits; only cross may differ.
+    assert_eq!(a.memo_hits, b.memo_hits, "local memo hits diverged");
+    a.memo_hits_cross = 0;
+    b.memo_hits_cross = 0;
+    assert_eq!(a, b, "kill/resume stats diverged");
+}
+
+/// Measures the fingerprint-canonicalization hit-rate delta on a sequential
+/// prefix: `(hit_rate_with, hit_rate_without, entries_with, entries_without)`.
+fn canonicalization_delta(budget: u64) -> (f64, f64, u64, u64) {
+    let run = |canonical: bool| {
+        let mut config = e12_pipeline_config(MAX_INPUT);
+        config.canonical_fingerprints = canonical;
+        let mut search = StreamingSearch::new(4, config);
+        search.run_for(budget);
+        let stats = search.stats();
+        (
+            stats.memo_hits as f64 / stats.canonical_orbits.max(1) as f64,
+            search.memo_len() as u64,
+        )
+    };
+    let (with_rate, with_entries) = run(true);
+    let (without_rate, without_entries) = run(false);
+    assert!(
+        with_rate >= without_rate,
+        "canonicalization must never lose hits ({with_rate} < {without_rate})"
+    );
+    assert!(with_entries <= without_entries);
+    (with_rate, without_rate, with_entries, without_entries)
+}
+
 fn emit_bench_json(_c: &mut Criterion) {
     let full = std::env::var_os("BENCH_BB_FULL").is_some();
     let budget: u64 = if full { 1_000_000 } else { 20_000 };
+    let smoke_workers: usize = std::env::var("BENCH_BB_WORKERS")
+        .ok()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(2);
     let sessions = 3u64;
 
-    // 1. The streamed prefix, uninterrupted.
+    // 1. The streamed prefix, uninterrupted (the PR 4 sequential baseline).
     let (search, seconds) = straight_run(budget);
     let report = e12_report_from(&search, budget);
     assert_eq!(report.stats.canonical_orbits, budget, "budget not honoured");
@@ -100,7 +218,78 @@ fn emit_bench_json(_c: &mut Criterion) {
         checkpoint_bytes as f64 / 1e6
     );
 
-    // 3. BB_det(3) through the new pipeline against the PR 3 reference
+    // 3. Parallel segmented streaming: the scaling matrix (full) or the CI
+    // matrix worker count (smoke), each gated on funnel bit-identity
+    // against the sequential stream.
+    let scaling_workers: Vec<usize> = if full {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![smoke_workers]
+    };
+    let mut scaling_rows = Vec::new();
+    for &workers in &scaling_workers {
+        let (seg_report, seg_seconds) = segmented_run(budget, workers, SegmentOrder::Index);
+        assert!(seg_report.prefix_orbits >= budget);
+        assert_segmented_matches_sequential(&seg_report);
+        let throughput = seg_report.prefix_orbits as f64 / seg_seconds;
+        println!(
+            "[E12] segmented @ {workers} workers: {} orbits in {seg_seconds:.2}s \
+             ({throughput:.0} orbits/s, {} segments, {} local + {} cross memo hits) — \
+             funnel bit-identical to the sequential stream",
+            seg_report.prefix_orbits,
+            seg_report.segments_merged,
+            seg_report.stats.memo_hits,
+            seg_report.stats.memo_hits_cross,
+        );
+        scaling_rows.push(format!(
+            "      {{\"workers\": {workers}, \"seconds\": {seg_seconds:.3}, \
+             \"orbits_per_second\": {throughput:.0}, \"segments_merged\": {}, \
+             \"memo_hits_local\": {}, \"memo_hits_cross\": {}, \
+             \"speedup_vs_sequential\": {:.2}, \"identical_funnel\": true}}",
+            seg_report.segments_merged,
+            seg_report.stats.memo_hits,
+            seg_report.stats.memo_hits_cross,
+            seconds / seg_seconds,
+        ));
+    }
+
+    // 4. Multi-cursor kill/resume across differing worker counts.
+    let (resume_a, resume_b) = (smoke_workers.max(2), 3usize);
+    assert_segmented_kill_resume(budget.min(40_000), resume_a, resume_b);
+    println!(
+        "[E12] segmented kill/resume: killed @ {resume_a} workers, resumed @ {resume_b} — \
+         stats, best and witness set bit-identical"
+    );
+
+    // 5. Fingerprint canonicalization: the hit-rate delta.
+    let canon_budget = budget.min(100_000);
+    let (with_rate, without_rate, with_entries, without_entries) =
+        canonicalization_delta(canon_budget);
+    println!(
+        "[E12] fingerprint canonicalization over {canon_budget} orbits: hit rate \
+         {:.1}% -> {:.1}%, memo entries {} -> {}",
+        without_rate * 100.0,
+        with_rate * 100.0,
+        without_entries,
+        with_entries,
+    );
+
+    // 6. Entropy-guided order: what the same budget surfaces when segments
+    // are visited by descending function-index entropy.
+    let entropy_budget = if full { 50_000 } else { 2_000 };
+    let (entropy_report, entropy_seconds) = segmented_run(
+        entropy_budget,
+        smoke_workers,
+        SegmentOrder::EntropyDescending,
+    );
+    println!(
+        "[E12] entropy order @ {entropy_budget} orbits in {entropy_seconds:.2}s: \
+         {} profiled / {} confirmed (index order at the same budget profiles the \
+         degenerate corner instead)",
+        entropy_report.stats.profiled, entropy_report.stats.threshold_protocols,
+    );
+
+    // 7. BB_det(3) through the new pipeline against the PR 3 reference
     // (regenerating the JSON implies re-proving the bit-identity).
     let mut bb3_entry = String::new();
     if full {
@@ -134,8 +323,9 @@ fn emit_bench_json(_c: &mut Criterion) {
     }
 
     let stats_json = serde_json::to_string(&report.stats).expect("stats serialise");
+    let entropy_stats_json = serde_json::to_string(&entropy_report.stats).expect("stats serialise");
     let json = format!(
-        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }}{bb3_entry}\n}}\n",
+        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }},\n  \"parallel_scaling\": {{\n    \"orbit_budget\": {budget},\n    \"segment_size\": {},\n    \"host_cpus\": {},\n    \"order\": \"index\",\n    \"note\": \"funnel, best eta and witness set asserted bit-identical to the sequential stream at every worker count; resume asserted across differing worker counts; speedups are bounded by host_cpus — a single-core host time-slices the workers\",\n    \"runs\": [\n{}\n    ]\n  }},\n  \"fingerprint_canonicalization\": {{\n    \"orbit_budget\": {canon_budget},\n    \"hit_rate_without\": {without_rate:.4},\n    \"hit_rate_with\": {with_rate:.4},\n    \"memo_entries_without\": {without_entries},\n    \"memo_entries_with\": {with_entries}\n  }},\n  \"entropy_order\": {{\n    \"orbit_budget\": {entropy_budget},\n    \"seconds\": {entropy_seconds:.3},\n    \"stats\": {entropy_stats_json},\n    \"best_eta\": {}\n  }}{bb3_entry}\n}}\n",
         report.eta_floor,
         budget as f64 / seconds,
         report.memo_entries,
@@ -145,6 +335,13 @@ fn emit_bench_json(_c: &mut Criterion) {
             .map(|e| e.to_string())
             .unwrap_or_else(|| "null".into()),
         report.finished,
+        entropy_report.segment_size,
+        popproto_exec::default_workers(),
+        scaling_rows.join(",\n"),
+        entropy_report
+            .best_eta
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "null".into()),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bb.json");
     if full {
@@ -152,8 +349,8 @@ fn emit_bench_json(_c: &mut Criterion) {
         println!("[E12] wrote {path}");
     } else {
         println!(
-            "[E12] smoke run complete (set BENCH_BB_FULL=1 to stream 10^6 orbits and \
-             regenerate {path})"
+            "[E12] smoke run complete @ {smoke_workers} workers (set BENCH_BB_FULL=1 to \
+             stream 10^6 orbits and regenerate {path})"
         );
     }
 }

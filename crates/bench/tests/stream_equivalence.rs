@@ -146,9 +146,14 @@ fn checkpoint_resume_reproduces_busy_beaver_bit_identically() {
             result.truncated_orbits, reference.truncated_orbits,
             "round {round}"
         );
-        // The sequential reference and the (sequential) resumed stream see
-        // identical candidate orders, so even memo_hits must agree.
+        // The raw combined memo total is deliberately NOT asserted (the
+        // cross-segment count is scheduling-dependent in parallel runs and
+        // exempt everywhere).  What *is* guaranteed here: both runs are
+        // sequential single-table scans, so their deterministic local-hit
+        // counts agree and neither ever touches a shared table.
         assert_eq!(result.memo_hits, reference.memo_hits, "round {round}");
+        assert_eq!(result.memo_hits_cross, 0, "round {round}");
+        assert_eq!(reference.memo_hits_cross, 0, "round {round}");
     }
 }
 

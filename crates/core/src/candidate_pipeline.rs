@@ -28,10 +28,24 @@
 //! table by the restriction's **exact canonical encoding** (the
 //! fingerprint; equal bytes ⟺ equal restrictions, so collisions are
 //! impossible by construction) and replays the memoized verdict instead of
-//! re-running the stages.  In the 4-state space enormous numbers of orbits
-//! share a 3-state (or smaller) sub-protocol — exactly the reuse the
-//! `BB_det(4)` rung needs.  See `crates/reach/README.md` for the full
-//! soundness argument.
+//! re-running the stages.  With
+//! [`PipelineConfig::canonical_fingerprints`] the key is additionally
+//! quotiented by the restriction's residual relabelling group (the
+//! lexicographically smallest encoding over all permutations of the
+//! non-input states): equal keys ⟺ relabelling-equivalent restrictions,
+//! which share verdicts because every stage is relabelling-invariant — the
+//! table answers strictly more hits and still never conflates different
+//! verdicts.  In the 4-state space enormous numbers of orbits share a
+//! 3-state (or smaller) sub-protocol — exactly the reuse the `BB_det(4)`
+//! rung needs.  See `crates/reach/README.md` for the full soundness
+//! argument.
+//!
+//! For multi-core runs, [`SharedMemo`] is the cross-segment variant of the
+//! table: a sharded concurrent map probed *after* the pipeline's own local
+//! table, so that local hit counts stay deterministic per segment while the
+//! shared table recycles verdicts across segments (counted separately as
+//! [`PipelineStats::memo_hits_cross`], the one scheduling-dependent
+//! counter).
 //!
 //! # Resumability
 //!
@@ -47,12 +61,15 @@
 //! [`ThresholdProfile`]: popproto_reach::ThresholdProfile
 
 use crate::enumeration::EnumerationResult;
-use crate::orbit_stream::{OrbitSpace, OrbitStream, StreamCursor, U128Parts};
+use crate::orbit_stream::{
+    permutations_fixing_zero, OrbitSpace, OrbitStream, StreamCursor, U128Parts,
+};
 use popproto_model::{Output, Protocol, ProtocolBuilder, StateId};
 use popproto_reach::{frontier_threshold_profile, unary_threshold_profile, ExploreLimits};
 use popproto_symbolic::{eta_floor_prefilter, threshold_prefilter, SymbolicLimits};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Which exact-exploration engine the concrete-slice stage runs on.
 ///
@@ -94,6 +111,16 @@ pub struct PipelineConfig {
     /// (both checkpointed), so kill/resume stays bit-identical under any
     /// cap.
     pub memo_max_entries: usize,
+    /// Quotient the transposition-table key by the residual relabelling
+    /// group of the coverable-support restriction: the key becomes the
+    /// lexicographically smallest encoding over all permutations of the
+    /// restriction's non-input states.  Sound because every triage stage is
+    /// invariant under state relabellings fixing the input state (the same
+    /// argument that lets the generator keep one representative per orbit);
+    /// two restrictions get equal keys iff they are relabellings of each
+    /// other, so the table answers strictly more hits and still never
+    /// collides across genuinely different verdicts.
+    pub canonical_fingerprints: bool,
     /// Engine for the concrete-slice stage.
     pub engine: ReachEngine,
 }
@@ -109,15 +136,20 @@ impl PipelineConfig {
             symbolic: SymbolicLimits::prefilter(),
             memoize: true,
             memo_max_entries: 4_000_000,
+            canonical_fingerprints: true,
             engine: ReachEngine::Csr,
         }
     }
 }
 
-/// Per-stage counters of a pipeline run.  All counters are functions of the
-/// candidate range alone — memoization and scheduling replay them
-/// identically (`memo_hits` included, because the memo table itself is part
-/// of every checkpoint).
+/// Per-stage counters of a pipeline run.  Every counter except
+/// [`PipelineStats::memo_hits_cross`] is a function of the candidate range
+/// alone: a segment replays them identically under any worker count,
+/// scheduling or kill/resume pattern.  `memo_hits_cross` counts hits against
+/// the *shared* transposition table, whose contents depend on which segments
+/// other workers happened to finish first — it is reported separately and
+/// labelled nondeterministic precisely so nothing downstream is tempted to
+/// assert it.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Canonical orbit representatives that entered the pipeline.
@@ -136,8 +168,16 @@ pub struct PipelineStats {
     /// their `None` verdict is a cap artefact, not a proof, so any exactness
     /// claim must check this is zero.
     pub truncated_orbits: u64,
-    /// Candidates answered from the transposition table.
+    /// Candidates answered from the pipeline's **own** (segment-local)
+    /// transposition table.  Deterministic: a pure function of the candidate
+    /// range this pipeline processed, independent of workers or scheduling.
     pub memo_hits: u64,
+    /// Candidates answered from the **shared** cross-segment transposition
+    /// table.  Nondeterministic under parallel execution (it depends on
+    /// which segments other workers completed first) — never asserted in
+    /// equivalence tests; the verdicts themselves are still deterministic
+    /// because every memoized verdict is a pure function of its fingerprint.
+    pub memo_hits_cross: u64,
 }
 
 impl PipelineStats {
@@ -152,6 +192,112 @@ impl PipelineStats {
         self.threshold_protocols += other.threshold_protocols;
         self.truncated_orbits += other.truncated_orbits;
         self.memo_hits += other.memo_hits;
+        self.memo_hits_cross += other.memo_hits_cross;
+    }
+}
+
+/// A concurrent, sharded transposition table shared across the segments of a
+/// parallel search.
+///
+/// Entries map a restriction fingerprint to its memoized [`MemoVerdict`].
+/// Because every verdict is a pure function of the fingerprint (the triage
+/// stages run on the protocol the fingerprint *decodes to*), it does not
+/// matter which worker inserted an entry first — a racing double-compute
+/// produces the identical verdict, so the table never changes any result,
+/// only how often stages re-run.  Sharded `Mutex<HashMap>`s are plenty here:
+/// probes are two orders of magnitude cheaper than the triage work they
+/// save, and the shard count (64) keeps contention negligible at realistic
+/// worker counts.
+#[derive(Debug)]
+pub struct SharedMemo {
+    shards: Vec<Mutex<HashMap<Vec<u8>, MemoVerdict>>>,
+    per_shard_cap: usize,
+}
+
+impl SharedMemo {
+    const SHARDS: usize = 64;
+
+    /// Creates an empty table holding at most `max_entries` entries overall
+    /// (enforced per shard, so the effective cap is within one shard's worth
+    /// of the requested one).
+    pub fn new(max_entries: usize) -> Self {
+        SharedMemo {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_cap: max_entries.div_ceil(Self::SHARDS),
+        }
+    }
+
+    fn shard(&self, fingerprint: &[u8]) -> usize {
+        // FNV-1a over the fingerprint bytes; the top bits pick the shard.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in fingerprint {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h >> 58) as usize % Self::SHARDS
+    }
+
+    /// Looks a fingerprint up.
+    pub fn get(&self, fingerprint: &[u8]) -> Option<MemoVerdict> {
+        self.shards[self.shard(fingerprint)]
+            .lock()
+            .expect("shared memo poisoned")
+            .get(fingerprint)
+            .copied()
+    }
+
+    /// Inserts a verdict unless the shard is at capacity.  Last-write-wins
+    /// races are harmless: all writers hold the same verdict.
+    pub fn insert(&self, fingerprint: &[u8], verdict: MemoVerdict) {
+        let mut shard = self.shards[self.shard(fingerprint)]
+            .lock()
+            .expect("shared memo poisoned");
+        if shard.len() < self.per_shard_cap || shard.contains_key(fingerprint) {
+            shard.insert(fingerprint.to_vec(), verdict);
+        }
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shared memo poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialises the table, sorted by fingerprint so checkpoint bytes are a
+    /// deterministic function of the entry set.
+    pub fn records(&self) -> Vec<MemoRecord> {
+        let mut records: Vec<MemoRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shared memo poisoned")
+                    .iter()
+                    .map(|(fingerprint, &verdict)| MemoRecord {
+                        fingerprint: fingerprint.clone(),
+                        verdict,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        records.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        records
+    }
+
+    /// Seeds the table from checkpointed records.
+    pub fn seed(&self, records: &[MemoRecord]) {
+        for r in records {
+            self.insert(&r.fingerprint, r.verdict);
+        }
     }
 }
 
@@ -192,6 +338,26 @@ pub struct BestCandidate {
     pub index: u128,
 }
 
+impl BestCandidate {
+    /// The deterministic two-way merge every layer of the search uses:
+    /// larger `eta` wins, ties break towards the smaller encoding index —
+    /// so any merge order (worker folds, segment folds, checkpoint resumes)
+    /// produces the same champion.
+    pub fn merge(a: Option<BestCandidate>, b: Option<BestCandidate>) -> Option<BestCandidate> {
+        match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(x), Some(y)) => {
+                if y.eta > x.eta || (y.eta == x.eta && y.index < x.index) {
+                    Some(y)
+                } else {
+                    Some(x)
+                }
+            }
+        }
+    }
+}
+
 /// The staged triage funnel with its transposition table.
 #[derive(Debug)]
 pub struct CandidatePipeline {
@@ -199,8 +365,17 @@ pub struct CandidatePipeline {
     memo: HashMap<Vec<u8>, MemoVerdict>,
     stats: PipelineStats,
     best: Option<BestCandidate>,
+    /// Encoding indices of every candidate with a confirmed threshold, in
+    /// offer order (ascending within one range-driven pipeline) — the
+    /// witness *set* of the searched range, not just its best element.
+    confirmed: Vec<u128>,
+    /// Per-`k` permutations of `0..k` fixing state 0, for fingerprint
+    /// canonicalization (index = state count of the restriction).
+    perms_by_k: Vec<Vec<Vec<usize>>>,
     support: Vec<bool>,
     fingerprint: Vec<u8>,
+    scratch: Vec<u8>,
+    scratch_best: Vec<u8>,
 }
 
 impl CandidatePipeline {
@@ -213,13 +388,18 @@ impl CandidatePipeline {
     /// anyway).
     pub fn new(num_states: usize, config: PipelineConfig) -> Self {
         assert!(num_states <= 8, "fingerprints encode at most 8 states");
+        let perms_by_k = (0..=num_states).map(permutations_fixing_zero).collect();
         CandidatePipeline {
             config,
             memo: HashMap::new(),
             stats: PipelineStats::default(),
             best: None,
+            confirmed: Vec::new(),
+            perms_by_k,
             support: vec![false; num_states],
             fingerprint: Vec::new(),
+            scratch: Vec::new(),
+            scratch_best: Vec::new(),
         }
     }
 
@@ -251,6 +431,37 @@ impl CandidatePipeline {
     /// [`OrbitStream::current_assignment`]) and `outputs` its output
     /// bitmask.
     pub fn offer(&mut self, space: &OrbitSpace, index: u128, assignment: &[usize], outputs: u32) {
+        self.offer_impl(space, index, assignment, outputs, None);
+    }
+
+    /// [`CandidatePipeline::offer`] probing a cross-segment [`SharedMemo`]
+    /// between the local table and the triage stages.
+    ///
+    /// Probe order: local table (deterministic hit), shared table
+    /// (nondeterministic `memo_hits_cross`), full triage.  Computed verdicts
+    /// are inserted into both tables; shared hits are copied into the local
+    /// table so that repeats *within this pipeline's range* count as local
+    /// hits from then on — which keeps `memo_hits` a pure function of the
+    /// range even when the shared table raced.
+    pub fn offer_shared(
+        &mut self,
+        space: &OrbitSpace,
+        index: u128,
+        assignment: &[usize],
+        outputs: u32,
+        shared: &SharedMemo,
+    ) {
+        self.offer_impl(space, index, assignment, outputs, Some(shared));
+    }
+
+    fn offer_impl(
+        &mut self,
+        space: &OrbitSpace,
+        index: u128,
+        assignment: &[usize],
+        outputs: u32,
+        shared: Option<&SharedMemo>,
+    ) {
         self.stats.canonical_orbits += 1;
         encode_fingerprint(
             space,
@@ -259,21 +470,45 @@ impl CandidatePipeline {
             &mut self.support,
             &mut self.fingerprint,
         );
-        let verdict = if self.config.memoize {
-            if let Some(&hit) = self.memo.get(&self.fingerprint) {
-                self.stats.memo_hits += 1;
-                hit
-            } else {
-                let verdict = triage(&fingerprint_protocol(&self.fingerprint), &self.config);
-                if self.memo.len() < self.config.memo_max_entries {
-                    self.memo.insert(self.fingerprint.clone(), verdict);
-                }
-                verdict
+        if self.config.canonical_fingerprints {
+            let k = self.fingerprint[0] as usize;
+            canonicalize_fingerprint(
+                &mut self.fingerprint,
+                &self.perms_by_k[k],
+                &mut self.scratch,
+                &mut self.scratch_best,
+            );
+        }
+        if !self.config.memoize {
+            let verdict = triage(&fingerprint_protocol(&self.fingerprint), &self.config);
+            self.apply(verdict, index);
+            return;
+        }
+        if let Some(&hit) = self.memo.get(&self.fingerprint) {
+            self.stats.memo_hits += 1;
+            self.apply(hit, index);
+            return;
+        }
+        if let Some(table) = shared {
+            if let Some(hit) = table.get(&self.fingerprint) {
+                self.stats.memo_hits_cross += 1;
+                self.insert_local(hit);
+                self.apply(hit, index);
+                return;
             }
-        } else {
-            triage(&fingerprint_protocol(&self.fingerprint), &self.config)
-        };
+        }
+        let verdict = triage(&fingerprint_protocol(&self.fingerprint), &self.config);
+        self.insert_local(verdict);
+        if let Some(table) = shared {
+            table.insert(&self.fingerprint, verdict);
+        }
         self.apply(verdict, index);
+    }
+
+    fn insert_local(&mut self, verdict: MemoVerdict) {
+        if self.memo.len() < self.config.memo_max_entries {
+            self.memo.insert(self.fingerprint.clone(), verdict);
+        }
     }
 
     fn apply(&mut self, verdict: MemoVerdict, index: u128) {
@@ -290,33 +525,17 @@ impl CandidatePipeline {
                 }
                 if let Some(eta) = verified {
                     self.stats.threshold_protocols += 1;
-                    let better = match self.best {
-                        None => true,
-                        Some(b) => eta > b.eta || (eta == b.eta && index < b.index),
-                    };
-                    if better {
-                        self.best = Some(BestCandidate { eta, index });
-                    }
+                    self.confirmed.push(index);
+                    self.best = BestCandidate::merge(self.best, Some(BestCandidate { eta, index }));
                 }
             }
         }
     }
 
-    /// Folds a worker-local pipeline into this one (stats summed, bests
-    /// compared index-deterministically, memo tables kept separate — the
-    /// table is a cache, merging would only change `memo_hits` of *future*
-    /// offers).
-    pub fn merge(&mut self, other: &CandidatePipeline) {
-        self.stats.merge(&other.stats);
-        if let Some(b) = other.best {
-            let better = match self.best {
-                None => true,
-                Some(mine) => b.eta > mine.eta || (b.eta == mine.eta && b.index < mine.index),
-            };
-            if better {
-                self.best = Some(b);
-            }
-        }
+    /// Encoding indices of every candidate with a confirmed threshold, in
+    /// offer order.
+    pub fn confirmed(&self) -> &[u128] {
+        &self.confirmed
     }
 
     /// Serialises the transposition table, sorted by fingerprint so the
@@ -334,14 +553,82 @@ impl CandidatePipeline {
         records
     }
 
-    fn restore(&mut self, stats: PipelineStats, best: Option<BestCandidate>, memo: &[MemoRecord]) {
+    pub(crate) fn restore(
+        &mut self,
+        stats: PipelineStats,
+        best: Option<BestCandidate>,
+        confirmed: Vec<u128>,
+        memo: &[MemoRecord],
+    ) {
         self.stats = stats;
         self.best = best;
+        self.confirmed = confirmed;
         self.memo = memo
             .iter()
             .map(|r| (r.fingerprint.clone(), r.verdict))
             .collect();
     }
+}
+
+/// Rewrites `bytes` (an [`encode_fingerprint`] encoding) into the
+/// lexicographically smallest encoding over all relabellings of the
+/// restriction's states that fix the input state 0 — the canonical
+/// representative of the restriction's relabelling class.
+///
+/// `perms` must be the non-identity permutations of `0..k` fixing 0, where
+/// `k = bytes[0]`.  Soundness: every triage stage (symbolic pre-filter,
+/// η-floor filter, concrete threshold profile) is invariant under such
+/// relabellings — the reachability graphs of relabelled protocols are
+/// isomorphic, outputs and input state are carried along — so all members of
+/// the class share one verdict and may share one memo entry.
+///
+/// Every permutation image is computed from the *original* bytes and
+/// compared against a separately-tracked champion: the result is
+/// `min {π(x) : π in the full group}` — a true class invariant (all
+/// members canonicalize to the same representative, and the function is
+/// idempotent).  Mutating `bytes` mid-loop instead would compare only a
+/// path-dependent subset of the orbit, which is still *sound* (any orbit
+/// member decodes to an isomorphic restriction) but silently misses hits —
+/// the invariance property test is what pins this down.
+pub(crate) fn canonicalize_fingerprint(
+    bytes: &mut Vec<u8>,
+    perms: &[Vec<usize>],
+    scratch: &mut Vec<u8>,
+    best: &mut Vec<u8>,
+) {
+    let k = bytes[0] as usize;
+    if k < 3 || perms.is_empty() {
+        return; // the residual group of ≤ 2 states (input fixed) is trivial
+    }
+    // Byte offset of the post pair of pre pair (a, b), a ≤ b, in the layout
+    // of `encode_fingerprint`: pairs enumerated (0,0), (0,1) … (k-1,k-1).
+    let offset = |a: usize, b: usize| 2 + 2 * (a * (2 * k + 1 - a) / 2 + (b - a));
+    best.clear();
+    best.extend_from_slice(bytes);
+    for perm in perms {
+        scratch.clear();
+        scratch.resize(bytes.len(), 0);
+        scratch[0] = bytes[0];
+        for (q, &pq) in perm.iter().enumerate().take(k) {
+            if (bytes[1] >> q) & 1 == 1 {
+                scratch[1] |= 1 << pq;
+            }
+        }
+        for a in 0..k {
+            for b in a..k {
+                let src = offset(a, b);
+                let (c, d) = (perm[bytes[src] as usize], perm[bytes[src + 1] as usize]);
+                let (pa, pb) = (perm[a].min(perm[b]), perm[a].max(perm[b]));
+                let dst = offset(pa, pb);
+                scratch[dst] = c.min(d) as u8;
+                scratch[dst + 1] = c.max(d) as u8;
+            }
+        }
+        if *scratch < *best {
+            std::mem::swap(best, scratch);
+        }
+    }
+    std::mem::swap(bytes, best);
 }
 
 /// The staged triage of one (restricted) candidate protocol.
@@ -460,6 +747,9 @@ pub struct SearchCheckpoint {
     pub best_eta: Option<u64>,
     /// Encoding index of the best candidate so far.
     pub best_index: Option<U128Parts>,
+    /// Encoding indices of every confirmed threshold protocol so far (the
+    /// witness set of the streamed prefix).
+    pub confirmed: Vec<U128Parts>,
     /// The transposition table, sorted by fingerprint.
     pub memo: Vec<MemoRecord>,
 }
@@ -499,7 +789,12 @@ impl StreamingSearch {
             }),
             _ => None,
         };
-        pipeline.restore(checkpoint.stats.clone(), best, &checkpoint.memo);
+        pipeline.restore(
+            checkpoint.stats.clone(),
+            best,
+            checkpoint.confirmed.iter().map(|c| c.get()).collect(),
+            &checkpoint.memo,
+        );
         StreamingSearch {
             space,
             pipeline,
@@ -565,8 +860,19 @@ impl StreamingSearch {
             stats: self.stats(),
             best_eta: best.map(|b| b.eta),
             best_index: best.map(|b| b.index.into()),
+            confirmed: self
+                .pipeline
+                .confirmed()
+                .iter()
+                .map(|&c| c.into())
+                .collect(),
             memo: self.pipeline.memo_records(),
         }
+    }
+
+    /// Encoding indices of every confirmed threshold protocol so far.
+    pub fn confirmed(&self) -> &[u128] {
+        self.pipeline.confirmed()
     }
 
     /// Assembles the search result so far as an [`EnumerationResult`]
@@ -585,12 +891,13 @@ impl StreamingSearch {
             pruned_eta_bounded: stats.pruned_eta_bounded,
             truncated_orbits: stats.truncated_orbits,
             memo_hits: stats.memo_hits,
+            memo_hits_cross: stats.memo_hits_cross,
             max_input: self.pipeline.config().max_input,
         }
     }
 }
 
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 #[cfg(test)]
 mod tests {
@@ -674,6 +981,109 @@ mod tests {
         }
         assert_eq!(search.stats(), reference.stats());
         assert!(search.memo_len() <= 5);
+    }
+
+    #[test]
+    fn canonical_fingerprints_are_relabelling_invariant() {
+        // The canonical form must be a class invariant: relabelling a
+        // candidate's states (fixing the input state 0) relabels its
+        // restriction, and both must canonicalize to the same bytes.
+        let space = OrbitSpace::new(4);
+        let num_pairs = space.pairs().len();
+        let perms4 = permutations_fixing_zero(4);
+        let mut assignment = vec![0usize; num_pairs];
+        let mut relabeled = vec![0usize; num_pairs];
+        let mut support = vec![false; 4];
+        let mut bytes = Vec::new();
+        let mut other_bytes = Vec::new();
+        let mut scratch = Vec::new();
+        let mut scratch_best = Vec::new();
+        let perms_by_k: Vec<Vec<Vec<usize>>> = (0..=4).map(permutations_fixing_zero).collect();
+        let mut canonicalize = |b: &mut Vec<u8>, scratch: &mut Vec<u8>| {
+            let k = b[0] as usize;
+            canonicalize_fingerprint(b, &perms_by_k[k], scratch, &mut scratch_best);
+        };
+        let step = 7_919usize; // prime stride through the space
+        let mut checked = 0;
+        for k in (0..space.total_candidates()).step_by(step).take(400) {
+            space.decode_assignment(k / space.output_patterns(), &mut assignment);
+            let outputs = (k % space.output_patterns()) as u32;
+            encode_fingerprint(&space, &assignment, outputs, &mut support, &mut bytes);
+            canonicalize(&mut bytes, &mut scratch);
+            // Idempotence: canonicalizing the canonical form changes nothing.
+            let mut again = bytes.clone();
+            canonicalize(&mut again, &mut scratch);
+            assert_eq!(again, bytes, "candidate {k}: not idempotent");
+            for perm in &perms4 {
+                for (i, &(a, b)) in space.pairs().iter().enumerate() {
+                    let j = space.pair_position(perm[a], perm[b]);
+                    let (c, d) = space.pairs()[assignment[i]];
+                    relabeled[j] = space.pair_position(perm[c], perm[d]);
+                }
+                let mut swapped_outputs = 0u32;
+                for (q, &pq) in perm.iter().enumerate() {
+                    if (outputs >> q) & 1 == 1 {
+                        swapped_outputs |= 1 << pq;
+                    }
+                }
+                encode_fingerprint(
+                    &space,
+                    &relabeled,
+                    swapped_outputs,
+                    &mut support,
+                    &mut other_bytes,
+                );
+                canonicalize(&mut other_bytes, &mut scratch);
+                assert_eq!(
+                    other_bytes, bytes,
+                    "candidate {k}, perm {perm:?}: canonical forms diverge"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 1_000);
+    }
+
+    #[test]
+    fn canonical_fingerprints_change_no_verdict() {
+        // Same capped 3-state prefix with and without canonicalization:
+        // every funnel counter and the best candidate must be identical;
+        // canonicalization may only convert computes into hits.
+        let space = OrbitSpace::new(3);
+        let run = |canonical: bool| {
+            let mut c = config(5);
+            c.canonical_fingerprints = canonical;
+            let mut pipeline = CandidatePipeline::new(3, c);
+            let mut stream = OrbitStream::range(&space, 0, 40_000);
+            while let Some(k) = stream.next_canonical() {
+                let outputs = (k % space.output_patterns()) as u32;
+                pipeline.offer(&space, k, stream.current_assignment(), outputs);
+            }
+            (
+                pipeline.stats().clone(),
+                pipeline.best(),
+                pipeline.confirmed().to_vec(),
+                pipeline.memo_len(),
+            )
+        };
+        let (with_stats, with_best, with_confirmed, with_entries) = run(true);
+        let (without_stats, without_best, without_confirmed, without_entries) = run(false);
+        assert_eq!(with_best, without_best);
+        assert_eq!(with_confirmed, without_confirmed, "witness sets differ");
+        let mut a = with_stats.clone();
+        let mut b = without_stats.clone();
+        assert!(
+            a.memo_hits >= b.memo_hits,
+            "the quotient must never lose hits"
+        );
+        assert!(with_entries <= without_entries);
+        a.memo_hits = 0;
+        b.memo_hits = 0;
+        assert_eq!(a, b, "only memo_hits may differ under the quotient");
+        // Note: the delta can legitimately be zero on a canonical-orbit
+        // prefix (the generator already emits orbit-minimal *candidates*,
+        // which biases restrictions towards their own canonical form); the
+        // measured positive delta at scale lives in `BENCH_bb.json`.
     }
 
     #[test]

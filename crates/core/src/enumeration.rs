@@ -26,10 +26,12 @@
 //!
 //! * the [generator](crate::orbit_stream) — [`OrbitSpace`] describes the
 //!   encoded candidate space (input state fixed to 0, one representative
-//!   per state-relabelling orbit) and [`OrbitStream`] walks any index range
-//!   lazily, yielding canonical candidates in increasing index order;
+//!   per state-relabelling orbit) and
+//!   [`OrbitStream`](crate::orbit_stream::OrbitStream) walks any index
+//!   range lazily, yielding canonical candidates in increasing index order;
 //! * the [triage pipeline](crate::candidate_pipeline) —
-//!   [`CandidatePipeline`] runs each candidate through ordered
+//!   [`CandidatePipeline`](crate::candidate_pipeline::CandidatePipeline)
+//!   runs each candidate through ordered
 //!   reject-early stages (symbolic pre-filter, η-floor filter, concrete
 //!   slices with reject-on-first-failure) with a per-stage counter each,
 //!   memoizing stage outcomes across candidates that share a
@@ -44,19 +46,25 @@
 //! enumeration).  See `crates/reach/README.md` for the full argument,
 //! including the soundness of the cross-candidate memoization.
 //!
-//! The index space is fanned out across scoped worker threads.  The result
-//! is deterministic regardless of thread count: ties between equal
-//! thresholds are broken towards the smallest candidate index, and every
-//! per-stage counter is a function of the candidate range alone
-//! ([`EnumerationResult::memo_hits`] excepted — worker-local caches see
-//! different candidate subsets under different chunkings).
+//! The index space is segmented and fanned out across the
+//! [work-stealing pool](popproto_exec) via the
+//! [segmented search](crate::segmented::SegmentedSearch), with a shared
+//! cross-segment transposition table.  The result is deterministic
+//! regardless of worker count: ties between equal thresholds are broken
+//! towards the smallest candidate index, and every per-stage counter is a
+//! function of the candidate range alone
+//! ([`EnumerationResult::memo_hits_cross`] excepted — hits against the
+//! *shared* table depend on which segments other workers finished first;
+//! the segment-local [`EnumerationResult::memo_hits`] stays deterministic
+//! per segmentation).
 //!
 //! For searches too large for one sitting (the `BB_det(4)` prefix of
 //! experiment E12), drive the same pipeline through the checkpointable
 //! [`StreamingSearch`](crate::candidate_pipeline::StreamingSearch) instead.
 
-use crate::candidate_pipeline::{CandidatePipeline, PipelineConfig};
-use crate::orbit_stream::{OrbitSpace, OrbitStream};
+use crate::candidate_pipeline::PipelineConfig;
+use crate::orbit_stream::OrbitSpace;
+use crate::segmented::{SegmentationConfig, SegmentedSearch};
 use popproto_model::Protocol;
 use popproto_reach::{unary_threshold_profile, ExploreLimits};
 use serde::{Deserialize, Serialize};
@@ -89,10 +97,16 @@ pub struct EnumerationResult {
     /// their `None` verdict is a resource artefact, not a proof.  Any
     /// exactness claim must check [`EnumerationResult::is_exact`].
     pub truncated_orbits: u64,
-    /// Candidates whose staged verdict was replayed from the
-    /// cross-candidate transposition table (diagnostic; depends on worker
-    /// chunking, unlike every other counter).
+    /// Candidates whose staged verdict was replayed from a **segment-local**
+    /// transposition table.  Deterministic per segmentation: a pure function
+    /// of the candidate ranges processed, independent of worker count and
+    /// scheduling (it does vary when the segment *size* changes, because the
+    /// local tables then cover different ranges).
     pub memo_hits: u64,
+    /// Candidates whose staged verdict was replayed from the **shared**
+    /// cross-segment table.  Scheduling-dependent (the only such counter):
+    /// reported separately so equivalence tests never assert it.
+    pub memo_hits_cross: u64,
     /// The verification cap used (thresholds are only confirmed up to this input).
     pub max_input: u64,
 }
@@ -128,11 +142,18 @@ pub fn busy_beaver_search(
     busy_beaver_search_with_threads(num_states, max_input, max_protocols, limits, threads)
 }
 
-/// [`busy_beaver_search`] with an explicit worker-thread count.
+/// [`busy_beaver_search`] with an explicit worker count on the
+/// work-stealing pool.
 ///
-/// The result is identical for every `threads ≥ 1`
-/// ([`EnumerationResult::memo_hits`] excepted; determinism is part of the
-/// equivalence test suite).
+/// The result is identical for every `threads ≥ 1` with two exceptions,
+/// both memo diagnostics: [`EnumerationResult::memo_hits_cross`] is
+/// scheduling-dependent, and [`EnumerationResult::memo_hits`] — while
+/// deterministic per segmentation — varies with `threads` here because the
+/// segment size is derived from the thread count (each local table covers a
+/// different range).  Every other field is bit-identical (part of the
+/// equivalence test suite).  `threads = 1` runs the whole range as a single
+/// segment — the exact PR 4 sequential semantics, local memo table
+/// included.
 pub fn busy_beaver_search_with_threads(
     num_states: usize,
     max_input: u64,
@@ -140,64 +161,24 @@ pub fn busy_beaver_search_with_threads(
     limits: &ExploreLimits,
     threads: usize,
 ) -> EnumerationResult {
-    let space = OrbitSpace::new(num_states);
-    let total = space.total_candidates().min(max_protocols as u128);
+    let total = OrbitSpace::new(num_states)
+        .total_candidates()
+        .min(max_protocols as u128);
     let config = PipelineConfig::exact(max_input, limits);
-
-    let scan = |start: u128, end: u128| -> (CandidatePipeline, u64) {
-        let mut pipeline = CandidatePipeline::new(num_states, config.clone());
-        let mut stream = OrbitStream::range(&space, start, end);
-        while let Some(k) = stream.next_canonical() {
-            let outputs = (k % space.output_patterns()) as u32;
-            pipeline.offer(&space, k, stream.current_assignment(), outputs);
-        }
-        (pipeline, stream.pruned_symmetric())
-    };
-
-    let locals: Vec<(CandidatePipeline, u64)> = if threads <= 1 || total < 2 {
-        vec![scan(0, total)]
+    // One segment per worker is the old static chunking; eight per worker
+    // gives the pool something to steal when stage costs are skewed.
+    let seg_size = if threads <= 1 {
+        total.max(1)
     } else {
-        let workers = threads
-            .min(usize::try_from(total).unwrap_or(usize::MAX))
-            .max(1);
-        let chunk = total.div_ceil(workers as u128);
-        std::thread::scope(|scope| {
-            let scan = &scan;
-            let handles: Vec<_> = (0..workers as u128)
-                .map(|w| {
-                    let start = w * chunk;
-                    let end = ((w + 1) * chunk).min(total);
-                    scope.spawn(move || scan(start, end))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("enumeration worker panicked"))
-                .collect()
-        })
+        total.div_ceil(threads as u128 * 8)
     };
-
-    // Fold worker pipelines in range order (deterministic merges).
-    let mut merged = CandidatePipeline::new(num_states, config);
-    let mut pruned_symmetric = 0u64;
-    for (local, local_pruned) in &locals {
-        merged.merge(local);
-        pruned_symmetric += local_pruned;
-    }
-    let stats = merged.stats();
-    EnumerationResult {
-        num_states,
-        best_eta: merged.best().map(|b| b.eta),
-        witness: merged.best().map(|b| space.protocol_at(b.index)),
-        protocols_examined: u64::try_from(total).unwrap_or(u64::MAX),
-        threshold_protocols: stats.threshold_protocols,
-        pruned_symmetric,
-        pruned_symbolic: stats.pruned_symbolic,
-        pruned_eta_bounded: stats.pruned_eta_bounded,
-        truncated_orbits: stats.truncated_orbits,
-        memo_hits: stats.memo_hits,
-        max_input,
-    }
+    let segmentation =
+        SegmentationConfig::index_order(u64::try_from(seg_size).unwrap_or(u64::MAX), Some(total));
+    let mut search = SegmentedSearch::new(num_states, config, segmentation);
+    search.run(threads.max(1), u64::MAX);
+    search
+        .result()
+        .to_enumeration_result(search.space(), max_input)
 }
 
 /// Materialises the candidate protocol with encoding index `k` of the

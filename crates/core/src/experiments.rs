@@ -16,8 +16,10 @@ use crate::certificate::{search_pumping_certificate, PumpingCertificate};
 use crate::concentration::{find_zero_concentrated_multiset, ConcentrationReport};
 use crate::constants::small_basis_constant;
 use crate::enumeration::{busy_beaver_search, EnumerationResult};
+use crate::orbit_stream::{SegmentOrder, U128Parts};
 use crate::pipeline::{analyze_leaderless_protocol, LeaderlessAnalysis, PipelineOptions};
 use crate::saturation::{analyze_saturation, SaturationAnalysis};
+use crate::segmented::{SegmentationConfig, SegmentedSearch};
 use popproto_model::{Input, Output, Protocol};
 use popproto_numerics::Magnitude;
 use popproto_reach::{extract_stable_basis, unary_threshold_profile, ExploreLimits};
@@ -472,6 +474,114 @@ pub fn e12_report_from(search: &StreamingSearch, orbit_budget: u64) -> E12Report
     }
 }
 
+/// The E12 *parallel segmented* report: the same staged `BB_det(4)` prefix
+/// funnel, but streamed as deterministic segments over the
+/// [work-stealing pool](popproto_exec) with a shared cross-segment
+/// transposition table and an ordered segment merge.
+///
+/// Everything here except [`PipelineStats::memo_hits_cross`] is
+/// bit-identical for every worker count (the property suite pins it); the
+/// `order` field records which [`SegmentOrder`] chose the prefix — an
+/// `"entropy"` prefix contains *different* (non-degenerate-first) orbits
+/// than an `"index"` prefix of the same budget, which is the point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E12SegmentedReport {
+    /// State count of the candidate space (4).
+    pub num_states: usize,
+    /// Verification horizon for the concrete slices.
+    pub max_input: u64,
+    /// The η floor the pipeline pruned against.
+    pub eta_floor: u64,
+    /// Canonical orbits requested (the merge cut).
+    pub orbit_budget: u64,
+    /// Workers the run used (diagnostic — results do not depend on it).
+    pub workers: u64,
+    /// Candidate encodings per segment.
+    pub segment_size: u64,
+    /// `"index"` or `"entropy"` — the segment visit order.
+    pub order: String,
+    /// Segments in the merged prefix.
+    pub segments_merged: u64,
+    /// The merged per-stage funnel counters of the prefix.
+    pub stats: PipelineStats,
+    /// Best threshold confirmed within the merged prefix.
+    pub best_eta: Option<u64>,
+    /// Encoding indices of every confirmed threshold protocol in the
+    /// prefix, sorted — the witness set.
+    pub confirmed: Vec<U128Parts>,
+    /// Entries in the shared cross-segment transposition table.
+    pub shared_memo_entries: u64,
+    /// Candidate encodings consumed by the merged prefix.
+    pub candidates_consumed: u64,
+    /// Canonical orbits in the merged prefix (≥ the budget unless the plan
+    /// ran out).
+    pub prefix_orbits: u64,
+    /// `true` if the whole segment plan was merged.
+    pub finished: bool,
+}
+
+/// The segmentation E12 runs with: 16Ki-candidate segments (≈ 5.4k canonical
+/// orbits each — fine-grained enough for the pool to steal) over the first
+/// 2²⁸ encodings of the 4-state space (16384 segments — far deeper than any
+/// realistic orbit budget) in the given visit order.
+pub fn e12_segmentation(order: SegmentOrder) -> SegmentationConfig {
+    SegmentationConfig {
+        segment_size: 1 << 14,
+        range_end: Some(U128Parts::from(1u128 << 28)),
+        order,
+    }
+}
+
+/// Builds the segmented E12 search (η floor 3, frontier engine, shared
+/// memo) without running it — the bench harness drives bursts and
+/// checkpoints through it directly.
+pub fn e12_segmented_search(max_input: u64, order: SegmentOrder) -> SegmentedSearch {
+    SegmentedSearch::new(4, e12_pipeline_config(max_input), e12_segmentation(order))
+}
+
+/// Assembles the parallel E12 report from a segmented search.
+pub fn e12_segmented_report_from(
+    search: &SegmentedSearch,
+    orbit_budget: u64,
+    workers: usize,
+) -> E12SegmentedReport {
+    let result = search.result();
+    E12SegmentedReport {
+        num_states: result.num_states,
+        max_input: search.config().max_input,
+        eta_floor: search.config().eta_floor,
+        orbit_budget,
+        workers: workers as u64,
+        segment_size: search.segmentation().segment_size,
+        order: match search.segmentation_order() {
+            SegmentOrder::Index => "index".to_string(),
+            SegmentOrder::EntropyDescending => "entropy".to_string(),
+        },
+        segments_merged: result.segments_merged as u64,
+        best_eta: result.best.map(|b| b.eta),
+        confirmed: result.confirmed.iter().map(|&c| c.into()).collect(),
+        shared_memo_entries: search.shared_memo_len() as u64,
+        candidates_consumed: u64::try_from(result.candidates_consumed).unwrap_or(u64::MAX),
+        prefix_orbits: result.prefix_orbits,
+        finished: result.finished,
+        stats: result.stats,
+    }
+}
+
+/// E12, parallel segmented — streams the `BB_det(4)` prefix through the
+/// staged pipeline as work-stealing segments until the ordered merge holds
+/// `orbit_budget` canonical orbits.
+pub fn experiment_e12_segmented(
+    orbit_budget: u64,
+    max_input: u64,
+    workers: usize,
+    order: SegmentOrder,
+) -> E12SegmentedReport {
+    let mut search = e12_segmented_search(max_input, order);
+    search.run(workers, orbit_budget);
+    e12_segmented_report_from(&search, orbit_budget, workers)
+}
+
 /// One row of the E10 report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct E10Row {
@@ -538,6 +648,9 @@ pub struct FullReport {
     pub symbolic: Vec<SymbolicRow>,
     /// E12 — the streamed `BB_det(4)` prefix funnel.
     pub e12: E12Report,
+    /// E12, parallel segmented — the same funnel on the work-stealing pool
+    /// with an entropy-guided segment order.
+    pub e12_parallel: E12SegmentedReport,
 }
 
 /// Runs every experiment at a small, test-friendly scale.
@@ -557,6 +670,7 @@ pub fn run_all_small() -> FullReport {
         e10: experiment_e10(2, 2, 200_000),
         symbolic: experiment_symbolic(8),
         e12: experiment_e12_bb4_prefix(2_000, 6),
+        e12_parallel: experiment_e12_segmented(500, 6, 2, SegmentOrder::EntropyDescending),
     }
 }
 
@@ -674,6 +788,70 @@ mod tests {
         assert_eq!(resumed.best_eta, straight.best_eta);
         assert_eq!(resumed.memo_entries, straight.memo_entries);
         assert_eq!(resumed.candidates_consumed, straight.candidates_consumed);
+    }
+
+    #[test]
+    fn e12_segmented_matches_the_sequential_stream_on_the_same_range() {
+        // The segmented search at several worker counts must reproduce the
+        // sequential StreamingSearch bit for bit on the same orbit prefix
+        // (the acceptance gate of the parallel rebuild, at test scale).
+        let budget = 800u64;
+        let segmented = experiment_e12_segmented(budget, 6, 2, SegmentOrder::Index);
+        assert!(segmented.prefix_orbits >= budget);
+        // Sequential reference over the exact same orbit count.
+        let mut reference = StreamingSearch::new(4, e12_pipeline_config(6));
+        reference.run_for(segmented.prefix_orbits);
+        let ref_stats = reference.stats();
+        assert_eq!(segmented.stats.canonical_orbits, ref_stats.canonical_orbits);
+        // The prefix scans its last segment to the boundary, the sequential
+        // stream stops at the budget-th orbit: `pruned_symmetric` differs by
+        // exactly that (deterministic) non-canonical tail, so compare it
+        // through the consumption identity instead of bit for bit.
+        assert_eq!(
+            segmented.stats.pruned_symmetric + segmented.stats.canonical_orbits,
+            segmented.candidates_consumed,
+        );
+        assert_eq!(segmented.stats.pruned_symbolic, ref_stats.pruned_symbolic);
+        assert_eq!(
+            segmented.stats.pruned_eta_bounded,
+            ref_stats.pruned_eta_bounded
+        );
+        assert_eq!(segmented.stats.profiled, ref_stats.profiled);
+        assert_eq!(
+            segmented.stats.threshold_protocols,
+            ref_stats.threshold_protocols
+        );
+        assert_eq!(segmented.stats.truncated_orbits, ref_stats.truncated_orbits);
+        assert_eq!(segmented.best_eta, reference.result().best_eta);
+        let ref_confirmed: Vec<u64> = reference
+            .confirmed()
+            .iter()
+            .map(|&c| u64::try_from(c).unwrap())
+            .collect();
+        let seg_confirmed: Vec<u64> = segmented
+            .confirmed
+            .iter()
+            .map(|c| u64::try_from(c.get()).unwrap())
+            .collect();
+        assert_eq!(seg_confirmed, ref_confirmed, "witness sets differ");
+    }
+
+    #[test]
+    fn e12_entropy_order_profiles_earlier_than_index_order() {
+        // The entropy-guided prefix must surface non-degenerate candidates
+        // (ones that survive to the concrete-slice stage) at a higher rate
+        // than the degenerate-heavy index prefix.
+        let budget = 400u64;
+        let index = experiment_e12_segmented(budget, 6, 1, SegmentOrder::Index);
+        let entropy = experiment_e12_segmented(budget, 6, 1, SegmentOrder::EntropyDescending);
+        assert_eq!(entropy.order, "entropy");
+        assert!(
+            entropy.stats.profiled + entropy.stats.pruned_eta_bounded
+                > index.stats.profiled + index.stats.pruned_eta_bounded,
+            "entropy prefix ({} survived stage 1) must beat index prefix ({})",
+            entropy.stats.profiled + entropy.stats.pruned_eta_bounded,
+            index.stats.profiled + index.stats.pruned_eta_bounded,
+        );
     }
 
     #[test]

@@ -37,9 +37,13 @@
 //!   pre-filter, η-floor filter, concrete slices) with cross-candidate
 //!   memoization and the resumable
 //!   [`StreamingSearch`](candidate_pipeline::StreamingSearch);
+//! * [`segmented`] — parallel segmented streaming: deterministic `u128`
+//!   segments on the [`popproto_exec`] work-stealing pool, a shared
+//!   cross-segment transposition table, ordered segment merges and
+//!   multi-cursor checkpoints that resume on any worker count;
 //! * [`enumeration`] — exact busy-beaver values for tiny state counts by
 //!   exhaustive protocol enumeration (under documented restrictions),
-//!   driving the generator + pipeline across worker threads;
+//!   driving the generator + pipeline over the segmented search;
 //! * [`experiments`] — the E1–E10 experiment drivers behind EXPERIMENTS.md
 //!   and the benchmark harness;
 //! * [`report`] — plain-text/markdown rendering of experiment results.
@@ -74,6 +78,7 @@ pub mod orbit_stream;
 pub mod pipeline;
 pub mod report;
 pub mod saturation;
+pub mod segmented;
 
 /// Convenience re-exports of the most commonly used items across the
 /// workspace crates.

@@ -245,7 +245,51 @@ impl OrbitSpace {
     }
 }
 
-fn permutations_fixing_zero(num_states: usize) -> Vec<Vec<usize>> {
+/// How a segmented search orders its candidate-index segments.
+///
+/// The encoded space is index-ordered by construction, and its low indices
+/// are **degenerate-heavy**: a small function index has most of its
+/// base-`|P|` digits equal to 0, i.e. almost every pair rewrites to pair
+/// `(0, 0)` — protocols that collapse immediately and never verify an
+/// interesting threshold.  A budgeted prefix search in index order therefore
+/// spends its budget on the least interesting corner of the space.
+///
+/// [`SegmentOrder::EntropyDescending`] instead visits segments in order of
+/// decreasing *function-index entropy*: segments whose transition digits are
+/// spread over many distinct post pairs come first.  The score is the
+/// collision statistic `Σ cᵢ²` of the digit histogram — the exact integer
+/// surrogate of Rényi-2 entropy (`H₂ = −log Σ pᵢ²`), so ordering by
+/// ascending collision count is ordering by descending H₂ without any
+/// floating-point comparison (ties break towards the smaller segment index,
+/// keeping the order a total, deterministic function of the space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentOrder {
+    /// Segments in increasing candidate-index order (the PR 4 semantics).
+    Index,
+    /// Segments in decreasing function-index entropy (Rényi-2), ties by
+    /// index.  Non-degenerate candidates surface orders of magnitude
+    /// earlier; the processed *set* for a full range is identical.
+    EntropyDescending,
+}
+
+impl OrbitSpace {
+    /// The segment-ordering score of the candidate-index segment starting at
+    /// `start`: the digit-collision statistic `Σ cᵢ²` of the segment's first
+    /// function index (lower = more uniform digits = higher Rényi-2
+    /// entropy).  A pure function of `(space, start)` — every resume and
+    /// every worker count recomputes the identical segment order from it.
+    pub fn segment_score(&self, start: u128) -> u64 {
+        let mut function_index = start / self.output_patterns;
+        let mut hist = vec![0u64; self.pairs.len()];
+        for _ in 0..self.pairs.len() {
+            hist[(function_index % self.choices) as usize] += 1;
+            function_index /= self.choices;
+        }
+        hist.iter().map(|&c| c * c).sum()
+    }
+}
+
+pub(crate) fn permutations_fixing_zero(num_states: usize) -> Vec<Vec<usize>> {
     let mut perms = Vec::new();
     if num_states <= 1 {
         return perms;

@@ -1,7 +1,9 @@
 //! Plain-text / markdown rendering of experiment reports.
 
 use crate::busy_beaver::BusyBeaverRecord;
-use crate::experiments::{E12Report, E2Row, E4Row, E5Row, E6Row, E8Row, FullReport, SymbolicRow};
+use crate::experiments::{
+    E12Report, E12SegmentedReport, E2Row, E4Row, E5Row, E6Row, E8Row, FullReport, SymbolicRow,
+};
 
 /// Renders the E1 witness table as a markdown table.
 pub fn render_e1(records: &[BusyBeaverRecord]) -> String {
@@ -169,7 +171,7 @@ pub fn render_e12(report: &E12Report) -> String {
     row("rejected: η-floor (SC₀ bounded)", s.pruned_eta_bounded);
     row("profiled on concrete slices", s.profiled);
     row("confirmed a threshold", s.threshold_protocols);
-    row("answered from memo table", s.memo_hits);
+    row("answered from local memo table", s.memo_hits);
     out.push_str(&format!(
         "\n{} non-canonical encodings were skipped by the generator; the memo \
          table held {} distinct coverable-support restrictions; best η so far: \
@@ -182,6 +184,43 @@ pub fn render_e12(report: &E12Report) -> String {
             .unwrap_or_else(|| "—".into()),
         report.eta_floor,
         s.truncated_orbits
+    ));
+    out
+}
+
+/// Renders the parallel segmented E12 report: the same staged funnel, but
+/// merged from deterministic work-stealing segments, with the memo hits
+/// split into the deterministic (local) and scheduling-dependent
+/// (cross-segment) counts.
+pub fn render_e12_segmented(report: &E12SegmentedReport) -> String {
+    let s = &report.stats;
+    let mut out = format!(
+        "| segments merged | workers | order | orbits | candidates |\n|---|---|---|---|---|\n\
+         | {} | {} | {} | {} | {} |\n\n",
+        report.segments_merged,
+        report.workers,
+        report.order,
+        report.prefix_orbits,
+        report.candidates_consumed,
+    );
+    out.push_str(&format!(
+        "Funnel: {} symbolic / {} η-floor / {} profiled / {} confirmed; best η {} \
+         (floor {}); memo hits {} local (deterministic) + {} cross-segment \
+         (scheduling-dependent) over {} shared entries; witness set: {} confirmed \
+         candidate indices.\n",
+        s.pruned_symbolic,
+        s.pruned_eta_bounded,
+        s.profiled,
+        s.threshold_protocols,
+        report
+            .best_eta
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "—".into()),
+        report.eta_floor,
+        s.memo_hits,
+        s.memo_hits_cross,
+        report.shared_memo_entries,
+        report.confirmed.len(),
     ));
     out
 }
@@ -224,6 +263,20 @@ pub fn render_full(report: &FullReport) -> String {
              memoized across candidates sharing a coverable-support restriction, and \
              the whole search state — generator cursor, funnel counters, memo table, \
              best witness — checkpoints to JSON for multi-session resumption.\n",
+        );
+    }
+    if report.e12_parallel.prefix_orbits > 0 {
+        out.push_str("\n## E12 — parallel segmented streaming (work-stealing pool)\n\n");
+        out.push_str(&render_e12_segmented(&report.e12_parallel));
+        out.push_str(
+            "\nThe same pipeline, parallel: the candidate range is cut into \
+             deterministic segments, workers pull segments from a work-stealing pool \
+             and share one cross-segment transposition table, and the per-segment \
+             results are folded in a fixed segment order — so every number above \
+             except the cross-segment memo hits is bit-identical at any worker \
+             count.  The `entropy` order visits segments by descending \
+             function-index entropy, surfacing non-degenerate candidates long \
+             before an index-ordered scan would reach them.\n",
         );
     }
     if !report.e8_large.is_empty() {
@@ -283,6 +336,20 @@ mod tests {
         assert!(table.contains("η-floor"));
         assert!(table.contains("memo table"));
         assert!(table.contains("| 500 |"));
+    }
+
+    #[test]
+    fn e12_segmented_table_renders_the_split_memo_hits() {
+        let report = experiments::experiment_e12_segmented(
+            300,
+            6,
+            2,
+            crate::orbit_stream::SegmentOrder::EntropyDescending,
+        );
+        let table = render_e12_segmented(&report);
+        assert!(table.contains("entropy"));
+        assert!(table.contains("local (deterministic)"));
+        assert!(table.contains("cross-segment"));
     }
 
     #[test]

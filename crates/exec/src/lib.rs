@@ -1,0 +1,279 @@
+//! A small, offline work-stealing executor for coarse-grained fan-out.
+//!
+//! The build environment has no crates.io access, so rayon is unavailable;
+//! before this crate the workspace fanned work out with ad-hoc
+//! `std::thread::scope` chunking (one contiguous chunk per worker), which
+//! load-balances badly when per-item cost is skewed — exactly the busy-beaver
+//! situation, where a segment full of symbolically-rejected candidates is two
+//! orders of magnitude cheaper than one full of profiled candidates.
+//!
+//! The design is a **chunked injector + per-worker deques with stealing**:
+//!
+//! * items are dealt round-robin into one deque per worker up front (the
+//!   "chunked injector" — there is no central queue to contend on);
+//! * each worker pops its *own* deque from the front, so it processes its
+//!   items in increasing submission order (good for searches that want the
+//!   low-index prefix finished first);
+//! * a worker whose deque runs dry **steals from the back** of a victim's
+//!   deque — the opposite end from the one the owner uses, which keeps
+//!   owner/thief contention low for the same reason classic LIFO/Chase-Lev
+//!   schemes steal from the far end;
+//! * results carry their submission index and are reassembled into
+//!   submission order at the end, so the output of [`map`] is **independent
+//!   of scheduling**: same `Vec` for any worker count, stealing or not.
+//!
+//! Everything is `std`: `Mutex<VecDeque>` deques (tasks here are coarse —
+//! microseconds to seconds each — so lock traffic is noise), scoped threads
+//! (borrowing closures work), and an atomic remaining-items counter for
+//! termination.  See `crates/exec/README.md` for the determinism argument
+//! this executor underwrites in the segmented busy-beaver search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Scheduling counters of one [`map_with_stats`] run (diagnostic only —
+/// the *results* never depend on them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads that ran (1 = inline execution, no threads spawned).
+    pub workers: usize,
+    /// Items executed by a worker other than the one they were dealt to.
+    pub steals: u64,
+}
+
+/// The worker count [`map`] uses when the caller passes `0`: the machine's
+/// available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a work-stealing pool of `workers` threads
+/// (`0` = [`default_workers`]), returning the results in submission order.
+///
+/// `f` receives `(item_index, item)`.  The output is bit-identical for every
+/// worker count; only wall-clock and [`PoolStats`] vary.  Panics in `f`
+/// propagate to the caller.
+pub fn map<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    map_with_stats(workers, items, f).0
+}
+
+/// [`map`] with the scheduling counters of the run.
+pub fn map_with_stats<I, T, F>(workers: usize, items: Vec<I>, f: F) -> (Vec<T>, PoolStats)
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
+    let workers = workers.min(items.len()).max(1);
+    if workers == 1 {
+        // Inline fast path: no threads, no locks — and the reference
+        // semantics every multi-worker run must reproduce.
+        let results = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+        return (
+            results,
+            PoolStats {
+                workers: 1,
+                steals: 0,
+            },
+        );
+    }
+
+    let total = items.len();
+    // Deal items round-robin into per-worker deques: worker `w` owns items
+    // w, w + workers, w + 2·workers, …  Every deque is front-loaded with its
+    // owner's lowest indices, so owner-front pops process the global
+    // low-index prefix early regardless of stealing.
+    let mut deques: Vec<VecDeque<(usize, I)>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].push_back((i, item));
+    }
+    let deques: Vec<Mutex<VecDeque<(usize, I)>>> = deques.into_iter().map(Mutex::new).collect();
+    let remaining = AtomicUsize::new(total);
+    let steals = AtomicU64::new(0);
+
+    let mut buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let deques = &deques;
+                let remaining = &remaining;
+                let steals = &steals;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    let mut idle_spins = 0u32;
+                    loop {
+                        // 1. Own deque, front (submission order).
+                        let own = deques[me].lock().expect("deque poisoned").pop_front();
+                        let job = match own {
+                            Some(job) => Some(job),
+                            None => {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                // 2. Steal from the back of a victim.
+                                let mut stolen = None;
+                                for off in 1..workers {
+                                    let victim = (me + off) % workers;
+                                    if let Some(job) =
+                                        deques[victim].lock().expect("deque poisoned").pop_back()
+                                    {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        stolen = Some(job);
+                                        break;
+                                    }
+                                }
+                                stolen
+                            }
+                        };
+                        match job {
+                            Some((i, item)) => {
+                                idle_spins = 0;
+                                // Decrement on pop, not on completion: if `f`
+                                // panics, the other workers must still see
+                                // the counter reach zero and exit (the panic
+                                // itself propagates at scope join).
+                                remaining.fetch_sub(1, Ordering::Release);
+                                out.push((i, f(i, item)));
+                            }
+                            None => {
+                                // All deques empty but items still in flight
+                                // on other workers: back off politely.
+                                idle_spins = idle_spins.saturating_add(1);
+                                if idle_spins < 16 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::thread::sleep(std::time::Duration::from_micros(50));
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+
+    // Reassemble into submission order: scheduling cannot leak into the
+    // output.
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for bucket in buckets.drain(..) {
+        for (i, value) in bucket {
+            debug_assert!(slots[i].is_none(), "item {i} executed twice");
+            slots[i] = Some(value);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("item lost by the pool"))
+        .collect();
+    (
+        results,
+        PoolStats {
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 3, 7, 16] {
+            let items: Vec<u64> = (0..257).collect();
+            let out = map(workers, items.clone(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_jobs() {
+        let base = [10u64, 20, 30];
+        let out = map(3, vec![0usize, 1, 2], |_, i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn skewed_items_get_stolen() {
+        // Worker 0 is dealt one enormous item; the rest are tiny.  With the
+        // round-robin deal, items 2, 4, 6 … also belong to worker 0 — they
+        // can only finish promptly if other workers steal them.
+        let executed = TestCounter::new(0);
+        let (out, stats) = map_with_stats(4, (0..64u64).collect(), |_, x| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(executed.load(Ordering::Relaxed), 64);
+        assert_eq!(stats.workers, 4);
+        assert!(
+            stats.steals > 0,
+            "the blocked worker's items were never stolen"
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_items() {
+        let (out, stats) = map_with_stats(64, vec![1, 2, 3], |_, x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(stats.workers <= 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = map(4, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        let (out, stats) = map_with_stats(0, vec![5u32; 9], |_, x| x);
+        assert_eq!(out.len(), 9);
+        assert!(stats.workers >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn job_panics_propagate() {
+        map(2, vec![0u32, 1, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

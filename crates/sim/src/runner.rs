@@ -80,43 +80,17 @@ fn run_one_seed(experiment: &SimulationExperiment, ic: &Config, seed: u64) -> Co
     }
 }
 
-/// Runs the experiment, fanning the seeds out across all available CPU cores
-/// (scoped `std::thread`s; the environment has no rayon).  Outcomes are
-/// returned in seed order regardless of scheduling.
+/// Runs the experiment, fanning the seeds out across the
+/// [`popproto_exec`] work-stealing pool (all available CPU cores; the
+/// environment has no rayon).  Per-seed runs are independent and
+/// deterministic, so outcomes come back in seed order regardless of
+/// scheduling — stealing only rebalances skewed per-seed runtimes (a seed
+/// that converges late no longer pins a whole static chunk to one core).
 pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
     let ic = experiment.protocol.initial_config(&experiment.input);
-    let seeds = &experiment.seeds;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(seeds.len())
-        .max(1);
-    let outcomes: Vec<ConvergenceOutcome> = if threads <= 1 {
-        seeds
-            .iter()
-            .map(|&seed| run_one_seed(experiment, &ic, seed))
-            .collect()
-    } else {
-        let chunk_size = seeds.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    let ic = &ic;
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&seed| run_one_seed(experiment, ic, seed))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("simulation worker panicked"))
-                .collect()
-        })
-    };
+    let outcomes = popproto_exec::map(0, experiment.seeds.clone(), |_, seed| {
+        run_one_seed(experiment, &ic, seed)
+    });
     let stats = aggregate_outcomes(&outcomes);
     ExperimentResult { outcomes, stats }
 }
