@@ -210,8 +210,17 @@ impl PipelineStats {
 /// worker counts.
 #[derive(Debug)]
 pub struct SharedMemo {
-    shards: Vec<Mutex<HashMap<Vec<u8>, MemoVerdict>>>,
+    shards: Vec<Mutex<HashMap<Vec<u8>, MemoSlot>>>,
     per_shard_cap: usize,
+}
+
+/// A memoized verdict plus how often it has been looked up since it entered
+/// this table (checkpoint eviction keys off the hit count: entries that
+/// never saved anyone any work are the first to go).
+#[derive(Debug, Clone, Copy)]
+struct MemoSlot {
+    verdict: MemoVerdict,
+    hits: u32,
 }
 
 impl SharedMemo {
@@ -239,23 +248,29 @@ impl SharedMemo {
         (h >> 58) as usize % Self::SHARDS
     }
 
-    /// Looks a fingerprint up.
+    /// Looks a fingerprint up, bumping the entry's hit count on success.
     pub fn get(&self, fingerprint: &[u8]) -> Option<MemoVerdict> {
         self.shards[self.shard(fingerprint)]
             .lock()
             .expect("shared memo poisoned")
-            .get(fingerprint)
-            .copied()
+            .get_mut(fingerprint)
+            .map(|slot| {
+                slot.hits = slot.hits.saturating_add(1);
+                slot.verdict
+            })
     }
 
     /// Inserts a verdict unless the shard is at capacity.  Last-write-wins
-    /// races are harmless: all writers hold the same verdict.
+    /// races are harmless: all writers hold the same verdict.  Re-inserting
+    /// an existing fingerprint keeps its hit count.
     pub fn insert(&self, fingerprint: &[u8], verdict: MemoVerdict) {
         let mut shard = self.shards[self.shard(fingerprint)]
             .lock()
             .expect("shared memo poisoned");
-        if shard.len() < self.per_shard_cap || shard.contains_key(fingerprint) {
-            shard.insert(fingerprint.to_vec(), verdict);
+        if let Some(slot) = shard.get_mut(fingerprint) {
+            slot.verdict = verdict;
+        } else if shard.len() < self.per_shard_cap {
+            shard.insert(fingerprint.to_vec(), MemoSlot { verdict, hits: 0 });
         }
     }
 
@@ -275,6 +290,16 @@ impl SharedMemo {
     /// Serialises the table, sorted by fingerprint so checkpoint bytes are a
     /// deterministic function of the entry set.
     pub fn records(&self) -> Vec<MemoRecord> {
+        self.records_with_min_hits(0)
+    }
+
+    /// Serialises only the entries looked up at least `min_hits` times since
+    /// they entered this table (`0` = everything).  Verdicts are a pure
+    /// cache — dropping cold entries can only cost recomputation on resume,
+    /// never change a result — so checkpoints can shed the long cold tail
+    /// (entries inserted once and never consulted again) while keeping the
+    /// hot cross-segment entries that actually amortise triage work.
+    pub fn records_with_min_hits(&self, min_hits: u32) -> Vec<MemoRecord> {
         let mut records: Vec<MemoRecord> = self
             .shards
             .iter()
@@ -282,9 +307,10 @@ impl SharedMemo {
                 s.lock()
                     .expect("shared memo poisoned")
                     .iter()
-                    .map(|(fingerprint, &verdict)| MemoRecord {
+                    .filter(|(_, slot)| slot.hits >= min_hits)
+                    .map(|(fingerprint, slot)| MemoRecord {
                         fingerprint: fingerprint.clone(),
-                        verdict,
+                        verdict: slot.verdict,
                     })
                     .collect::<Vec<_>>()
             })

@@ -62,10 +62,11 @@ use crate::candidate_pipeline::{
 };
 use crate::enumeration::EnumerationResult;
 use crate::orbit_stream::{OrbitSpace, OrbitStream, SegmentOrder, StreamCursor, U128Parts};
+use popproto_exec::Pool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How a candidate range is cut into segments and in which order the
 /// segments are visited.
@@ -248,7 +249,9 @@ impl PrefixTracker {
 /// pipelines, a shared memo, and ordered merges.
 #[derive(Debug)]
 pub struct SegmentedSearch {
-    space: OrbitSpace,
+    /// Arc so pool jobs (which must be `'static`) can share the space and
+    /// the memo without borrowing `self`.
+    space: Arc<OrbitSpace>,
     config: PipelineConfig,
     segmentation: SegmentationConfig,
     /// Segment size in candidate encodings (output-block aligned).
@@ -264,7 +267,7 @@ pub struct SegmentedSearch {
     /// prefix whose canonical-orbit count reaches it, which keeps the
     /// merged result independent of how far past the cut eager workers ran.
     target_orbits: u64,
-    shared: SharedMemo,
+    shared: Arc<SharedMemo>,
 }
 
 impl SegmentedSearch {
@@ -280,12 +283,12 @@ impl SegmentedSearch {
         config: PipelineConfig,
         segmentation: SegmentationConfig,
     ) -> Self {
-        let space = OrbitSpace::new(num_states);
+        let space = Arc::new(OrbitSpace::new(num_states));
         let (seg_size, end, order) = plan(&space, &segmentation);
         let num_segments = order.len();
         SegmentedSearch {
             space,
-            shared: SharedMemo::new(config.memo_max_entries),
+            shared: Arc::new(SharedMemo::new(config.memo_max_entries)),
             config,
             segmentation,
             seg_size,
@@ -350,6 +353,18 @@ impl SegmentedSearch {
     /// touched segment, local memos of in-flight segments, and the merged
     /// (shared) memo table.
     pub fn checkpoint(&self) -> SegmentedCheckpoint {
+        self.checkpoint_evicting(0)
+    }
+
+    /// [`SegmentedSearch::checkpoint`], but sheds shared-memo entries hit
+    /// fewer than `min_hits` times.  The shared table is a pure cache of
+    /// deterministic verdicts, so eviction never changes what a resumed
+    /// search reports — at worst an evicted verdict is recomputed (see
+    /// `cold_memo_eviction_preserves_resumed_results` in this module's
+    /// tests).  Most entries are inserted once and never consulted again;
+    /// `min_hits = 1` typically shrinks BB checkpoints by an order of
+    /// magnitude.
+    pub fn checkpoint_evicting(&self, min_hits: u32) -> SegmentedCheckpoint {
         let mut segments = Vec::new();
         for &seg_id in &self.order {
             let Some(run) = &self.runs[seg_id as usize] else {
@@ -379,7 +394,7 @@ impl SegmentedSearch {
             segmentation: self.segmentation.clone(),
             target_orbits: self.target_orbits,
             segments,
-            shared_memo: self.shared.records(),
+            shared_memo: self.shared.records_with_min_hits(min_hits),
         }
     }
 
@@ -447,6 +462,10 @@ impl SegmentedSearch {
     /// exactly what one `run(w, 3000)` would have.
     pub fn run(&mut self, workers: usize, target_prefix_orbits: u64) -> u64 {
         self.target_orbits = target_prefix_orbits;
+        // One persistent pool for the whole run: the wave loop below fans
+        // out many times, and with scoped threads each wave paid a full
+        // spawn/join round.
+        let pool = Pool::new(workers);
         loop {
             let (prefix_pos, prefix_orbits) = self.prefix_state();
             if prefix_orbits >= target_prefix_orbits || prefix_pos == self.order.len() {
@@ -455,12 +474,7 @@ impl SegmentedSearch {
             let wave_positions =
                 self.pick_wave(prefix_pos, prefix_orbits, target_prefix_orbits, workers);
             debug_assert!(!wave_positions.is_empty());
-            self.run_wave(
-                &wave_positions,
-                workers,
-                target_prefix_orbits,
-                prefix_orbits,
-            );
+            self.run_wave(&pool, &wave_positions, target_prefix_orbits, prefix_orbits);
         }
     }
 
@@ -512,8 +526,8 @@ impl SegmentedSearch {
     /// soon as the completed in-order prefix reaches the target.
     fn run_wave(
         &mut self,
+        pool: &Pool,
         positions: &[usize],
-        workers: usize,
         target: u64,
         prefix_orbits_before: u64,
     ) {
@@ -557,18 +571,18 @@ impl SegmentedSearch {
             })
             .collect();
 
-        let cancel = AtomicBool::new(false);
-        let tracker = Mutex::new(tracker);
-        let space = &self.space;
-        let shared = &self.shared;
-        let finished: Vec<(u32, SegmentRun)> = popproto_exec::map(
-            workers,
+        // Pool jobs are 'static: everything the wave shares travels in Arcs.
+        let cancel = Arc::new(AtomicBool::new(false));
+        let tracker = Arc::new(Mutex::new(tracker));
+        let space = Arc::clone(&self.space);
+        let shared = Arc::clone(&self.shared);
+        let finished: Vec<(u32, SegmentRun)> = pool.map(
             jobs,
-            |_, (pos, seg_id, mut run): (usize, u32, SegmentRun)| {
+            move |_, (pos, seg_id, mut run): (usize, u32, SegmentRun)| {
                 if run.done || cancel.load(Ordering::Relaxed) {
                     return (seg_id, run);
                 }
-                let mut stream = OrbitStream::resume(space, &run.cursor);
+                let mut stream = OrbitStream::resume(&space, &run.cursor);
                 let mut since_check = 0u32;
                 loop {
                     if since_check >= 64 {
@@ -582,11 +596,11 @@ impl SegmentedSearch {
                         Some(k) => {
                             let outputs = (k % space.output_patterns()) as u32;
                             run.pipeline.offer_shared(
-                                space,
+                                &space,
                                 k,
                                 stream.current_assignment(),
                                 outputs,
-                                shared,
+                                &shared,
                             );
                         }
                         None => {
@@ -791,6 +805,45 @@ mod tests {
             result.stats.threshold_protocols,
             straight.stats.threshold_protocols
         );
+    }
+
+    #[test]
+    fn cold_memo_eviction_preserves_resumed_results() {
+        let seg = SegmentationConfig::index_order(100, None);
+        let straight = sequential(2, seg.clone(), 6);
+
+        let mut search = SegmentedSearch::new(2, config(6), seg);
+        search.run(2, 300);
+        let full = search.checkpoint();
+        let evicted = search.checkpoint_evicting(1);
+        // Eviction must actually shrink the serialised table (the cold tail
+        // is real), without touching any other checkpoint field.
+        assert!(
+            evicted.shared_memo.len() <= full.shared_memo.len(),
+            "eviction grew the table"
+        );
+        assert_eq!(evicted.segments.len(), full.segments.len());
+
+        // Resuming from the evicted checkpoint reaches verdict-identical
+        // results: the memo is a pure cache, so dropping entries can only
+        // cost recomputation.
+        let json = serde_json::to_string(&evicted).unwrap();
+        let checkpoint: SegmentedCheckpoint = serde_json::from_str(&json).unwrap();
+        let mut resumed = SegmentedSearch::from_checkpoint(&checkpoint);
+        resumed.run(2, u64::MAX);
+        let result = resumed.result();
+        assert!(result.finished);
+        assert_eq!(result.best, straight.best);
+        assert_eq!(result.confirmed, straight.confirmed);
+        assert_eq!(
+            result.stats.canonical_orbits,
+            straight.stats.canonical_orbits
+        );
+        assert_eq!(
+            result.stats.threshold_protocols,
+            straight.stats.threshold_protocols
+        );
+        assert_eq!(result.stats.profiled, straight.stats.profiled);
     }
 
     #[test]

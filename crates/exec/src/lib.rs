@@ -28,12 +28,28 @@
 //! termination.  See `crates/exec/README.md` for the determinism argument
 //! this executor underwrites in the segmented busy-beaver search.
 
+//! # Scoped map vs persistent pool
+//!
+//! Two entry points share the work-distribution duty:
+//!
+//! * [`map`] — *scoped*: borrows its closure, spawns fresh scoped threads
+//!   per call.  Right for one-shot fan-outs where the closure borrows local
+//!   state and thread-spawn cost is amortised by the call's own size.
+//! * [`Pool`] — *persistent*: threads live as long as the pool, jobs are
+//!   `'static` (callers share state via `Arc`), and repeated
+//!   [`Pool::map`] calls reuse the same workers.  Right for wave-structured
+//!   drivers (the segmented busy-beaver search, the ensemble experiment
+//!   runner) that would otherwise pay a spawn/join per wave.  A process-wide
+//!   default lives behind [`global`].
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Scheduling counters of one [`map_with_stats`] run (diagnostic only —
 /// the *results* never depend on them).
@@ -199,6 +215,231 @@ where
     )
 }
 
+/// A boxed unit of pool work.  Jobs never unwind: panics are caught inside
+/// the job and re-raised on the submitting thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The queue shared between a pool's submitters and its workers.
+struct PoolShared {
+    state: Mutex<PoolQueue>,
+    /// Signalled when jobs are enqueued (and at shutdown).
+    available: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Bookkeeping of one in-flight [`Pool::map`] call.
+struct MapCall<T> {
+    /// Items not yet finished; guarded by the same mutex the completion
+    /// condvar uses, so the final notification cannot be lost.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    results: Mutex<Vec<Option<T>>>,
+    /// First panic payload raised by a job of this call.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A persistent worker pool: threads are spawned once in [`Pool::new`] and
+/// reused by every subsequent [`Pool::map`], so wave-structured drivers
+/// (many fan-outs over the life of one computation) stop paying a
+/// spawn/join per wave.
+///
+/// Jobs must be `'static` — callers share borrowed state via `Arc` instead
+/// of references.  Submission is scope-style in the sense that
+/// [`Pool::map`] only returns once every one of its items has completed
+/// (and while waiting it *helps*, executing queued jobs itself, which also
+/// makes nested `map` calls from inside jobs deadlock-free).  Results come
+/// back in submission order and panics in jobs propagate to the submitting
+/// thread, exactly like [`map`].
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Pool {
+    /// Spawns a pool of `workers` threads (`0` = [`default_workers`]).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            default_workers()
+        } else {
+            workers
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("popproto-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// The number of worker threads (excluding helping submitters).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the pool, returning results in submission
+    /// order.  Blocks until every item is done; while blocked, the calling
+    /// thread executes queued jobs itself (its own or other calls'), so the
+    /// pool is work-conserving and nested calls cannot deadlock.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, I) -> T + Send + Sync + 'static,
+    {
+        let total = items.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let call: Arc<MapCall<T>> = Arc::new(MapCall {
+            remaining: Mutex::new(total),
+            done: Condvar::new(),
+            results: Mutex::new((0..total).map(|_| None).collect()),
+            panic: Mutex::new(None),
+        });
+
+        let jobs: Vec<Job> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let f = Arc::clone(&f);
+                let call = Arc::clone(&call);
+                let job: Job = Box::new(move || {
+                    match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                        Ok(value) => {
+                            call.results.lock().expect("pool results poisoned")[i] = Some(value);
+                        }
+                        Err(payload) => {
+                            let mut slot = call.panic.lock().expect("pool panic slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                        }
+                    }
+                    let mut remaining = call.remaining.lock().expect("pool remaining poisoned");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        call.done.notify_all();
+                    }
+                });
+                job
+            })
+            .collect();
+        {
+            let mut state = self.shared.state.lock().expect("pool queue poisoned");
+            assert!(!state.shutdown, "map on a shut-down pool");
+            state.jobs.extend(jobs);
+        }
+        self.shared.available.notify_all();
+
+        // Helping wait: prefer running a queued job over sleeping.  We only
+        // sleep after observing an empty queue, and completion notifications
+        // happen under the `remaining` lock we hold across the check, so the
+        // last wakeup cannot be lost.
+        loop {
+            if *call.remaining.lock().expect("pool remaining poisoned") == 0 {
+                break;
+            }
+            let job = self
+                .shared
+                .state
+                .lock()
+                .expect("pool queue poisoned")
+                .jobs
+                .pop_front();
+            match job {
+                Some(job) => job(),
+                None => {
+                    let remaining = call.remaining.lock().expect("pool remaining poisoned");
+                    if *remaining > 0 {
+                        drop(
+                            call.done
+                                .wait(remaining)
+                                .expect("pool completion wait poisoned"),
+                        );
+                    }
+                }
+            }
+        }
+
+        if let Some(payload) = call.panic.lock().expect("pool panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        let mut results = call.results.lock().expect("pool results poisoned");
+        std::mem::take(&mut *results)
+            .into_iter()
+            .map(|slot| slot.expect("pool lost an item"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared
+            .state
+            .lock()
+            .expect("pool queue poisoned")
+            .shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared
+                    .available
+                    .wait(state)
+                    .expect("pool idle wait poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// The process-wide default pool, sized to [`default_workers`], created on
+/// first use and never torn down.  Library fan-outs that run many times per
+/// process (experiment runs, search waves) go through this pool so the
+/// whole process shares one set of threads.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +516,88 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn pool_map_matches_scoped_map_across_reuse() {
+        let pool = Pool::new(3);
+        for round in 0..5u64 {
+            let items: Vec<u64> = (0..97).collect();
+            let expected = map(3, items.clone(), |_, x| x * 7 + round);
+            let got = pool.map(items, move |i, x| {
+                assert_eq!(i as u64, x);
+                x * 7 + round
+            });
+            assert_eq!(got, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_shares_state_through_arcs() {
+        let pool = Pool::new(2);
+        let base = Arc::new(vec![10u64, 20, 30]);
+        let captured = Arc::clone(&base);
+        let out = pool.map(vec![0usize, 1, 2], move |_, i| captured[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn pool_with_one_worker_still_completes_via_helping() {
+        let pool = Pool::new(1);
+        let out = pool.map((0..64u64).collect(), |_, x| x + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_pool_maps_do_not_deadlock() {
+        let pool = Arc::new(Pool::new(2));
+        let inner_pool = Arc::clone(&pool);
+        let out = pool.map((0..8u64).collect(), move |_, x| {
+            // Every job fans out again on the same (fully busy) pool; the
+            // helping wait must pick up the sub-jobs.
+            inner_pool.map((0..4u64).collect(), move |_, y| x * 10 + y)
+        });
+        for (x, sub) in out.iter().enumerate() {
+            let expected: Vec<u64> = (0..4).map(|y| x as u64 * 10 + y).collect();
+            assert_eq!(*sub, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool boom")]
+    fn pool_job_panics_propagate_to_the_submitter() {
+        let pool = Pool::new(2);
+        pool.map(vec![0u32, 1, 2, 3], |_, x| {
+            if x == 3 {
+                panic!("pool boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_map() {
+        let pool = Pool::new(2);
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u32, 1], |_, _| -> u32 { panic!("first call dies") });
+        }));
+        assert!(poisoned.is_err());
+        // The workers caught the panic inside the job; the pool still runs.
+        let out = pool.map(vec![1u32, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_usable() {
+        let a = global().map(vec![1u32, 2], |_, x| x);
+        assert_eq!(a, vec![1, 2]);
+        assert!(global().workers() >= 1);
+    }
+
+    #[test]
+    fn empty_pool_map_returns_immediately() {
+        let pool = Pool::new(2);
+        let out: Vec<u32> = pool.map(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
     }
 }

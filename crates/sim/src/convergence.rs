@@ -1,6 +1,7 @@
 //! Convergence detection for simulated executions.
 
 use crate::engine_api::SimulationEngine;
+use crate::ensemble::EnsembleSimulator;
 use popproto_model::Output;
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +136,128 @@ pub fn run_until_convergence<E: SimulationEngine>(
     }
 }
 
+/// Runs every lane of an [`EnsembleSimulator`] until the convergence
+/// criterion holds for that lane (or its budget of `max_interactions` runs
+/// out), retiring lanes as they finish.
+///
+/// This is the per-lane transliteration of [`run_until_convergence`]: each
+/// round checks the criterion on every live lane exactly as the scalar
+/// driver would, finalises and retires the lanes that are done (compacting
+/// the ensemble, so later waves only pay for live trajectories), and
+/// advances the survivors by their per-lane chunk budgets in lockstep.
+/// Because lane RNG streams never mix and retirement only moves columns,
+/// every lane's outcome is identical to running
+/// `run_until_convergence(&mut BatchedSimulator::new(p, ic, seed), ..)`
+/// with that lane's seed — `tests/ensemble_equivalence.rs` pins this.
+///
+/// Returns one [`ConvergenceOutcome`] per lane, indexed by the lane's
+/// *original* ensemble position (i.e. the order of the seeds passed to
+/// [`EnsembleSimulator::new`]), regardless of retirement order.
+pub fn run_ensemble_until_convergence(
+    sim: &mut EnsembleSimulator,
+    criterion: ConvergenceCriterion,
+    max_interactions: u64,
+) -> Vec<ConvergenceOutcome> {
+    let population = sim.population();
+    let total = sim.lanes();
+    let check_granularity = (population / 2).max(1);
+    let mut outcomes: Vec<Option<ConvergenceOutcome>> = vec![None; total];
+    // Indexed by original lane id, so it survives compaction.
+    let mut consensus_since: Vec<Option<u64>> = vec![None; total];
+
+    let finalize =
+        |sim: &EnsembleSimulator, lane: usize, converged_at: Option<u64>| ConvergenceOutcome {
+            converged: converged_at.is_some(),
+            output: sim.lane_output(lane).map(Output::as_bool),
+            interactions: sim.lane_interactions(lane),
+            interactions_to_convergence: converged_at,
+            parallel_time: converged_at.map(|i| i as f64 / population as f64),
+            population,
+        };
+
+    while sim.lanes() > 0 {
+        // Check pass: evaluate the criterion on every live lane; collect the
+        // lanes whose scalar loop would break here.
+        let mut finished: Vec<usize> = Vec::new();
+        for lane in 0..sim.lanes() {
+            let id = sim.lane_id(lane);
+            let interactions = sim.lane_interactions(lane);
+            let mut converged_at: Option<u64> = None;
+            let mut silent_disagreement = false;
+            match criterion {
+                ConvergenceCriterion::Silent => {
+                    if sim.lane_is_silent(lane) {
+                        converged_at = Some(interactions);
+                    }
+                }
+                ConvergenceCriterion::ConsensusPersistence { window } => {
+                    if sim.lane_output(lane).is_some() {
+                        let since = *consensus_since[id].get_or_insert(interactions);
+                        if interactions - since >= window || sim.lane_is_silent(lane) {
+                            converged_at = Some(since);
+                        }
+                    } else {
+                        consensus_since[id] = None;
+                        silent_disagreement = sim.lane_is_silent(lane);
+                    }
+                }
+            }
+            if converged_at.is_some() || silent_disagreement || interactions >= max_interactions {
+                outcomes[id] = Some(finalize(sim, lane, converged_at));
+                finished.push(lane);
+            }
+        }
+        // Retire in descending index order so swap-removal never disturbs a
+        // lane still awaiting retirement.
+        for &lane in finished.iter().rev() {
+            sim.retire_lane(lane);
+        }
+        if sim.lanes() == 0 {
+            break;
+        }
+
+        // Budget pass: each survivor gets the chunk the scalar driver would
+        // request, then all lanes advance in lockstep.
+        let mut budgets = vec![0u64; sim.lanes()];
+        for (lane, budget) in budgets.iter_mut().enumerate() {
+            let id = sim.lane_id(lane);
+            let interactions = sim.lane_interactions(lane);
+            *budget = match criterion {
+                ConvergenceCriterion::Silent => max_interactions - interactions,
+                ConvergenceCriterion::ConsensusPersistence { window } => {
+                    let until_window = match consensus_since[id] {
+                        Some(since) => window - (interactions - since),
+                        None => check_granularity,
+                    };
+                    until_window
+                        .max(1)
+                        .min(check_granularity)
+                        .min(max_interactions - interactions)
+                }
+            };
+        }
+        let advanced = sim.advance_all(&budgets);
+
+        // Zero-advance pass: a lane that cannot progress and holds no
+        // consensus will never converge (mirrors the scalar driver's break).
+        let mut stuck: Vec<usize> = Vec::new();
+        for lane in 0..sim.lanes() {
+            if advanced[lane] == 0 && sim.lane_output(lane).is_none() {
+                outcomes[sim.lane_id(lane)] = Some(finalize(sim, lane, None));
+                stuck.push(lane);
+            }
+        }
+        for &lane in stuck.iter().rev() {
+            sim.retire_lane(lane);
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every lane was finalised"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +334,63 @@ mod tests {
         assert!(outcome.converged);
         assert_eq!(outcome.output, Some(true));
         assert_eq!(outcome.population, 20_000);
+    }
+
+    #[test]
+    fn ensemble_runner_matches_scalar_runner_per_lane() {
+        let p = flock(3);
+        let ic = p.initial_config_unary(20_000);
+        let seeds = [21u64, 22, 23];
+        let mut ens = EnsembleSimulator::new(p.clone(), ic.clone(), &seeds);
+        let outcomes =
+            run_ensemble_until_convergence(&mut ens, ConvergenceCriterion::Silent, u64::MAX);
+        assert_eq!(outcomes.len(), seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut solo = BatchedSimulator::new(p.clone(), ic.clone(), seed);
+            let scalar = run_until_convergence(&mut solo, ConvergenceCriterion::Silent, u64::MAX);
+            assert_eq!(outcomes[i].converged, scalar.converged, "seed {seed}");
+            assert_eq!(outcomes[i].output, scalar.output);
+            assert_eq!(outcomes[i].interactions, scalar.interactions);
+            assert_eq!(
+                outcomes[i].interactions_to_convergence,
+                scalar.interactions_to_convergence
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_runner_matches_scalar_runner_under_persistence() {
+        let p = binary_counter(3);
+        let ic = p.initial_config_unary(5_000);
+        let seeds = [9u64, 10, 11, 12];
+        let criterion = ConvergenceCriterion::ConsensusPersistence { window: 10_000 };
+        let mut ens = EnsembleSimulator::new(p.clone(), ic.clone(), &seeds);
+        let outcomes = run_ensemble_until_convergence(&mut ens, criterion, u64::MAX);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut solo = BatchedSimulator::new(p.clone(), ic.clone(), seed);
+            let scalar = run_until_convergence(&mut solo, criterion, u64::MAX);
+            assert_eq!(outcomes[i].converged, scalar.converged, "seed {seed}");
+            assert_eq!(outcomes[i].output, scalar.output);
+            assert_eq!(outcomes[i].interactions, scalar.interactions);
+            assert_eq!(
+                outcomes[i].interactions_to_convergence,
+                scalar.interactions_to_convergence
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_runner_respects_the_interaction_budget() {
+        let p = binary_counter(4);
+        let ic = p.initial_config_unary(5_000);
+        let mut ens = EnsembleSimulator::new(p.clone(), ic, &[5, 6]);
+        let outcomes =
+            run_ensemble_until_convergence(&mut ens, ConvergenceCriterion::Silent, 1_000);
+        for o in &outcomes {
+            assert!(!o.converged);
+            assert!(o.interactions >= 1_000);
+            assert!(o.parallel_time.is_none());
+        }
     }
 
     #[test]

@@ -1,6 +1,31 @@
-//! The engine abstraction shared by the sequential and batched simulators.
+//! The engine abstraction shared by the sequential and batched simulators,
+//! and the engine selector used by experiment descriptions.
 
 use popproto_model::{Config, Output, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Which simulation engine an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineKind {
+    /// The exact sequential engine ([`Simulator`](crate::Simulator)).
+    #[default]
+    Sequential,
+    /// The collision-adjusted batched engine
+    /// ([`BatchedSimulator`](crate::BatchedSimulator)), recommended for
+    /// populations of 10⁵ agents and beyond.
+    Batched,
+    /// The lockstep ensemble engine
+    /// ([`EnsembleSimulator`](crate::EnsembleSimulator)): seeds are
+    /// partitioned into blocks of `lanes` trajectories, each block advanced
+    /// in lockstep with one pair-table pass per wave.  Outcomes are
+    /// bit-identical to [`EngineKind::Batched`] with the same seeds; only
+    /// the throughput differs.
+    Ensemble {
+        /// Trajectories per lockstep block (e.g. 64–256).  Values of 0 are
+        /// treated as 1.
+        lanes: usize,
+    },
+}
 
 /// A stochastic simulation engine for a population protocol.
 ///

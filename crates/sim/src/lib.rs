@@ -11,7 +11,8 @@
 //! by the number of agents — the standard measure used in the runtime
 //! results quoted in the paper's introduction.
 //!
-//! Two engines implement the common [`SimulationEngine`] trait:
+//! Two engines implement the common [`SimulationEngine`] trait, and a third
+//! amortises the second across many trajectories:
 //!
 //! * [`Simulator`] — **tier 1**, the sequential engine: exact step
 //!   semantics, rebuilt around a [`CompiledProtocol`] (dense pair-transition
@@ -20,7 +21,12 @@
 //! * [`BatchedSimulator`] — **tier 2**, the batched engine: processes Θ(√n)
 //!   interactions per O(|Q|²) batch using collision-adjusted hypergeometric
 //!   sampling (ppsim / Berenbrink et al., arXiv:2005.03584), making
-//!   populations of 10⁸–10⁹ agents tractable.
+//!   populations of 10⁸–10⁹ agents tractable;
+//! * [`EnsembleSimulator`] — **tier 2, ensemble form**: K independent
+//!   trajectories of one protocol advanced in lockstep waves over a
+//!   structure-of-arrays count matrix, one pair-table pass per wave for all
+//!   lanes, with per-lane RNG streams keeping every lane bit-identical to a
+//!   solo [`BatchedSimulator`] run with the same seed.
 //!
 //! See `crates/sim/README.md` for when each engine wins and for the
 //! batch-sampling math.
@@ -32,7 +38,9 @@
 //! * [`scheduler`] — standalone pair-selection strategies;
 //! * [`engine`] — the sequential engine;
 //! * [`batched`] — the batched engine;
+//! * [`ensemble`] — the lockstep ensemble engine;
 //! * [`sampling`] — hypergeometric / binomial / birthday samplers;
+//! * [`pmath`] — portable transcendental kernels shared by both engines;
 //! * [`convergence`] — stabilisation / consensus detection;
 //! * [`stats`] — aggregation over repeated runs;
 //! * [`runner`] — multi-seed experiment driver (seed-parallel).
@@ -45,6 +53,8 @@ pub mod compiled;
 pub mod convergence;
 pub mod engine;
 pub mod engine_api;
+pub mod ensemble;
+pub mod pmath;
 pub mod runner;
 pub mod sampling;
 pub mod scheduler;
@@ -52,9 +62,12 @@ pub mod stats;
 
 pub use batched::BatchedSimulator;
 pub use compiled::CompiledProtocol;
-pub use convergence::{run_until_convergence, ConvergenceCriterion, ConvergenceOutcome};
+pub use convergence::{
+    run_ensemble_until_convergence, run_until_convergence, ConvergenceCriterion, ConvergenceOutcome,
+};
 pub use engine::Simulator;
 pub use engine_api::SimulationEngine;
+pub use ensemble::{fused_delta_apply, fused_delta_apply_same, EnsembleSimulator};
 pub use runner::{run_experiment, EngineKind, SimulationExperiment};
 pub use scheduler::{PairScheduler, UniformScheduler};
 pub use stats::{aggregate_outcomes, ConvergenceStats, SummaryStats};

@@ -1,22 +1,17 @@
 //! Multi-seed simulation experiments, engine-generic and seed-parallel.
 
 use crate::batched::BatchedSimulator;
-use crate::convergence::{run_until_convergence, ConvergenceCriterion, ConvergenceOutcome};
+use crate::convergence::{
+    run_ensemble_until_convergence, run_until_convergence, ConvergenceCriterion, ConvergenceOutcome,
+};
 use crate::engine::Simulator;
+use crate::ensemble::EnsembleSimulator;
 use crate::stats::{aggregate_outcomes, ConvergenceStats};
 use popproto_model::{Config, Input, Protocol};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Which simulation engine an experiment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
-pub enum EngineKind {
-    /// The exact sequential engine ([`Simulator`]).
-    #[default]
-    Sequential,
-    /// The collision-adjusted batched engine ([`BatchedSimulator`]),
-    /// recommended for populations of 10⁵ agents and beyond.
-    Batched,
-}
+pub use crate::engine_api::EngineKind;
 
 /// Description of a repeated simulation experiment: the same protocol and
 /// input simulated with several seeds.
@@ -73,24 +68,56 @@ fn run_one_seed(experiment: &SimulationExperiment, ic: &Config, seed: u64) -> Co
             let mut sim = Simulator::new(experiment.protocol.clone(), ic.clone(), seed);
             run_until_convergence(&mut sim, experiment.criterion, experiment.max_interactions)
         }
-        EngineKind::Batched => {
+        EngineKind::Batched | EngineKind::Ensemble { .. } => {
             let mut sim = BatchedSimulator::new(experiment.protocol.clone(), ic.clone(), seed);
             run_until_convergence(&mut sim, experiment.criterion, experiment.max_interactions)
         }
     }
 }
 
-/// Runs the experiment, fanning the seeds out across the
-/// [`popproto_exec`] work-stealing pool (all available CPU cores; the
-/// environment has no rayon).  Per-seed runs are independent and
-/// deterministic, so outcomes come back in seed order regardless of
-/// scheduling — stealing only rebalances skewed per-seed runtimes (a seed
-/// that converges late no longer pins a whole static chunk to one core).
+fn run_seed_block(
+    experiment: &SimulationExperiment,
+    ic: &Config,
+    seeds: &[u64],
+) -> Vec<ConvergenceOutcome> {
+    let mut sim = EnsembleSimulator::new(experiment.protocol.clone(), ic.clone(), seeds);
+    run_ensemble_until_convergence(&mut sim, experiment.criterion, experiment.max_interactions)
+}
+
+/// Runs the experiment, fanning the work out across the process-wide
+/// persistent worker pool ([`popproto_exec::global`]; all available CPU
+/// cores — the environment has no rayon).  Sweeps that call
+/// `run_experiment` many times reuse the same threads instead of paying a
+/// spawn/join per call.
+///
+/// For the sequential and batched engines the unit of work is one seed; for
+/// [`EngineKind::Ensemble`] the seeds are partitioned into blocks of `lanes`
+/// trajectories and the unit of work is one lockstep block.  Runs are
+/// independent and deterministic, so outcomes come back in seed order
+/// regardless of scheduling.
 pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
-    let ic = experiment.protocol.initial_config(&experiment.input);
-    let outcomes = popproto_exec::map(0, experiment.seeds.clone(), |_, seed| {
-        run_one_seed(experiment, &ic, seed)
-    });
+    let ic = Arc::new(experiment.protocol.initial_config(&experiment.input));
+    // The pool's jobs are 'static: share the experiment via Arc instead of
+    // borrowing it.
+    let experiment = Arc::new(experiment.clone());
+    let outcomes = match experiment.engine {
+        EngineKind::Ensemble { lanes } => {
+            let lanes = lanes.max(1);
+            let blocks: Vec<Vec<u64>> = experiment
+                .seeds
+                .chunks(lanes)
+                .map(<[u64]>::to_vec)
+                .collect();
+            let per_block = popproto_exec::global().map(blocks, move |_, block| {
+                run_seed_block(&experiment, &ic, &block)
+            });
+            per_block.into_iter().flatten().collect()
+        }
+        _ => {
+            let seeds = experiment.seeds.clone();
+            popproto_exec::global().map(seeds, move |_, seed| run_one_seed(&experiment, &ic, seed))
+        }
+    };
     let stats = aggregate_outcomes(&outcomes);
     ExperimentResult { outcomes, stats }
 }
@@ -138,6 +165,35 @@ mod tests {
         let result = run_experiment(&exp);
         assert_eq!(result.stats.converged_runs, 4);
         assert_eq!(result.stats.true_outputs, 4);
+    }
+
+    #[test]
+    fn ensemble_engine_matches_batched_engine_outcome_for_outcome() {
+        let p = binary_counter(3);
+        let base = SimulationExperiment::new(p, Input::unary(2_000), 7, u64::MAX);
+        let batched = run_experiment(&base.clone().with_engine(EngineKind::Batched));
+        // 7 seeds over 3-lane blocks: exercises a ragged final block.
+        let ensemble = run_experiment(&base.with_engine(EngineKind::Ensemble { lanes: 3 }));
+        assert_eq!(batched.outcomes.len(), ensemble.outcomes.len());
+        for (b, e) in batched.outcomes.iter().zip(&ensemble.outcomes) {
+            assert_eq!(b.converged, e.converged);
+            assert_eq!(b.output, e.output);
+            assert_eq!(b.interactions, e.interactions);
+            assert_eq!(b.interactions_to_convergence, e.interactions_to_convergence);
+        }
+    }
+
+    #[test]
+    fn engine_kinds_serialise_round_trip() {
+        for kind in [
+            EngineKind::Sequential,
+            EngineKind::Batched,
+            EngineKind::Ensemble { lanes: 64 },
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: EngineKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
     }
 
     #[test]

@@ -15,58 +15,627 @@
 //! large variance) in the regimes where the approximation error is far below
 //! the Monte-Carlo noise of the simulation itself.  All samplers draw from
 //! the caller's seeded RNG, so batched runs stay reproducible.
+//!
+//! # Plan → leaf structure, and why the ensemble needs it
+//!
+//! Every draw resolves in two stages: a *planner* (`plan_hypergeometric` /
+//! `plan_binomial`) runs the branchy, RNG-free part — support checks,
+//! symmetry reductions, regime selection — and produces a `DrawPlan`
+//! naming one *leaf sampler* plus affine/clamp post-processing; an
+//! *executor* then consumes the RNG.  The scalar entry points
+//! ([`hypergeometric`], [`binomial`]) plan and execute in one call.  The
+//! lane-batched entry points ([`hypergeometric_lanes`], [`binomial_lanes`],
+//! [`BirthdaySampler::draw_lanes`]) used by the
+//! [`EnsembleSimulator`](crate::EnsembleSimulator) plan each lane, consume
+//! each lane's uniforms in the scalar order, and defer the expensive
+//! transcendental transforms (`ln`, `exp`, `cos`) to bulk loops over packed
+//! arrays that the compiler autovectorises — see [`crate::pmath`].  Because
+//! planner, leaves and transforms are *shared code*, a lane of the ensemble
+//! consumes its RNG and computes its floats bit-identically to a scalar
+//! sampler call, which is the foundation of lane-level bit-equivalence
+//! between the two engines.
+//!
+//! # The mid-size hypergeometric hot path
+//!
+//! The pairing step of a batch draws Θ(|Q|²) hypergeometrics whose *total*
+//! is the batch length `l = Θ(√n)`.  A sequential urn simulation is exact
+//! but costs Θ(l) RNG draws — which silently degrades the whole batched
+//! engine to Θ(1) work *per interaction*, defeating the point of batching.
+//! [`hypergeometric`] therefore switches to an exact **mode-centered
+//! inversion** once the urn walk would be long: compute the pmf at the mode
+//! from a shared log-factorial table, then subtract pmf terms zigzagging
+//! outward from the mode until the uniform is exhausted.  Expected cost is
+//! O(sd) ≈ O(√l) arithmetic steps and exactly **one** uniform draw,
+//! independent of `l` — and the distribution is exact up to f64 rounding of
+//! the pmf recurrences (the same exactness class as the CDF-walk binomial
+//! below).  The walk recurrences are a serial multiply/divide latency chain
+//! per draw; the lane-batched entry points run the CDF walks of up to
+//! `WALK_LANES` queued draws in branch-free lockstep (`cdf_walk8`),
+//! which overlaps independent chains while reproducing the scalar walk
+//! bit-for-bit.
 
+use crate::pmath;
+use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
+use std::sync::OnceLock;
+
+/// Largest `total` handled by the exact mid-size hypergeometric paths (urn
+/// or mode inversion); beyond it the binomial / Gaussian approximations take
+/// over.  Also bounds the shared log-factorial table.
+const EXACT_HYPERGEOMETRIC_MAX_TOTAL: u64 = 8192;
+
+/// Below this many (post-reduction) draws the plain urn walk is cheaper
+/// than computing the mode pmf, so the urn path is kept.  Kept small: the
+/// urn consumes one RNG draw per trial (serial per lane), while the
+/// mode-inversion path consumes a single uniform and its transcendental
+/// setup is amortised across lanes by the deferred-flush executors, so
+/// inversion wins from a handful of draws up.
+const URN_MAX_DRAWS: u64 = 4;
+
+/// `ln k!` for `k = 0..=`[`EXACT_HYPERGEOMETRIC_MAX_TOTAL`], built once per
+/// process and shared by every simulator (the ensemble engine's lanes all
+/// read the same table).  Cumulative-sum construction keeps the absolute
+/// error below ~1e-7, which cancels almost entirely in the pmf ratios.
+fn log_factorials() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let n = EXACT_HYPERGEOMETRIC_MAX_TOTAL as usize;
+        let mut lf = Vec::with_capacity(n + 1);
+        lf.push(0.0);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += pmath::ln(k as f64);
+            lf.push(acc);
+        }
+        lf
+    })
+}
+
+/// The Box–Muller transform both engines share: `u1` supplies the radius,
+/// `u2` the angle.  Scalar callers evaluate it once per draw; the ensemble
+/// evaluates it over packed lane arrays, where the `pmath` kernels
+/// autovectorise.
+#[inline(always)]
+fn gaussian_from_uniforms(u1: f64, u2: f64) -> f64 {
+    let r = (-2.0 * pmath::ln((1.0 - u1).max(f64::MIN_POSITIVE))).sqrt();
+    r * pmath::cos_tau(u2)
+}
 
 /// Samples a standard normal deviate via Box–Muller.
 fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(0.0..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
-    let r = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt();
-    r * (std::f64::consts::TAU * u2).cos()
+    gaussian_from_uniforms(u1, u2)
 }
 
-/// Samples `Binomial(n, p)`: the number of successes in `n` independent
-/// trials of probability `p`.
-pub fn binomial<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+// ---------------------------------------------------------------------------
+// Draw plans
+// ---------------------------------------------------------------------------
+
+/// Sign/offset post-map composing the planner's symmetry reductions:
+/// `result = offset + sign · leaf`.
+#[derive(Debug, Clone, Copy)]
+struct Affine {
+    offset: i64,
+    sign: i64,
+}
+
+const IDENTITY: Affine = Affine { offset: 0, sign: 1 };
+
+impl Affine {
+    #[inline(always)]
+    fn apply(self, x: u64) -> u64 {
+        (self.offset + self.sign * x as i64) as u64
+    }
+
+    /// Composes `self` with the reduction `x ↦ c − x` applied *before* it.
+    #[inline(always)]
+    fn compose_flip(self, c: u64) -> Affine {
+        Affine {
+            offset: self.offset + self.sign * c as i64,
+            sign: -self.sign,
+        }
+    }
+}
+
+/// A fully resolved single draw: which leaf sampler runs with which
+/// parameters, plus the clamp/affine post-processing.  Planning consumes no
+/// randomness, so a plan can be executed immediately (scalar path) or have
+/// its uniforms drawn now and its transforms evaluated later in bulk
+/// (lane-batched path) — both yield bit-identical results.
+///
+/// Post-processing order: `outer(min(inner(leaf), cap))`, where `inner` is
+/// the binomial `p > ½` flip, `cap` is the hypergeometric-via-binomial
+/// success bound, and `outer` composes the hypergeometric symmetry
+/// reductions.
+#[derive(Debug, Clone, Copy)]
+enum DrawPlan {
+    /// The support is a single point: no randomness needed.
+    Done(u64),
+    /// Exact sequential urn walk (`draws` integer draws).
+    Urn {
+        total: u64,
+        successes: u64,
+        draws: u64,
+        outer: Affine,
+    },
+    /// Exact mode-centered inversion (one uniform).
+    Inv {
+        total: u64,
+        successes: u64,
+        draws: u64,
+        outer: Affine,
+    },
+    /// Direct Bernoulli counting (`n` boolean draws).
+    Bern {
+        n: u64,
+        p: f64,
+        inner: Affine,
+        cap: u64,
+        outer: Affine,
+    },
+    /// Binomial CDF walk from zero (one uniform).
+    Cdf {
+        n: u64,
+        p: f64,
+        inner: Affine,
+        cap: u64,
+        outer: Affine,
+    },
+    /// Gaussian-approximated binomial (two uniforms).
+    GaussBin {
+        mean: f64,
+        sd: f64,
+        n: u64,
+        inner: Affine,
+        cap: u64,
+        outer: Affine,
+    },
+    /// Gaussian-approximated hypergeometric with finite-population
+    /// correction (two uniforms).
+    GaussHyp {
+        mean: f64,
+        sd: f64,
+        lo: u64,
+        hi: u64,
+        outer: Affine,
+    },
+}
+
+/// Resolves `Binomial(n, p)` to a leaf plan (no RNG consumed).
+fn plan_binomial(n: u64, p: f64) -> DrawPlan {
     if n == 0 || p <= 0.0 {
-        return 0;
+        return DrawPlan::Done(0);
     }
     if p >= 1.0 {
-        return n;
+        return DrawPlan::Done(n);
     }
-    if p > 0.5 {
-        return n - binomial(rng, n, 1.0 - p);
-    }
+    // p > ½ is sampled as n − Binomial(n, 1−p).
+    let (p, inner) = if p > 0.5 {
+        (
+            1.0 - p,
+            Affine {
+                offset: n as i64,
+                sign: -1,
+            },
+        )
+    } else {
+        (p, IDENTITY)
+    };
     let mean = n as f64 * p;
     if n <= 64 {
         // Direct Bernoulli counting.
-        return (0..n).filter(|_| rng.gen_bool(p)).count() as u64;
+        return DrawPlan::Bern {
+            n,
+            p,
+            inner,
+            cap: u64::MAX,
+            outer: IDENTITY,
+        };
     }
     if mean < 32.0 {
-        // Inversion from 0: the CDF walk terminates in O(mean) expected steps.
-        let q = 1.0 - p;
-        let ratio = p / q;
-        let mut pmf = q.powf(n as f64);
-        let mut cdf = pmf;
-        let u: f64 = rng.gen_range(0.0..1.0);
-        let mut k = 0u64;
-        while cdf < u && k < n {
-            pmf *= ratio * (n - k) as f64 / (k + 1) as f64;
-            cdf += pmf;
-            k += 1;
-            if pmf < 1e-300 {
-                break;
-            }
-        }
-        return k;
+        // Inversion from 0: the CDF walk terminates in O(mean) expected
+        // steps.
+        return DrawPlan::Cdf {
+            n,
+            p,
+            inner,
+            cap: u64::MAX,
+            outer: IDENTITY,
+        };
     }
     // Gaussian approximation with continuity correction; the variance is
     // ≥ 16, where the normal approximation error is far below Monte-Carlo
     // noise.
     let sd = (mean * (1.0 - p)).sqrt();
-    let sample = mean + sd * standard_normal(rng) + 0.5;
+    DrawPlan::GaussBin {
+        mean,
+        sd,
+        n,
+        inner,
+        cap: u64::MAX,
+        outer: IDENTITY,
+    }
+}
+
+/// Resolves `Hypergeometric(total, successes, draws)` to a leaf plan (no
+/// RNG consumed): support checks, symmetry reductions keeping `draws` and
+/// `successes` at most `total/2`, then regime selection.
+fn plan_hypergeometric(total: u64, successes: u64, draws: u64) -> DrawPlan {
+    debug_assert!(successes <= total && draws <= total);
+    let mut outer = IDENTITY;
+    let (mut s, mut d) = (successes, draws);
+    loop {
+        if d == 0 || s == 0 {
+            return DrawPlan::Done(outer.apply(0));
+        }
+        if s == total {
+            return DrawPlan::Done(outer.apply(d));
+        }
+        if d == total {
+            return DrawPlan::Done(outer.apply(s));
+        }
+        if d > total / 2 {
+            // H(t, s, d) = s − H(t, s, t−d)
+            outer = outer.compose_flip(s);
+            d = total - d;
+            continue;
+        }
+        if s > total / 2 {
+            // H(t, s, d) = d − H(t, t−s, d)
+            outer = outer.compose_flip(d);
+            s = total - s;
+            continue;
+        }
+        break;
+    }
+    if total <= EXACT_HYPERGEOMETRIC_MAX_TOTAL {
+        if d <= URN_MAX_DRAWS {
+            // Exact sequential urn simulation: cheapest when the walk is
+            // short (one Lemire-rejection integer draw per urn pull).
+            return DrawPlan::Urn {
+                total,
+                successes: s,
+                draws: d,
+                outer,
+            };
+        }
+        // Exact mode-centered inversion: one uniform, O(sd) expected pmf
+        // recurrence steps outward from the mode.
+        return DrawPlan::Inv {
+            total,
+            successes: s,
+            draws: d,
+            outer,
+        };
+    }
+    let p = s as f64 / total as f64;
+    let fraction = d as f64 / total as f64;
+    if fraction <= 0.01 {
+        // Sampling fraction ≤ 1%: the finite-population correction is
+        // negligible and the binomial is an excellent approximation (capped
+        // at the success count).
+        return match plan_binomial(d, p) {
+            DrawPlan::Done(v) => DrawPlan::Done(outer.apply(v.min(s))),
+            DrawPlan::Bern { n, p, inner, .. } => DrawPlan::Bern {
+                n,
+                p,
+                inner,
+                cap: s,
+                outer,
+            },
+            DrawPlan::Cdf { n, p, inner, .. } => DrawPlan::Cdf {
+                n,
+                p,
+                inner,
+                cap: s,
+                outer,
+            },
+            DrawPlan::GaussBin {
+                mean, sd, n, inner, ..
+            } => DrawPlan::GaussBin {
+                mean,
+                sd,
+                n,
+                inner,
+                cap: s,
+                outer,
+            },
+            _ => unreachable!("plan_binomial only yields Done/Bern/Cdf/GaussBin"),
+        };
+    }
+    // Gaussian approximation with finite-population correction.
+    let mean = d as f64 * p;
+    let variance = mean * (1.0 - p) * (total - d) as f64 / (total - 1) as f64;
+    let hi = d.min(s);
+    let lo = (d + s).saturating_sub(total);
+    DrawPlan::GaussHyp {
+        mean,
+        sd: variance.sqrt(),
+        lo,
+        hi,
+        outer,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf executors (shared between the scalar and lane-batched paths)
+// ---------------------------------------------------------------------------
+
+/// Exact sequential urn walk.
+fn urn_walk<R: RngCore + ?Sized>(rng: &mut R, total: u64, successes: u64, draws: u64) -> u64 {
+    let mut remaining_total = total;
+    let mut remaining_successes = successes;
+    let mut hits = 0u64;
+    for _ in 0..draws {
+        if rng.gen_range(0..remaining_total) < remaining_successes {
+            remaining_successes -= 1;
+            hits += 1;
+        }
+        remaining_total -= 1;
+    }
+    hits
+}
+
+/// The mode and `ln pmf(mode)` of an inversion-path hypergeometric, from
+/// the shared log-factorial table.
+fn inv_mode_and_ln_pmf(total: u64, successes: u64, draws: u64) -> (u64, f64) {
+    debug_assert!(total <= EXACT_HYPERGEOMETRIC_MAX_TOTAL);
+    let failures = total - successes;
+    let lo = draws.saturating_sub(failures);
+    let hi = draws.min(successes);
+    let lf = log_factorials();
+    let (t, s, f, d) = (
+        total as usize,
+        successes as usize,
+        failures as usize,
+        draws as usize,
+    );
+    let mode = ((((draws + 1) as f64) * ((successes + 1) as f64) / ((total + 2) as f64)) as u64)
+        .clamp(lo, hi);
+    let k = mode as usize;
+    // ln C(s,k) + ln C(f,d−k) − ln C(t,d)
+    let ln_pmf = (lf[s] - lf[k] - lf[s - k]) + (lf[f] - lf[d - k] - lf[f - (d - k)])
+        - (lf[t] - lf[d] - lf[t - d]);
+    (mode, ln_pmf)
+}
+
+/// The zigzag CDF walk of the mode-centered inversion, given the uniform
+/// and the already-exponentiated mode pmf.
+///
+/// Walks outward (alternating above/below the mode) subtracting pmf terms
+/// obtained from the two-term recurrences
+///
+/// ```text
+/// p(k+1)/p(k) = (s−k)(d−k) / ((k+1)(f−d+k+1))
+/// p(k−1)/p(k) = k(f−d+k) / ((s−k+1)(d−k+1))
+/// ```
+///
+/// until the uniform is exhausted.  Since the pmf mass within O(sd) of the
+/// mode is 1 − ε, the expected walk length is O(sd); for the batched
+/// engine's pairing draws (total = Θ(√n)) that is Θ(n^{1/4}) arithmetic
+/// steps instead of Θ(√n) RNG draws for the urn.
+fn inv_walk(u: f64, total: u64, successes: u64, draws: u64, mode: u64, pmf_mode: f64) -> u64 {
+    let failures = total - successes;
+    let lo = draws.saturating_sub(failures);
+    let hi = draws.min(successes);
+    debug_assert!(lo <= hi);
+    let mut remaining = u - pmf_mode;
+    if remaining <= 0.0 {
+        return mode;
+    }
+    // Zigzag outward; each side carries its own running pmf.  The step
+    // expression uses a single `p·(num/den)` division per half-step so the
+    // two sides' chains stay short.
+    let (sf, df) = (successes as f64, draws as f64);
+    let (mut up_k, mut up_p) = (mode, pmf_mode);
+    let (mut dn_k, mut dn_p) = (mode, pmf_mode);
+    loop {
+        let can_up = up_k < hi;
+        let can_dn = dn_k > lo;
+        if can_up {
+            let k = up_k as f64;
+            // k ≥ lo = max(0, d−f) guarantees f − d + k + 1 ≥ 1.
+            up_p *= ((sf - k) * (df - k))
+                / (((up_k + 1) as f64) * ((failures + up_k + 1 - draws) as f64));
+            up_k += 1;
+            remaining -= up_p;
+            if remaining <= 0.0 {
+                return up_k;
+            }
+        }
+        if can_dn {
+            let k = dn_k as f64;
+            dn_p *= (k * (failures as f64 + k - df))
+                / (((successes - dn_k + 1) as f64) * ((draws - dn_k + 1) as f64));
+            dn_k -= 1;
+            remaining -= dn_p;
+            if remaining <= 0.0 {
+                return dn_k;
+            }
+        }
+        if !can_up && !can_dn {
+            // Only reachable through accumulated f64 rounding in the last
+            // ~1e-15 of the CDF; the mode is the safest fallback.
+            return mode;
+        }
+    }
+}
+
+/// How many deferred walks run interleaved in the lane-batched flush: 8
+/// independent recurrence chains hide the division latency that makes a
+/// single walk serial-bound, and give the compiler a fixed-width,
+/// if-convertible inner loop.
+const WALK_LANES: usize = 8;
+
+/// The binomial CDF walk from zero, given the uniform and the
+/// already-exponentiated `pmf(0) = qⁿ`.
+fn cdf_walk(u: f64, pmf0: f64, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let ratio = p / q;
+    let mut pmf = pmf0;
+    let mut cdf = pmf;
+    let mut k = 0u64;
+    // The step expression is written EXACTLY as in `cdf_walk8` (a single
+    // `p·(num/den)` with one division) — textual divergence breaks the
+    // bit-identity between the scalar and lane-batched engines.
+    while cdf < u && k < n {
+        pmf *= ratio * (n - k) as f64 / ((k + 1) as f64);
+        cdf += pmf;
+        k += 1;
+        if pmf < 1e-300 {
+            break;
+        }
+    }
+    k
+}
+
+/// [`cdf_walk`] over up to 8 independent walks in lockstep, branch-free.
+///
+/// All walk state lives in the f64 domain: every quantity involved is an
+/// integer of magnitude well below 2⁵³, so the float steps evaluate to
+/// bit-identical values to the scalar walk's integer-indexed ones.  Each
+/// lane runs the scalar walk's exact operation sequence; finished lanes
+/// are masked with selects rather than branches, so the interleaving
+/// overlaps the lanes' serial multiply/divide chains.
+fn cdf_walk8(
+    m: usize,
+    u: &[f64; WALK_LANES],
+    pmf0: &[f64; WALK_LANES],
+    n: &[u64; WALK_LANES],
+    p: &[f64; WALK_LANES],
+    res: &mut [u64; WALK_LANES],
+) {
+    debug_assert!(m <= WALK_LANES);
+    let mut done = [true; WALK_LANES];
+    let mut ratio = [0.0f64; WALK_LANES];
+    let mut pmf = [0.0f64; WALK_LANES];
+    let mut cdf = [0.0f64; WALK_LANES];
+    let mut kf = [0.0f64; WALK_LANES];
+    let mut nf = [1.0f64; WALK_LANES];
+    let mut resf = [0.0f64; WALK_LANES];
+    for j in 0..m {
+        ratio[j] = p[j] / (1.0 - p[j]);
+        pmf[j] = pmf0[j];
+        cdf[j] = pmf0[j];
+        nf[j] = n[j] as f64;
+        done[j] = false;
+    }
+    loop {
+        let mut all = true;
+        for j in 0..WALK_LANES {
+            let can = !done[j] & (cdf[j] < u[j]) & (kf[j] < nf[j]);
+            let np = pmf[j] * (ratio[j] * (nf[j] - kf[j]) / (kf[j] + 1.0));
+            cdf[j] = if can { cdf[j] + np } else { cdf[j] };
+            pmf[j] = if can { np } else { pmf[j] };
+            kf[j] = if can { kf[j] + 1.0 } else { kf[j] };
+            // Finished either by crossing u / hitting n (condition false at
+            // the top) or by pmf underflow after the step; in both cases
+            // the scalar walk returns the *current* k.
+            let fin = (!done[j] & !can) | (can & (np < 1e-300));
+            resf[j] = if fin { kf[j] } else { resf[j] };
+            done[j] |= fin;
+            all &= done[j];
+        }
+        if all {
+            break;
+        }
+    }
+    for j in 0..m {
+        res[j] = resf[j] as u64;
+    }
+}
+
+/// Direct Bernoulli counting.
+fn bern_count<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    (0..n).filter(|_| rng.gen_bool(p)).count() as u64
+}
+
+/// Finishes a Gaussian-binomial leaf from its normal deviate (continuity
+/// correction and support clamp).
+#[inline(always)]
+fn finish_gauss_bin(mean: f64, sd: f64, n: u64, g: f64) -> u64 {
+    let sample = mean + sd * g + 0.5;
     (sample.max(0.0) as u64).min(n)
+}
+
+/// Finishes a Gaussian-hypergeometric leaf from its normal deviate.
+#[inline(always)]
+fn finish_gauss_hyp(mean: f64, sd: f64, lo: u64, hi: u64, g: f64) -> u64 {
+    let sample = mean + sd * g + 0.5;
+    (sample.max(lo as f64) as u64).clamp(lo, hi)
+}
+
+/// Executes a plan against one RNG, consuming exactly the draws the plan's
+/// leaf requires.
+fn execute_plan<R: RngCore + ?Sized>(rng: &mut R, plan: DrawPlan) -> u64 {
+    match plan {
+        DrawPlan::Done(v) => v,
+        DrawPlan::Urn {
+            total,
+            successes,
+            draws,
+            outer,
+        } => outer.apply(urn_walk(rng, total, successes, draws)),
+        DrawPlan::Inv {
+            total,
+            successes,
+            draws,
+            outer,
+        } => {
+            let (mode, ln_pmf) = inv_mode_and_ln_pmf(total, successes, draws);
+            let pmf_mode = pmath::exp(ln_pmf);
+            let u: f64 = rng.gen_range(0.0..1.0);
+            outer.apply(inv_walk(u, total, successes, draws, mode, pmf_mode))
+        }
+        DrawPlan::Bern {
+            n,
+            p,
+            inner,
+            cap,
+            outer,
+        } => outer.apply(inner.apply(bern_count(rng, n, p)).min(cap)),
+        DrawPlan::Cdf {
+            n,
+            p,
+            inner,
+            cap,
+            outer,
+        } => {
+            // pmf(0) = qⁿ = exp(n ln q); no RNG consumed by the transform.
+            let pmf0 = pmath::exp(n as f64 * pmath::ln(1.0 - p));
+            let u: f64 = rng.gen_range(0.0..1.0);
+            outer.apply(inner.apply(cdf_walk(u, pmf0, n, p)).min(cap))
+        }
+        DrawPlan::GaussBin {
+            mean,
+            sd,
+            n,
+            inner,
+            cap,
+            outer,
+        } => {
+            let leaf = finish_gauss_bin(mean, sd, n, standard_normal(rng));
+            outer.apply(inner.apply(leaf).min(cap))
+        }
+        DrawPlan::GaussHyp {
+            mean,
+            sd,
+            lo,
+            hi,
+            outer,
+        } => outer.apply(finish_gauss_hyp(mean, sd, lo, hi, standard_normal(rng))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar entry points
+// ---------------------------------------------------------------------------
+
+/// Samples `Binomial(n, p)`: the number of successes in `n` independent
+/// trials of probability `p`.
+pub fn binomial<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    execute_plan(rng, plan_binomial(n, p))
 }
 
 /// Samples `Hypergeometric(total, successes, draws)`: the number of marked
@@ -78,52 +647,7 @@ pub fn hypergeometric<R: RngCore + ?Sized>(
     successes: u64,
     draws: u64,
 ) -> u64 {
-    debug_assert!(successes <= total && draws <= total);
-    if draws == 0 || successes == 0 {
-        return 0;
-    }
-    if successes == total {
-        return draws;
-    }
-    if draws == total {
-        return successes;
-    }
-    // Symmetry reductions keep `draws` and `successes` at most total/2.
-    if draws > total / 2 {
-        return successes - hypergeometric(rng, total, successes, total - draws);
-    }
-    if successes > total / 2 {
-        return draws - hypergeometric(rng, total, total - successes, draws);
-    }
-    if total <= 8192 {
-        // Exact sequential urn simulation; after the reductions above this
-        // is at most ~4k cheap draws.
-        let mut remaining_total = total;
-        let mut remaining_successes = successes;
-        let mut hits = 0u64;
-        for _ in 0..draws {
-            if rng.gen_range(0..remaining_total) < remaining_successes {
-                remaining_successes -= 1;
-                hits += 1;
-            }
-            remaining_total -= 1;
-        }
-        return hits;
-    }
-    let fraction = draws as f64 / total as f64;
-    if fraction <= 0.01 {
-        // Sampling fraction ≤ 1%: the finite-population correction is
-        // negligible and the binomial is an excellent approximation.
-        return binomial(rng, draws, successes as f64 / total as f64).min(successes);
-    }
-    // Gaussian approximation with finite-population correction.
-    let p = successes as f64 / total as f64;
-    let mean = draws as f64 * p;
-    let variance = mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
-    let sample = mean + variance.sqrt() * standard_normal(rng) + 0.5;
-    let upper = draws.min(successes);
-    let lower = (draws + successes).saturating_sub(total);
-    (sample.max(lower as f64) as u64).clamp(lower, upper)
+    execute_plan(rng, plan_hypergeometric(total, successes, draws))
 }
 
 /// Splits `draws` draws without replacement across buckets with the given
@@ -160,6 +684,14 @@ pub fn multivariate_hypergeometric<R: RngCore + ?Sized>(
     debug_assert_eq!(remaining_draws, 0);
 }
 
+/// The Rayleigh-tail inversion shared by the scalar and lane-batched
+/// birthday paths: maps one uniform to a (pre-clamp) collision time.
+#[inline(always)]
+fn rayleigh_from_uniform(n: u64, u: f64) -> f64 {
+    let u = (1.0 - u).max(f64::MIN_POSITIVE); // uniform in (0, 1]
+    (-2.0 * n as f64 * pmath::ln(u)).sqrt().ceil()
+}
+
 /// Samples the number of uniform agent draws until the first repeat (the
 /// "birthday" collision time) in a population of `n` agents.
 ///
@@ -168,9 +700,342 @@ pub fn multivariate_hypergeometric<R: RngCore + ?Sized>(
 /// batched engine only uses this path for large `n`.
 pub fn birthday_collision_draws<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
     let u: f64 = rng.gen_range(0.0..1.0);
-    let u = (1.0 - u).max(f64::MIN_POSITIVE); // uniform in (0, 1]
-    let t = (-2.0 * n as f64 * u.ln()).sqrt().ceil();
-    (t as u64).clamp(2, n)
+    (rayleigh_from_uniform(n, u) as u64).clamp(2, n)
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched entry points (the ensemble engine's draw sites)
+// ---------------------------------------------------------------------------
+
+/// A planned draw whose uniforms are already consumed but whose transform
+/// is deferred to a bulk loop.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    lane: u32,
+    u1: f64,
+    u2: f64,
+    plan: DrawPlan,
+}
+
+/// Deferred-transform records and packed argument arrays, reused across the
+/// ensemble's draw sites to keep waves allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct LaneDrawScratch {
+    gauss: Vec<Pending>,
+    inv: Vec<Pending>,
+    cdf: Vec<Pending>,
+    fa: Vec<f64>,
+    fb: Vec<f64>,
+    modes: Vec<u64>,
+}
+
+impl LaneDrawScratch {
+    fn clear(&mut self) {
+        self.gauss.clear();
+        self.inv.clear();
+        self.cdf.clear();
+    }
+
+    /// Plans one lane's draw, consumes its uniforms in the scalar order,
+    /// and either finishes it immediately (integer-only leaves) or queues
+    /// its transform.
+    #[inline]
+    fn dispatch(&mut self, rng: &mut StdRng, lane: u32, plan: DrawPlan, out: &mut [u64]) {
+        match plan {
+            DrawPlan::Done(v) => out[lane as usize] = v,
+            DrawPlan::Urn { .. } | DrawPlan::Bern { .. } => {
+                out[lane as usize] = execute_plan(rng, plan);
+            }
+            DrawPlan::Inv { .. } => {
+                let u1: f64 = rng.gen_range(0.0..1.0);
+                self.inv.push(Pending {
+                    lane,
+                    u1,
+                    u2: 0.0,
+                    plan,
+                });
+            }
+            DrawPlan::Cdf { .. } => {
+                let u1: f64 = rng.gen_range(0.0..1.0);
+                self.cdf.push(Pending {
+                    lane,
+                    u1,
+                    u2: 0.0,
+                    plan,
+                });
+            }
+            DrawPlan::GaussBin { .. } | DrawPlan::GaussHyp { .. } => {
+                let u1: f64 = rng.gen_range(0.0..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                self.gauss.push(Pending { lane, u1, u2, plan });
+            }
+        }
+    }
+
+    /// Runs the deferred transforms in bulk and writes every queued lane's
+    /// result.  The packed loops over `fa`/`fb` are the vectorisation
+    /// surface: identical elementwise expressions to the scalar path, just
+    /// many lanes at a time.
+    fn flush(&mut self, out: &mut [u64]) {
+        // Gaussian leaves: one packed Box–Muller pass.
+        if !self.gauss.is_empty() {
+            self.fa.clear();
+            self.fb.clear();
+            self.fa.extend(self.gauss.iter().map(|r| r.u1));
+            self.fb.extend(self.gauss.iter().map(|r| r.u2));
+            for (a, b) in self.fa.iter_mut().zip(&self.fb) {
+                *a = gaussian_from_uniforms(*a, *b);
+            }
+            for (r, &g) in self.gauss.iter().zip(&self.fa) {
+                out[r.lane as usize] = match r.plan {
+                    DrawPlan::GaussBin {
+                        mean,
+                        sd,
+                        n,
+                        inner,
+                        cap,
+                        outer,
+                    } => outer.apply(inner.apply(finish_gauss_bin(mean, sd, n, g)).min(cap)),
+                    DrawPlan::GaussHyp {
+                        mean,
+                        sd,
+                        lo,
+                        hi,
+                        outer,
+                    } => outer.apply(finish_gauss_hyp(mean, sd, lo, hi, g)),
+                    _ => unreachable!("gauss queue only holds Gaussian plans"),
+                };
+            }
+        }
+        // Inversion leaves: pack ln pmf(mode), exponentiate in bulk, then
+        // walk each lane (the walks are short and multiply-only).
+        if !self.inv.is_empty() {
+            self.fa.clear();
+            self.modes.clear();
+            for r in &self.inv {
+                let DrawPlan::Inv {
+                    total,
+                    successes,
+                    draws,
+                    ..
+                } = r.plan
+                else {
+                    unreachable!("inv queue only holds Inv plans")
+                };
+                let (mode, ln_pmf) = inv_mode_and_ln_pmf(total, successes, draws);
+                self.fa.push(ln_pmf);
+                self.modes.push(mode);
+            }
+            for a in self.fa.iter_mut() {
+                *a = pmath::exp(*a);
+            }
+            for (i, r) in self.inv.iter().enumerate() {
+                let DrawPlan::Inv {
+                    total,
+                    successes,
+                    draws,
+                    outer,
+                } = r.plan
+                else {
+                    unreachable!()
+                };
+                out[r.lane as usize] = outer.apply(inv_walk(
+                    r.u1,
+                    total,
+                    successes,
+                    draws,
+                    self.modes[i],
+                    self.fa[i],
+                ));
+            }
+        }
+        // CDF-walk leaves: pack n·ln(q), exponentiate in bulk, then walk.
+        if !self.cdf.is_empty() {
+            self.fa.clear();
+            for r in &self.cdf {
+                let DrawPlan::Cdf { n, p, .. } = r.plan else {
+                    unreachable!("cdf queue only holds Cdf plans")
+                };
+                self.fa.push(n as f64 * pmath::ln(1.0 - p));
+            }
+            for a in self.fa.iter_mut() {
+                *a = pmath::exp(*a);
+            }
+            let mut base = 0;
+            while base < self.cdf.len() {
+                let m = (self.cdf.len() - base).min(WALK_LANES);
+                let mut wu = [0.0f64; WALK_LANES];
+                let mut wpmf0 = [0.0f64; WALK_LANES];
+                let mut wn = [0u64; WALK_LANES];
+                let mut wp = [0.0f64; WALK_LANES];
+                let mut wres = [0u64; WALK_LANES];
+                for j in 0..m {
+                    let r = &self.cdf[base + j];
+                    let DrawPlan::Cdf { n, p, .. } = r.plan else {
+                        unreachable!()
+                    };
+                    wu[j] = r.u1;
+                    wpmf0[j] = self.fa[base + j];
+                    wn[j] = n;
+                    wp[j] = p;
+                }
+                cdf_walk8(m, &wu, &wpmf0, &wn, &wp, &mut wres);
+                for (j, &res) in wres.iter().enumerate().take(m) {
+                    let r = &self.cdf[base + j];
+                    let DrawPlan::Cdf {
+                        inner, cap, outer, ..
+                    } = r.plan
+                    else {
+                        unreachable!()
+                    };
+                    out[r.lane as usize] = outer.apply(inner.apply(res).min(cap));
+                }
+                base += m;
+            }
+        }
+        self.clear();
+    }
+}
+
+/// Draws `Hypergeometric(total, successes, draws)` for each job
+/// `(lane, total, successes, draws)`, writing `out[lane]` — bit-identically
+/// to per-lane scalar [`hypergeometric`] calls, but with the transcendental
+/// transforms hoisted into vectorisable bulk loops.
+///
+/// Each lane's uniforms are consumed in the scalar sampler's order; lanes
+/// are independent streams, so the order *across* lanes is immaterial.
+pub fn hypergeometric_lanes(
+    rngs: &mut [StdRng],
+    jobs: &[(u32, u64, u64, u64)],
+    out: &mut [u64],
+    scratch: &mut LaneDrawScratch,
+) {
+    scratch.clear();
+    for &(lane, total, successes, draws) in jobs {
+        let plan = plan_hypergeometric(total, successes, draws);
+        scratch.dispatch(&mut rngs[lane as usize], lane, plan, out);
+    }
+    scratch.flush(out);
+}
+
+/// Draws `Binomial(n, p)` for each job `(lane, n, p)`, writing `out[lane]`
+/// — the lane-batched counterpart of [`binomial`], same contract as
+/// [`hypergeometric_lanes`].
+pub fn binomial_lanes(
+    rngs: &mut [StdRng],
+    jobs: &[(u32, u64, f64)],
+    out: &mut [u64],
+    scratch: &mut LaneDrawScratch,
+) {
+    scratch.clear();
+    for &(lane, n, p) in jobs {
+        let plan = plan_binomial(n, p);
+        scratch.dispatch(&mut rngs[lane as usize], lane, plan, out);
+    }
+    scratch.flush(out);
+}
+
+/// A reusable birthday-collision-time sampler for a fixed population `n`.
+///
+/// In *exact* mode it tabulates the survival function
+/// `S(t) = P(T > t) = ∏_{i<t} (1 − i/n)` once (a few thousand multiplies,
+/// `O(√n)` entries until `S` underflows below 1e-18) and then inverts it by
+/// binary search, consuming exactly one uniform per draw — the same RNG
+/// consumption as the approximate path, so switching modes changes the
+/// *values* drawn but never the stream alignment.  In *approximate* mode it
+/// defers to the Rayleigh tail inversion of [`birthday_collision_draws`],
+/// whose `O(1/√n)` bias is only acceptable for large `n`; the crossover
+/// population is documented at `BIRTHDAY_EXACT_MAX_POPULATION` in
+/// `batched.rs`, next to the engine that owns the decision.
+#[derive(Debug, Clone)]
+pub struct BirthdaySampler {
+    n: u64,
+    /// `survival[t]` = `P(T > t + 1)`, strictly decreasing; present only in
+    /// exact mode.  (`P(T > 1)` = 1 always, so the table starts at t = 2.)
+    survival: Option<Vec<f64>>,
+}
+
+impl BirthdaySampler {
+    /// Smallest survival probability kept in the exact table; events rarer
+    /// than this are clamped to the table's last entry (their total mass is
+    /// far below one ulp of the CDF).
+    const TABLE_FLOOR: f64 = 1e-18;
+
+    /// Builds a sampler for population `n`; `exact` selects the tabulated
+    /// exact CDF over the Rayleigh approximation.
+    pub fn new(n: u64, exact: bool) -> Self {
+        let n = n.max(2);
+        let survival = exact.then(|| {
+            let nf = n as f64;
+            let mut table = Vec::with_capacity((9.0 * nf.sqrt()) as usize + 2);
+            let mut s = 1.0f64;
+            // After t draws without a repeat, draw t+1 misses with
+            // probability (n − t)/n.
+            for t in 1..n {
+                s *= (n - t) as f64 / nf;
+                table.push(s); // = P(T > t + 1)
+                if s < Self::TABLE_FLOOR {
+                    break;
+                }
+            }
+            table
+        });
+        BirthdaySampler { n, survival }
+    }
+
+    /// Samples the number of uniform agent draws until the first repeat,
+    /// clamped to `[2, n]`.  Consumes exactly one uniform.
+    pub fn draw<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.survival {
+            None => birthday_collision_draws(rng, self.n),
+            Some(table) => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let u = (1.0 - u).max(f64::MIN_POSITIVE); // uniform in (0, 1]
+                                                          // T = smallest t with S(t) < u; table[i] = S(i + 2), so find
+                                                          // the first index with table[i] < u.
+                let idx = table.partition_point(|&s| s >= u);
+                (idx as u64 + 2).min(self.n)
+            }
+        }
+    }
+
+    /// Draws a collision time for every listed lane, writing `out[lane]` —
+    /// bit-identical to per-lane [`BirthdaySampler::draw`] calls.  In
+    /// approximate mode the Rayleigh transform runs as one packed pass.
+    pub fn draw_lanes(
+        &self,
+        rngs: &mut [StdRng],
+        lanes: &[u32],
+        out: &mut [u64],
+        scratch: &mut LaneDrawScratch,
+    ) {
+        match &self.survival {
+            Some(_) => {
+                // Exact mode: the binary search is already cheap and
+                // table-backed; nothing to batch.
+                for &k in lanes {
+                    out[k as usize] = self.draw(&mut rngs[k as usize]);
+                }
+            }
+            None => {
+                scratch.fa.clear();
+                for &k in lanes {
+                    scratch.fa.push(rngs[k as usize].gen_range(0.0..1.0));
+                }
+                for u in scratch.fa.iter_mut() {
+                    *u = rayleigh_from_uniform(self.n, *u);
+                }
+                for (&k, &t) in lanes.iter().zip(&scratch.fa) {
+                    out[k as usize] = (t as u64).clamp(2, self.n);
+                }
+            }
+        }
+    }
+
+    /// Whether this sampler uses the exact tabulated CDF.
+    pub fn is_exact(&self) -> bool {
+        self.survival.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +1129,96 @@ mod tests {
     }
 
     #[test]
+    fn lane_batched_hypergeometric_is_bit_identical_to_scalar() {
+        // The core contract of the plan/leaf split: one lane-batched job
+        // consumes the lane's RNG and produces its value exactly like a
+        // scalar call — across every leaf path (urn, inversion, Bernoulli,
+        // CDF walk, both Gaussians, and the RNG-free Done short-circuits).
+        let mut meta = StdRng::seed_from_u64(0xD1CE);
+        let mut scratch = LaneDrawScratch::default();
+        for case in 0..4_000u64 {
+            let total: u64 = match case % 4 {
+                0 => meta.gen_range(2..100u64),              // urn / small support
+                1 => meta.gen_range(100..8192u64),           // urn + inversion
+                2 => meta.gen_range(8193..100_000u64),       // binomial approx
+                _ => meta.gen_range(100_000..10_000_000u64), // binomial + Gaussian
+            };
+            let successes = meta.gen_range(0..=total);
+            let draws = meta.gen_range(0..=total);
+            let seed = meta.gen_range(0..u64::MAX);
+            let mut scalar_rng = StdRng::seed_from_u64(seed);
+            let expected = hypergeometric(&mut scalar_rng, total, successes, draws);
+            let mut lane_rngs = vec![StdRng::seed_from_u64(seed)];
+            let mut out = [0u64; 1];
+            hypergeometric_lanes(
+                &mut lane_rngs,
+                &[(0, total, successes, draws)],
+                &mut out,
+                &mut scratch,
+            );
+            assert_eq!(
+                out[0], expected,
+                "value (t={total}, s={successes}, d={draws})"
+            );
+            assert_eq!(
+                lane_rngs[0].next_u64(),
+                scalar_rng.next_u64(),
+                "RNG stream position (t={total}, s={successes}, d={draws})"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_batched_binomial_is_bit_identical_to_scalar() {
+        let mut meta = StdRng::seed_from_u64(0xB1B0);
+        let mut scratch = LaneDrawScratch::default();
+        for _ in 0..4_000 {
+            let n = meta.gen_range(0..5_000u64);
+            let p = meta.gen_range(0.0..1.0f64);
+            let seed = meta.gen_range(0..u64::MAX);
+            let mut scalar_rng = StdRng::seed_from_u64(seed);
+            let expected = binomial(&mut scalar_rng, n, p);
+            let mut lane_rngs = vec![StdRng::seed_from_u64(seed)];
+            let mut out = [0u64; 1];
+            binomial_lanes(&mut lane_rngs, &[(0, n, p)], &mut out, &mut scratch);
+            assert_eq!(out[0], expected, "value (n={n}, p={p})");
+            assert_eq!(
+                lane_rngs[0].next_u64(),
+                scalar_rng.next_u64(),
+                "RNG stream position (n={n}, p={p})"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_batched_sites_handle_many_lanes_with_mixed_paths() {
+        // One call mixing all leaf kinds across lanes must write every
+        // lane's slot and leave every lane's RNG where scalar calls would.
+        let mut scratch = LaneDrawScratch::default();
+        let params: Vec<(u32, u64, u64, u64)> = vec![
+            (0, 50, 20, 10),                 // urn
+            (1, 4_000, 1_500, 900),          // inversion
+            (2, 100_000, 40_000, 500),       // binomial → Gaussian
+            (3, 100_000, 30, 400),           // binomial → CDF walk
+            (4, 1_000_000, 600_000, 90_000), // Gaussian hypergeometric
+            (5, 77, 0, 30),                  // Done
+        ];
+        let mut lane_rngs: Vec<StdRng> = (0..6).map(|i| StdRng::seed_from_u64(900 + i)).collect();
+        let mut out = [0u64; 6];
+        hypergeometric_lanes(&mut lane_rngs, &params, &mut out, &mut scratch);
+        for &(lane, t, s, d) in &params {
+            let mut solo = StdRng::seed_from_u64(900 + lane as u64);
+            let expected = hypergeometric(&mut solo, t, s, d);
+            assert_eq!(out[lane as usize], expected, "lane {lane}");
+            assert_eq!(
+                lane_rngs[lane as usize].next_u64(),
+                solo.next_u64(),
+                "stream of lane {lane}"
+            );
+        }
+    }
+
+    #[test]
     fn multivariate_hypergeometric_partitions_draws() {
         let mut rng = StdRng::seed_from_u64(7);
         let sizes = [50u64, 0, 30, 20];
@@ -275,6 +1230,248 @@ mod tests {
                 assert!(o <= s);
             }
         }
+    }
+
+    /// Pearson chi-square statistic of observed counts against expected
+    /// counts (same total); bins with expected < 5 are pooled into the last
+    /// bin by the callers.
+    fn chi_square(observed: &[f64], expected: &[f64]) -> f64 {
+        observed
+            .iter()
+            .zip(expected)
+            .filter(|(_, &e)| e > 0.0)
+            .map(|(&o, &e)| (o - e) * (o - e) / e)
+            .sum()
+    }
+
+    /// Exact hypergeometric pmf over the full support, by direct recurrence
+    /// from k = lo (independent of the sampler's mode-centered code path).
+    fn hypergeometric_pmf(total: u64, successes: u64, draws: u64) -> Vec<f64> {
+        let f = total - successes;
+        let lo = draws.saturating_sub(f);
+        let hi = draws.min(successes);
+        // ln pmf(lo) via lgamma-free product, then the up-recurrence.
+        let mut ln_p = 0.0f64;
+        // pmf(lo) = C(s,lo) C(f,d−lo) / C(t,d); build it as a product of
+        // d ratios to stay in range.
+        let mut num_s = successes;
+        let mut num_f = f;
+        let mut den = total;
+        for i in 0..draws {
+            if i < lo {
+                ln_p += (num_s as f64 / den as f64).ln();
+                num_s -= 1;
+            } else {
+                ln_p += (num_f as f64 / den as f64).ln();
+                num_f -= 1;
+            }
+            den -= 1;
+        }
+        // That built P(first lo draws marked, rest unmarked); multiply by
+        // C(d, lo) orderings.
+        for i in 0..lo {
+            ln_p += ((draws - i) as f64 / (i + 1) as f64).ln();
+        }
+        let mut pmf = vec![0.0; (hi - lo + 1) as usize];
+        let mut p = ln_p.exp();
+        pmf[0] = p;
+        for (i, k) in (lo..hi).enumerate() {
+            let (kf, sf, ff, df) = (k as f64, successes as f64, f as f64, draws as f64);
+            p *= (sf - kf) * (df - kf) / ((kf + 1.0) * (ff + kf + 1.0 - df));
+            pmf[i + 1] = p;
+        }
+        pmf
+    }
+
+    #[test]
+    fn mode_inversion_matches_exact_pmf() {
+        // total ≤ 8192 and draws > URN_MAX_DRAWS forces the mode-inversion
+        // path; compare sampled frequencies against the analytic pmf.
+        let mut rng = StdRng::seed_from_u64(40);
+        let (total, successes, draws) = (500u64, 200u64, 80u64);
+        let trials = 200_000usize;
+        let pmf = hypergeometric_pmf(total, successes, draws);
+        let mut observed = vec![0.0f64; pmf.len()];
+        for _ in 0..trials {
+            let k = hypergeometric(&mut rng, total, successes, draws);
+            observed[k as usize] += 1.0;
+        }
+        // Pool the tails so every compared bin has expected count ≥ 5.
+        let expected: Vec<f64> = pmf.iter().map(|p| p * trials as f64).collect();
+        let keep: Vec<usize> = (0..pmf.len()).filter(|&i| expected[i] >= 5.0).collect();
+        let mut obs: Vec<f64> = keep.iter().map(|&i| observed[i]).collect();
+        let mut exp: Vec<f64> = keep.iter().map(|&i| expected[i]).collect();
+        let tail_e: f64 = expected.iter().sum::<f64>() - exp.iter().sum::<f64>();
+        let tail_o: f64 = observed.iter().sum::<f64>() - obs.iter().sum::<f64>();
+        obs.push(tail_o);
+        exp.push(tail_e.max(1e-9));
+        let stat = chi_square(&obs, &exp);
+        let df = (obs.len() - 1) as f64;
+        // 99.99-percentile of chi-square(df) is ≈ df + 4·√(2df) + 8.
+        let critical = df + 4.0 * (2.0 * df).sqrt() + 8.0;
+        assert!(stat < critical, "chi-square {stat} ≥ {critical} (df {df})");
+    }
+
+    #[test]
+    fn urn_and_mode_inversion_agree_on_moments() {
+        // Same distribution parameters sampled through both exact paths:
+        // draws = 4 keeps the urn, draws = 5 switches to inversion.
+        let (total, successes) = (2000u64, 700u64);
+        for draws in [4u64, 5] {
+            let mut rng = StdRng::seed_from_u64(41 + draws);
+            let samples: Vec<f64> = (0..40_000)
+                .map(|_| hypergeometric(&mut rng, total, successes, draws) as f64)
+                .collect();
+            let (mean, var) = mean_and_var(&samples);
+            let p = successes as f64 / total as f64;
+            let expected_mean = draws as f64 * p;
+            let expected_var =
+                expected_mean * (1.0 - p) * (total - draws) as f64 / (total - 1) as f64;
+            assert!(
+                (mean - expected_mean).abs() < 0.15,
+                "mean {mean} (d {draws})"
+            );
+            assert!(
+                (var / expected_var - 1.0).abs() < 0.07,
+                "var {var} (d {draws})"
+            );
+        }
+    }
+
+    /// Brute-force birthday collision time: uniform agent draws until the
+    /// first repeat, by explicit marking.
+    fn brute_force_birthday<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        let mut seen = vec![false; n as usize];
+        let mut t = 0u64;
+        loop {
+            let a = rng.gen_range(0..n) as usize;
+            t += 1;
+            if seen[a] {
+                return t.clamp(2, n);
+            }
+            seen[a] = true;
+        }
+    }
+
+    /// Two-sample chi-square of a sampler against the brute-force pair
+    /// draw; returns (statistic, degrees of freedom).
+    fn birthday_two_sample_chi_square(n: u64, exact: bool, trials: usize) -> (f64, f64) {
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(43);
+        let sampler = BirthdaySampler::new(n, exact);
+        let mut count_a = vec![0.0f64; n as usize + 1];
+        let mut count_b = vec![0.0f64; n as usize + 1];
+        for _ in 0..trials {
+            count_a[sampler.draw(&mut rng_a) as usize] += 1.0;
+            count_b[brute_force_birthday(&mut rng_b, n) as usize] += 1.0;
+        }
+        // Pool bins until each has ≥ 10 combined expected counts.
+        let mut a_bins = Vec::new();
+        let mut b_bins = Vec::new();
+        let (mut acc_a, mut acc_b) = (0.0, 0.0);
+        for i in 0..count_a.len() {
+            acc_a += count_a[i];
+            acc_b += count_b[i];
+            if acc_a + acc_b >= 20.0 {
+                a_bins.push(acc_a);
+                b_bins.push(acc_b);
+                acc_a = 0.0;
+                acc_b = 0.0;
+            }
+        }
+        if acc_a + acc_b > 0.0 {
+            a_bins.push(acc_a);
+            b_bins.push(acc_b);
+        }
+        // Two-sample statistic: Σ (a_i − b_i)² / (a_i + b_i), df = bins − 1.
+        let stat: f64 = a_bins
+            .iter()
+            .zip(&b_bins)
+            .filter(|(&a, &b)| a + b > 0.0)
+            .map(|(&a, &b)| (a - b) * (a - b) / (a + b))
+            .sum();
+        (stat, (a_bins.len() - 1) as f64)
+    }
+
+    #[test]
+    fn exact_birthday_sampler_matches_brute_force_at_small_n() {
+        for n in [64u64, 256, 1024] {
+            let (stat, df) = birthday_two_sample_chi_square(n, true, 100_000);
+            let critical = df + 4.0 * (2.0 * df).sqrt() + 8.0;
+            assert!(
+                stat < critical,
+                "n={n}: chi-square {stat} ≥ {critical} (df {df})"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_birthday_sampler_is_biased_at_small_n() {
+        // The Rayleigh inversion's O(1/√n) bias is gross at n = 64: the
+        // same two-sample test that the exact sampler passes fails by a
+        // wide margin, which is why BIRTHDAY_EXACT_MAX_POPULATION in
+        // batched.rs keeps small populations on the exact path.
+        let (stat, df) = birthday_two_sample_chi_square(64, false, 100_000);
+        let critical = df + 4.0 * (2.0 * df).sqrt() + 8.0;
+        assert!(
+            stat > 10.0 * critical,
+            "approximation unexpectedly close: {stat} vs {critical}"
+        );
+    }
+
+    #[test]
+    fn exact_and_approximate_birthday_consume_one_uniform() {
+        // Stream alignment: both modes consume exactly one uniform per
+        // draw, so engine-level RNG streams do not depend on the mode.
+        for exact in [false, true] {
+            let sampler = BirthdaySampler::new(50_000, exact);
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            sampler.draw(&mut a);
+            let _: f64 = b.gen_range(0.0..1.0);
+            assert_eq!(a.next_u64(), b.next_u64(), "exact={exact}");
+        }
+    }
+
+    #[test]
+    fn lane_batched_birthday_matches_scalar_draws() {
+        let mut scratch = LaneDrawScratch::default();
+        for (n, exact) in [(4_096u64, true), (1_000_000, false)] {
+            let sampler = BirthdaySampler::new(n, exact);
+            let mut lane_rngs: Vec<StdRng> =
+                (0..8).map(|i| StdRng::seed_from_u64(70 + i)).collect();
+            let lanes: Vec<u32> = (0..8).collect();
+            let mut out = [0u64; 8];
+            sampler.draw_lanes(&mut lane_rngs, &lanes, &mut out, &mut scratch);
+            for lane in 0..8u64 {
+                let mut solo = StdRng::seed_from_u64(70 + lane);
+                assert_eq!(
+                    out[lane as usize],
+                    sampler.draw(&mut solo),
+                    "lane {lane} (n={n})"
+                );
+                assert_eq!(
+                    lane_rngs[lane as usize].next_u64(),
+                    solo.next_u64(),
+                    "stream of lane {lane} (n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_birthday_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 4096u64;
+        let sampler = BirthdaySampler::new(n, true);
+        let samples: Vec<f64> = (0..40_000).map(|_| sampler.draw(&mut rng) as f64).collect();
+        let (mean, _) = mean_and_var(&samples);
+        // E[T] ≈ √(π n / 2) + 2/3 for the exact distribution.
+        let expected = (std::f64::consts::PI * n as f64 / 2.0).sqrt() + 2.0 / 3.0;
+        assert!(
+            (mean / expected - 1.0).abs() < 0.02,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
