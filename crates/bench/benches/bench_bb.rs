@@ -322,10 +322,11 @@ fn emit_bench_json(_c: &mut Criterion) {
         );
     }
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let stats_json = serde_json::to_string(&report.stats).expect("stats serialise");
     let entropy_stats_json = serde_json::to_string(&entropy_report.stats).expect("stats serialise");
     let json = format!(
-        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }},\n  \"parallel_scaling\": {{\n    \"orbit_budget\": {budget},\n    \"segment_size\": {},\n    \"host_cpus\": {},\n    \"order\": \"index\",\n    \"note\": \"funnel, best eta and witness set asserted bit-identical to the sequential stream at every worker count; resume asserted across differing worker counts; speedups are bounded by host_cpus — a single-core host time-slices the workers\",\n    \"runs\": [\n{}\n    ]\n  }},\n  \"fingerprint_canonicalization\": {{\n    \"orbit_budget\": {canon_budget},\n    \"hit_rate_without\": {without_rate:.4},\n    \"hit_rate_with\": {with_rate:.4},\n    \"memo_entries_without\": {without_entries},\n    \"memo_entries_with\": {with_entries}\n  }},\n  \"entropy_order\": {{\n    \"orbit_budget\": {entropy_budget},\n    \"seconds\": {entropy_seconds:.3},\n    \"stats\": {entropy_stats_json},\n    \"best_eta\": {}\n  }}{bb3_entry}\n}}\n",
+        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }},\n  \"parallel_scaling\": {{\n    \"orbit_budget\": {budget},\n    \"segment_size\": {},\n    \"host_cpus\": {host_cpus},\n    \"pool_workers\": {},\n    \"time_sliced\": {},\n    \"order\": \"index\",\n    \"note\": \"funnel, best eta and witness set asserted bit-identical to the sequential stream at every worker count; resume asserted across differing worker counts; speedups are bounded by host_cpus — a single-core host time-slices the workers\",\n    \"runs\": [\n{}\n    ]\n  }},\n  \"fingerprint_canonicalization\": {{\n    \"orbit_budget\": {canon_budget},\n    \"hit_rate_without\": {without_rate:.4},\n    \"hit_rate_with\": {with_rate:.4},\n    \"memo_entries_without\": {without_entries},\n    \"memo_entries_with\": {with_entries}\n  }},\n  \"entropy_order\": {{\n    \"orbit_budget\": {entropy_budget},\n    \"seconds\": {entropy_seconds:.3},\n    \"stats\": {entropy_stats_json},\n    \"best_eta\": {}\n  }}{bb3_entry}\n}}\n",
         report.eta_floor,
         budget as f64 / seconds,
         report.memo_entries,
@@ -337,6 +338,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         report.finished,
         entropy_report.segment_size,
         popproto_exec::default_workers(),
+        host_cpus == 1,
         scaling_rows.join(",\n"),
         entropy_report
             .best_eta

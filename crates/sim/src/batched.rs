@@ -40,7 +40,7 @@
 
 use crate::compiled::CompiledProtocol;
 use crate::engine_api::SimulationEngine;
-use crate::sampling::{binomial, multivariate_hypergeometric, BirthdaySampler};
+use crate::sampling::{multivariate_hypergeometric, split_candidates_uniform, BirthdaySampler};
 use popproto_model::{Config, Output, Protocol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +100,8 @@ pub struct BatchedSimulator {
     initiators: Vec<u64>,
     responders: Vec<u64>,
     remaining: Vec<u64>,
+    /// Candidate-split scratch, sized to the widest nondeterministic pair.
+    shares: Vec<u64>,
 }
 
 impl BatchedSimulator {
@@ -117,6 +119,10 @@ impl BatchedSimulator {
         );
         let compiled = CompiledProtocol::new(&protocol);
         let q = protocol.num_states();
+        let max_candidates = (0..q * (q + 1) / 2)
+            .map(|p| compiled.candidates(p).len())
+            .max()
+            .unwrap_or(0);
         BatchedSimulator {
             protocol,
             compiled,
@@ -129,6 +135,7 @@ impl BatchedSimulator {
             initiators: vec![0; q],
             responders: vec![0; q],
             remaining: vec![0; q],
+            shares: vec![0; max_candidates],
         }
     }
 
@@ -235,25 +242,22 @@ impl BatchedSimulator {
             [t] => self.apply_transition_times(*t, a, b, m),
             _ => {
                 // Nondeterministic pair: split m uniformly across the
-                // candidates (multinomial via sequential binomials).
-                let mut left = m;
+                // candidates via the canonical alias/binomial-chain split
+                // (the same stream the ensemble engine consumes).
                 let k = candidates.len();
-                // Copy out to end the immutable borrow of `self.compiled`.
-                let cands: Vec<u32> = candidates.to_vec();
-                for (i, t) in cands.iter().enumerate() {
-                    if left == 0 {
-                        break;
-                    }
-                    let share = if i + 1 == k {
-                        left
-                    } else {
-                        binomial(&mut self.rng, left, 1.0 / (k - i) as f64)
-                    };
+                let mut shares = std::mem::take(&mut self.shares);
+                let alias = self
+                    .compiled
+                    .candidate_alias(pidx)
+                    .expect("nondeterministic pair has a cached alias table");
+                split_candidates_uniform(&mut self.rng, m, alias, &mut shares);
+                for (i, &share) in shares.iter().enumerate().take(k) {
                     if share > 0 {
-                        self.apply_transition_times(*t, a, b, share);
-                        left -= share;
+                        let t = self.compiled.candidates(pidx)[i];
+                        self.apply_transition_times(t, a, b, share);
                     }
                 }
+                self.shares = shares;
             }
         }
     }

@@ -17,6 +17,7 @@
 //!   non-silent pairs* incrementally (O(|Q|) per effective interaction) and
 //!   detect silence in O(1).
 
+use crate::sampling::AliasTable;
 use popproto_model::Protocol;
 
 /// The per-state count changes caused by firing one transition.
@@ -89,6 +90,10 @@ pub struct CompiledProtocol {
     /// triangular indexing on the hot path.
     pair_los: Vec<u32>,
     pair_his: Vec<u32>,
+    /// Uniform alias table per nondeterministic pair (≥ 2 candidates),
+    /// `None` elsewhere — built once here so neither engine allocates on
+    /// the candidate-split hot path.
+    candidate_alias: Vec<Option<AliasTable>>,
 }
 
 impl CompiledProtocol {
@@ -161,6 +166,17 @@ impl CompiledProtocol {
             }
         }
 
+        let candidate_alias = by_pair
+            .iter()
+            .map(|bucket| {
+                if bucket.len() >= 2 {
+                    Some(AliasTable::uniform(bucket.len()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
         CompiledProtocol {
             num_states: q,
             pair_starts,
@@ -173,6 +189,7 @@ impl CompiledProtocol {
             non_silent_pairs,
             pair_los,
             pair_his,
+            candidate_alias,
         }
     }
 
@@ -214,6 +231,13 @@ impl CompiledProtocol {
     pub fn post(&self, t: u32) -> (usize, usize) {
         let (lo, hi) = self.posts[t as usize];
         (lo as usize, hi as usize)
+    }
+
+    /// The cached uniform alias table over the candidates of pair `pidx`,
+    /// present exactly when the pair is nondeterministic (≥ 2 candidates).
+    #[inline]
+    pub fn candidate_alias(&self, pidx: usize) -> Option<&AliasTable> {
+        self.candidate_alias[pidx].as_ref()
     }
 
     /// Whether the pair with dense index `pidx` has a non-silent candidate.

@@ -2,8 +2,9 @@
 
 use crate::engine_api::SimulationEngine;
 use crate::ensemble::EnsembleSimulator;
-use popproto_model::Output;
+use popproto_model::{Config, Output, Protocol};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Strategies for deciding that a simulated execution has (very likely)
 /// stabilised.
@@ -256,6 +257,54 @@ pub fn run_ensemble_until_convergence(
         .into_iter()
         .map(|o| o.expect("every lane was finalised"))
         .collect()
+}
+
+/// Threads × lanes: runs one logical `seeds.len()`-lane ensemble as
+/// `shards` contiguous lane sub-blocks, each a private [`EnsembleSimulator`]
+/// advanced to convergence on the process-wide persistent worker pool
+/// ([`popproto_exec::global`]).
+///
+/// Because lane `i` of *any* ensemble is bit-identical to a solo batched
+/// run with seed `seeds[i]` (the lane-equivalence contract), splitting the
+/// lanes across shards cannot change a single outcome: the result is
+/// bit-identical to `run_ensemble_until_convergence` over one unsharded
+/// ensemble, for every `shards` value — `tests/sharded_equivalence.rs` pins
+/// this.  `shards == 0` auto-detects (one shard per pool worker); the
+/// shard→seed assignment is contiguous chunks in seed order, so it is a
+/// pure function of the inputs.
+///
+/// Returns one [`ConvergenceOutcome`] per seed, in seed order.
+pub fn run_sharded_ensemble_until_convergence(
+    protocol: &Protocol,
+    initial: &Config,
+    seeds: &[u64],
+    shards: usize,
+    criterion: ConvergenceCriterion,
+    max_interactions: u64,
+) -> Vec<ConvergenceOutcome> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let shards = if shards == 0 {
+        popproto_exec::global().workers()
+    } else {
+        shards
+    }
+    .max(1);
+    let chunk = seeds.len().div_ceil(shards);
+    if shards == 1 || chunk == seeds.len() {
+        let mut sim = EnsembleSimulator::new(protocol.clone(), initial.clone(), seeds);
+        return run_ensemble_until_convergence(&mut sim, criterion, max_interactions);
+    }
+    // The pool's jobs are 'static: share the protocol and configuration.
+    let protocol = Arc::new(protocol.clone());
+    let initial = Arc::new(initial.clone());
+    let blocks: Vec<Vec<u64>> = seeds.chunks(chunk).map(<[u64]>::to_vec).collect();
+    let per_block = popproto_exec::global().map(blocks, move |_, block| {
+        let mut sim = EnsembleSimulator::new((*protocol).clone(), (*initial).clone(), &block);
+        run_ensemble_until_convergence(&mut sim, criterion, max_interactions)
+    });
+    per_block.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -49,10 +49,13 @@
 
 use crate::batched::birthday_sampler_for;
 use crate::compiled::CompiledProtocol;
-use crate::sampling::{binomial_lanes, hypergeometric_lanes, BirthdaySampler, LaneDrawScratch};
+use crate::sampling::{
+    hypergeometric_lanes, split_candidates_uniform, BirthdaySampler, LaneDrawScratch,
+};
 use popproto_model::{Config, Output, Protocol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Mirrors `MIN_BATCHED_POPULATION` in `batched.rs` (kept private there to
 /// preserve its doc story; the values must agree for lane equivalence, which
@@ -90,6 +93,49 @@ pub fn fused_delta_apply_same(row: &mut [u64], m: &[u64]) {
 pub fn add_lanes(dst: &mut [u64], src: &[u64]) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d += s;
+    }
+}
+
+/// Cumulative wall-clock time spent in each phase of the lockstep waves,
+/// in nanoseconds — the machine-checkable evidence behind pairing-share
+/// claims (exported as the `wave_phase_breakdown` section of
+/// `BENCH_sim.json`).
+///
+/// The two `Instant::now()` calls bracketing each phase cost tens of
+/// nanoseconds against wave phases that run micro- to milliseconds, so the
+/// breakdown is always on.  Candidate splits are counted inside
+/// `pairing_ns` (they happen during the pair-table pass), and the
+/// initiator/responder multivariate-hypergeometric chains share
+/// `split_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WavePhaseBreakdown {
+    /// Waves timed.
+    pub waves: u64,
+    /// Phase 0: wave classification plus the lane-batched birthday draw.
+    pub classification_ns: u64,
+    /// Phases 1–2: initiator and responder multivariate-hypergeometric
+    /// splits, including batch-participant removal.
+    pub split_ns: u64,
+    /// Phase 3: the O(|Q|²) pairing pass (conditional hypergeometrics and
+    /// candidate splits).
+    pub pairing_ns: u64,
+    /// Phase 4: fused delta/counter application.
+    pub apply_ns: u64,
+    /// Phase 5: per-lane exact collision / sequential steps.
+    pub collision_ns: u64,
+    /// Phase 6: silence-flag refresh.
+    pub silence_ns: u64,
+}
+
+impl WavePhaseBreakdown {
+    /// Total time across all timed phases.
+    pub fn total_ns(&self) -> u64 {
+        self.classification_ns
+            + self.split_ns
+            + self.pairing_ns
+            + self.apply_ns
+            + self.collision_ns
+            + self.silence_ns
     }
 }
 
@@ -140,17 +186,22 @@ pub struct EnsembleSimulator {
     pool: Vec<u64>,
     resp_left: Vec<u64>,
     m_lane: Vec<u64>,
-    share_lane: Vec<u64>,
-    left_lane: Vec<u64>,
     kind: Vec<WaveKind>,
+    /// Candidate-split scratch: `cand_shares[i * stride + k]` is lane `k`'s
+    /// share for candidate `i` of the current nondeterministic pair, and
+    /// `lane_split` is the per-lane staging buffer the canonical split
+    /// writes into (both sized by the widest nondeterministic pair).
+    cand_shares: Vec<u64>,
+    lane_split: Vec<u64>,
     /// Lane-batched draw plumbing: per-site job lists, the lane-indexed
     /// result buffer, and the deferred-transform scratch shared with
     /// `sampling` (see its module docs for the batching contract).
     hyp_jobs: Vec<(u32, u64, u64, u64)>,
-    bin_jobs: Vec<(u32, u64, f64)>,
     lane_buf: Vec<u32>,
     draw_out: Vec<u64>,
     lane_scratch: LaneDrawScratch,
+    /// Cumulative per-phase wave timings.
+    phases: WavePhaseBreakdown,
 }
 
 impl EnsembleSimulator {
@@ -170,6 +221,10 @@ impl EnsembleSimulator {
         );
         let compiled = CompiledProtocol::new(&protocol);
         let q = protocol.num_states();
+        let max_candidates = (0..q * (q + 1) / 2)
+            .map(|p| compiled.candidates(p).len())
+            .max()
+            .unwrap_or(0);
         let k = seeds.len();
         let mut counts = vec![0u64; q * k];
         for (s, &c) in initial.counts().iter().enumerate() {
@@ -201,14 +256,14 @@ impl EnsembleSimulator {
             pool: vec![0; k],
             resp_left: vec![0; k],
             m_lane: vec![0; k],
-            share_lane: vec![0; k],
-            left_lane: vec![0; k],
             kind: vec![WaveKind::Idle; k],
+            cand_shares: vec![0; max_candidates * k],
+            lane_split: vec![0; max_candidates],
             hyp_jobs: Vec::with_capacity(k),
-            bin_jobs: Vec::with_capacity(k),
             lane_buf: Vec::with_capacity(k),
             draw_out: vec![0; k],
             lane_scratch: LaneDrawScratch::default(),
+            phases: WavePhaseBreakdown::default(),
         };
         sim.refresh_silence(None);
         sim
@@ -257,6 +312,17 @@ impl EnsembleSimulator {
     /// Whether lane `lane` is silent.
     pub fn lane_is_silent(&self, lane: usize) -> bool {
         self.silent[lane]
+    }
+
+    /// The cumulative per-phase wave timings since construction (or the
+    /// last [`reset_phase_breakdown`](Self::reset_phase_breakdown)).
+    pub fn phase_breakdown(&self) -> WavePhaseBreakdown {
+        self.phases
+    }
+
+    /// Zeroes the per-phase wave timings (e.g. after warmup).
+    pub fn reset_phase_breakdown(&mut self) {
+        self.phases = WavePhaseBreakdown::default();
     }
 
     /// The per-state counts of lane `lane` (a strided column copy).
@@ -328,6 +394,7 @@ impl EnsembleSimulator {
         let stride = self.stride;
         let n = self.population;
         let q = self.num_states;
+        let wave_start = Instant::now();
 
         // Phase 0: per-lane wave classification, then one lane-batched
         // birthday draw covering every batching candidate.  The budget
@@ -367,6 +434,8 @@ impl EnsembleSimulator {
                 batchers += 1;
             }
         }
+        let mut mark = Instant::now();
+        self.phases.classification_ns += (mark - wave_start).as_nanos() as u64;
 
         if batchers > 0 {
             // Phase 1: initiator split — one pass over the state axis, all
@@ -388,6 +457,15 @@ impl EnsembleSimulator {
                         continue;
                     }
                     let size = self.counts[row + k];
+                    if size == 0 || size == self.rem_total[k] {
+                        // Deterministic chain tail (the planner's `Done`
+                        // case, no RNG consumed): resolve inline.
+                        let d = if size == 0 { 0 } else { self.rem_draws[k] };
+                        self.ini[row + k] = d;
+                        self.rem_draws[k] -= d;
+                        self.rem_total[k] -= size;
+                        continue;
+                    }
                     self.hyp_jobs
                         .push((k as u32, self.rem_total[k], size, self.rem_draws[k]));
                 }
@@ -423,6 +501,13 @@ impl EnsembleSimulator {
                         continue;
                     }
                     let size = self.counts[row + k] - self.ini[row + k];
+                    if size == 0 || size == self.rem_total[k] {
+                        let d = if size == 0 { 0 } else { self.rem_draws[k] };
+                        self.resp[row + k] = d;
+                        self.rem_draws[k] -= d;
+                        self.rem_total[k] -= size;
+                        continue;
+                    }
                     self.hyp_jobs
                         .push((k as u32, self.rem_total[k], size, self.rem_draws[k]));
                 }
@@ -454,7 +539,9 @@ impl EnsembleSimulator {
             }
             self.post_acc[..q * stride].fill(0);
             self.m_lane[..active].fill(0);
-            self.share_lane[..active].fill(0);
+            let t = Instant::now();
+            self.phases.split_ns += (t - mark).as_nanos() as u64;
+            mark = t;
 
             // Phase 3: the single pass over the pair table.  For each entry
             // (a, b), sample every lane's interaction count (and candidate
@@ -476,6 +563,7 @@ impl EnsembleSimulator {
                 for b in 0..q {
                     let brow = b * stride;
                     self.hyp_jobs.clear();
+                    let mut any_m = false;
                     for k in 0..active {
                         if self.need[k] == 0 {
                             self.m_lane[k] = 0;
@@ -486,29 +574,48 @@ impl EnsembleSimulator {
                             self.m_lane[k] = 0;
                             continue;
                         }
-                        self.hyp_jobs
-                            .push((k as u32, self.pool[k], available, self.need[k]));
-                    }
-                    if self.hyp_jobs.is_empty() {
-                        continue;
-                    }
-                    hypergeometric_lanes(
-                        &mut self.rngs,
-                        &self.hyp_jobs,
-                        &mut self.draw_out,
-                        &mut self.lane_scratch,
-                    );
-                    let mut any_m = false;
-                    for &(lane, _, available, _) in &self.hyp_jobs {
-                        let k = lane as usize;
-                        let m = self.draw_out[k];
-                        self.pool[k] -= available;
-                        self.m_lane[k] = m;
-                        if m > 0 {
+                        let pool = self.pool[k];
+                        if available == pool || self.need[k] == pool {
+                            // Deterministic tail of the conditional chain:
+                            // every remaining responder is type `b`, or
+                            // every remaining responder pairs with an `a`
+                            // initiator.  The planner would emit `Done`
+                            // (no RNG consumed), so resolving it inline is
+                            // stream-identical and skips the whole job.
+                            let m = if available == pool {
+                                self.need[k]
+                            } else {
+                                available
+                            };
+                            self.pool[k] -= available;
+                            self.m_lane[k] = m;
                             self.resp[brow + k] -= m;
                             self.resp_left[k] -= m;
                             self.need[k] -= m;
                             any_m = true;
+                            continue;
+                        }
+                        self.hyp_jobs
+                            .push((k as u32, pool, available, self.need[k]));
+                    }
+                    if !self.hyp_jobs.is_empty() {
+                        hypergeometric_lanes(
+                            &mut self.rngs,
+                            &self.hyp_jobs,
+                            &mut self.draw_out,
+                            &mut self.lane_scratch,
+                        );
+                        for &(lane, _, available, _) in &self.hyp_jobs {
+                            let k = lane as usize;
+                            let m = self.draw_out[k];
+                            self.pool[k] -= available;
+                            self.m_lane[k] = m;
+                            if m > 0 {
+                                self.resp[brow + k] -= m;
+                                self.resp_left[k] -= m;
+                                self.need[k] -= m;
+                                any_m = true;
+                            }
                         }
                     }
                     if !any_m {
@@ -534,48 +641,46 @@ impl EnsembleSimulator {
                             self.apply_transition_lanes(t, a, b, active, ApplySource::MLane);
                         }
                         _ => {
-                            // Nondeterministic pair: split each lane's m
-                            // across the candidates via sequential binomials,
-                            // interleaved per lane exactly like the scalar
-                            // engine.
-                            self.left_lane[..active].copy_from_slice(&self.m_lane[..active]);
+                            // Nondeterministic pair: each lane runs the
+                            // canonical alias/binomial-chain split — the
+                            // very function the scalar engine calls, so the
+                            // per-lane stream is identical by construction.
+                            // Shares are scattered candidate-major so each
+                            // candidate's application is one fused pass.
+                            for i in 0..num_candidates {
+                                self.cand_shares[i * stride..i * stride + active].fill(0);
+                            }
+                            let mut lane_split = std::mem::take(&mut self.lane_split);
+                            for k in 0..active {
+                                let m = self.m_lane[k];
+                                if m == 0 {
+                                    continue;
+                                }
+                                let alias = self
+                                    .compiled
+                                    .candidate_alias(pidx)
+                                    .expect("nondeterministic pair has a cached alias table");
+                                split_candidates_uniform(
+                                    &mut self.rngs[k],
+                                    m,
+                                    alias,
+                                    &mut lane_split,
+                                );
+                                for (i, &share) in
+                                    lane_split.iter().enumerate().take(num_candidates)
+                                {
+                                    self.cand_shares[i * stride + k] = share;
+                                }
+                            }
+                            self.lane_split = lane_split;
                             for i in 0..num_candidates {
                                 let t = self.compiled.candidates(pidx)[i];
-                                if i + 1 == num_candidates {
-                                    // The last candidate takes the remainder
-                                    // (no RNG), lane-wise.
-                                    self.share_lane[..active]
-                                        .copy_from_slice(&self.left_lane[..active]);
-                                } else {
-                                    let p = 1.0 / (num_candidates - i) as f64;
-                                    self.bin_jobs.clear();
-                                    for k in 0..active {
-                                        let left = self.left_lane[k];
-                                        if left == 0 {
-                                            self.share_lane[k] = 0;
-                                            continue;
-                                        }
-                                        self.bin_jobs.push((k as u32, left, p));
-                                    }
-                                    binomial_lanes(
-                                        &mut self.rngs,
-                                        &self.bin_jobs,
-                                        &mut self.draw_out,
-                                        &mut self.lane_scratch,
-                                    );
-                                    for &(lane, _, _) in &self.bin_jobs {
-                                        let k = lane as usize;
-                                        let share = self.draw_out[k];
-                                        self.share_lane[k] = share;
-                                        self.left_lane[k] -= share;
-                                    }
-                                }
                                 self.apply_transition_lanes(
                                     t,
                                     a,
                                     b,
                                     active,
-                                    ApplySource::ShareLane,
+                                    ApplySource::CandShare(i),
                                 );
                             }
                         }
@@ -585,6 +690,10 @@ impl EnsembleSimulator {
                     (0..active).all(|k| self.kind[k] != WaveKind::Batch || self.need[k] == 0)
                 );
             }
+
+            let t = Instant::now();
+            self.phases.pairing_ns += (t - mark).as_nanos() as u64;
+            mark = t;
 
             // Phase 4: fused application of the wave's accumulated deltas
             // and counters.
@@ -597,6 +706,9 @@ impl EnsembleSimulator {
             }
             add_lanes(&mut self.interactions[..active], &self.wave_l[..active]);
             add_lanes(&mut done[..active], &self.wave_l[..active]);
+            let t = Instant::now();
+            self.phases.apply_ns += (t - mark).as_nanos() as u64;
+            mark = t;
         }
 
         // Phase 5: the collision interaction (batch lanes) / the whole wave
@@ -607,10 +719,15 @@ impl EnsembleSimulator {
                 *d += 1;
             }
         }
+        let t = Instant::now();
+        self.phases.collision_ns += (t - mark).as_nanos() as u64;
+        mark = t;
 
         // Phase 6: refresh the silence flags of every participant in one
         // pass over the non-silent pairs.
         self.refresh_silence(Some(active));
+        self.phases.silence_ns += (Instant::now() - mark).as_nanos() as u64;
+        self.phases.waves += 1;
     }
 
     /// Accumulates `m[k]` agents into rows `a` and `b` of the post
@@ -653,7 +770,7 @@ impl EnsembleSimulator {
         // Split the borrow: the source slice lives outside post_acc.
         let m: &[u64] = match src {
             ApplySource::MLane => &self.m_lane,
-            ApplySource::ShareLane => &self.share_lane,
+            ApplySource::CandShare(i) => &self.cand_shares[i * stride..i * stride + active],
         };
         if self.compiled.is_non_silent(t) {
             let (lo, hi) = self.compiled.post(t);
@@ -752,11 +869,12 @@ impl EnsembleSimulator {
     }
 }
 
-/// Which lane-scratch slice `apply_transition_lanes` reads.
+/// Which lane-scratch slice `apply_transition_lanes` reads: the pair's
+/// interaction counts, or candidate `i`'s row of the split scatter.
 #[derive(Clone, Copy)]
 enum ApplySource {
     MLane,
-    ShareLane,
+    CandShare(usize),
 }
 
 #[cfg(test)]

@@ -63,11 +63,15 @@ pub mod stats;
 pub use batched::BatchedSimulator;
 pub use compiled::CompiledProtocol;
 pub use convergence::{
-    run_ensemble_until_convergence, run_until_convergence, ConvergenceCriterion, ConvergenceOutcome,
+    run_ensemble_until_convergence, run_sharded_ensemble_until_convergence, run_until_convergence,
+    ConvergenceCriterion, ConvergenceOutcome,
 };
 pub use engine::Simulator;
 pub use engine_api::SimulationEngine;
-pub use ensemble::{fused_delta_apply, fused_delta_apply_same, EnsembleSimulator};
+pub use ensemble::{
+    fused_delta_apply, fused_delta_apply_same, EnsembleSimulator, WavePhaseBreakdown,
+};
 pub use runner::{run_experiment, EngineKind, SimulationExperiment};
+pub use sampling::{split_candidates_uniform, AliasTable};
 pub use scheduler::{PairScheduler, UniformScheduler};
 pub use stats::{aggregate_outcomes, ConvergenceStats, SummaryStats};

@@ -92,20 +92,31 @@ fn run_seed_block(
 ///
 /// For the sequential and batched engines the unit of work is one seed; for
 /// [`EngineKind::Ensemble`] the seeds are partitioned into blocks of `lanes`
-/// trajectories and the unit of work is one lockstep block.  Runs are
-/// independent and deterministic, so outcomes come back in seed order
-/// regardless of scheduling.
+/// trajectories, each block is sharded into `shards` contiguous lane
+/// sub-blocks (threads × lanes; `shards == 0` auto-detects one shard per
+/// pool worker), and the unit of work is one lockstep sub-block.  Runs are
+/// independent and deterministic, and sharding cannot perturb a lane's
+/// stream, so outcomes come back in seed order — bit-identical for every
+/// `shards` value — regardless of scheduling.
 pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
     let ic = Arc::new(experiment.protocol.initial_config(&experiment.input));
     // The pool's jobs are 'static: share the experiment via Arc instead of
     // borrowing it.
     let experiment = Arc::new(experiment.clone());
     let outcomes = match experiment.engine {
-        EngineKind::Ensemble { lanes } => {
+        EngineKind::Ensemble { lanes, shards } => {
             let lanes = lanes.max(1);
+            let shards = if shards == 0 {
+                popproto_exec::global().workers()
+            } else {
+                shards
+            }
+            .max(1);
+            let sub = lanes.div_ceil(shards);
             let blocks: Vec<Vec<u64>> = experiment
                 .seeds
                 .chunks(lanes)
+                .flat_map(|block| block.chunks(sub))
                 .map(<[u64]>::to_vec)
                 .collect();
             let per_block = popproto_exec::global().map(blocks, move |_, block| {
@@ -173,7 +184,10 @@ mod tests {
         let base = SimulationExperiment::new(p, Input::unary(2_000), 7, u64::MAX);
         let batched = run_experiment(&base.clone().with_engine(EngineKind::Batched));
         // 7 seeds over 3-lane blocks: exercises a ragged final block.
-        let ensemble = run_experiment(&base.with_engine(EngineKind::Ensemble { lanes: 3 }));
+        let ensemble = run_experiment(&base.with_engine(EngineKind::Ensemble {
+            lanes: 3,
+            shards: 1,
+        }));
         assert_eq!(batched.outcomes.len(), ensemble.outcomes.len());
         for (b, e) in batched.outcomes.iter().zip(&ensemble.outcomes) {
             assert_eq!(b.converged, e.converged);
@@ -188,7 +202,10 @@ mod tests {
         for kind in [
             EngineKind::Sequential,
             EngineKind::Batched,
-            EngineKind::Ensemble { lanes: 64 },
+            EngineKind::Ensemble {
+                lanes: 64,
+                shards: 2,
+            },
         ] {
             let json = serde_json::to_string(&kind).unwrap();
             let back: EngineKind = serde_json::from_str(&json).unwrap();

@@ -10,11 +10,13 @@
 //! * the *binomial* distribution, to split the interactions of a state pair
 //!   across its candidate transitions.
 //!
-//! Samplers are exact for small parameters and switch to standard
-//! approximations (binomial for a small sampling fraction, Gaussian for
-//! large variance) in the regimes where the approximation error is far below
-//! the Monte-Carlo noise of the simulation itself.  All samplers draw from
-//! the caller's seeded RNG, so batched runs stay reproducible.
+//! Every distribution is sampled **exactly** (up to f64 rounding of pmf
+//! recurrences and log-pmf evaluations): leaf selection is purely a
+//! performance decision, never an accuracy trade.  Small parameters use
+//! direct walks; everything else uses O(1)-expected-time rejection samplers
+//! (BTRS for the binomial, HRUA for the hypergeometric) whose cost is
+//! independent of the parameters.  All samplers draw from the caller's
+//! seeded RNG, so batched runs stay reproducible.
 //!
 //! # Plan → leaf structure, and why the ensemble needs it
 //!
@@ -35,51 +37,106 @@
 //! sampler call, which is the foundation of lane-level bit-equivalence
 //! between the two engines.
 //!
-//! # The mid-size hypergeometric hot path
+//! # The pairing-pass hot path: walks below the crossover, rejection above
 //!
 //! The pairing step of a batch draws Θ(|Q|²) hypergeometrics whose *total*
 //! is the batch length `l = Θ(√n)`.  A sequential urn simulation is exact
 //! but costs Θ(l) RNG draws — which silently degrades the whole batched
 //! engine to Θ(1) work *per interaction*, defeating the point of batching.
-//! [`hypergeometric`] therefore switches to an exact **mode-centered
-//! inversion** once the urn walk would be long: compute the pmf at the mode
-//! from a shared log-factorial table, then subtract pmf terms zigzagging
-//! outward from the mode until the uniform is exhausted.  Expected cost is
-//! O(sd) ≈ O(√l) arithmetic steps and exactly **one** uniform draw,
-//! independent of `l` — and the distribution is exact up to f64 rounding of
-//! the pmf recurrences (the same exactness class as the CDF-walk binomial
-//! below).  The walk recurrences are a serial multiply/divide latency chain
-//! per draw; the lane-batched entry points run the CDF walks of up to
-//! `WALK_LANES` queued draws in branch-free lockstep (`cdf_walk8`),
-//! which overlaps independent chains while reproducing the scalar walk
-//! bit-for-bit.
+//! PR 6's mode-centered inversion walk (one uniform, O(sd) pmf recurrence
+//! steps zigzagging outward from the mode) removed the RNG-draw
+//! dependence, but its walk length still grows with the distribution's
+//! spread — at `l = Θ(√n)` the pairing draws have `sd = Θ(n^{1/4})` and
+//! the walks dominated ~⅔ of ensemble wave time (PR 6 profiling).  Above
+//! the measured small-parameter crossovers the samplers now use **constant
+//! expected-time rejection**: BTRS (Hörmann's transformed rejection with
+//! squeeze) for the binomial and HRUA (Stadlober's universal
+//! ratio-of-uniforms) for the hypergeometric, both exact and both ~2.5
+//! uniforms + a handful of `ln`/log-factorial evaluations per draw
+//! regardless of the parameters.  `Binomial(n, ½)` — the conditional law
+//! of every final candidate-split step — skips all of that: `n` fair coins
+//! are `⌈n/64⌉` raw RNG words, so a couple of `popcnt` instructions
+//! deliver an exact draw.
+//!
+//! ## Crossover thresholds (microbenched on the build host, see
+//! `BENCH_sim.json` `sampler_crossovers` for the ns/draw curves)
+//!
+//! | constant | value | below it | above it |
+//! |---|---|---|---|
+//! | `POPCOUNT_MAX_N` | 1024 | popcount of `⌈n/64⌉` RNG words (`p = ½` only) | BTRS rejection |
+//! | `BERN_MAX_N` | 32 | Bernoulli counting (`n` bool draws) | CDF walk / BTRS |
+//! | `BTRS_MIN_MEAN` | 10 | binomial CDF walk from 0 (one uniform, O(mean) steps) | BTRS rejection |
+//! | `URN_MAX_DRAWS` | 16 | exact urn walk (`d` integer draws) | HRUA rejection |
+//! | `ALIAS_DRAWS_PER_CANDIDATE` | 8 | alias-table categorical draws (`m` uniforms, `c ≥ 3`) | binomial chain (`c−1` draws) |
+//!
+//! The thresholds only affect performance, never the sampled distribution
+//! — but they DO affect the RNG stream, so they are compile-time constants
+//! shared by every engine (changing one is a stream-breaking change, like
+//! any sampler edit).
+//!
+//! The walk samplers below the crossovers are kept not just for speed:
+//! they are independent implementations of the same distributions and,
+//! together with the test-only inversion oracle (`inv_walk`), serve as the
+//! *test oracle* for the rejection samplers (see the chi-square suites in
+//! this module).  The lane-batched entry points still run queued CDF walks
+//! in branch-free lockstep (`cdf_walk8`) with their `ln`/`exp` transforms
+//! batched into autovectorisable loops; the rejection leaves consume a
+//! data-dependent *number* of uniforms, so they execute inline per lane —
+//! their cost is O(1) per draw, which is exactly why no batching is
+//! needed.
 
 use crate::pmath;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 use std::sync::OnceLock;
 
-/// Largest `total` handled by the exact mid-size hypergeometric paths (urn
-/// or mode inversion); beyond it the binomial / Gaussian approximations take
-/// over.  Also bounds the shared log-factorial table.
-const EXACT_HYPERGEOMETRIC_MAX_TOTAL: u64 = 8192;
+/// Size of the shared `ln k!` table: below it [`ln_factorial`] is a load,
+/// above it the Stirling kernel in [`pmath::ln_gamma`] takes over.  The
+/// bound covers every pairing-pass argument (totals there are the batch
+/// length `Θ(√n)`), so the hottest HRUA draws never touch the kernel.
+const LOG_FACTORIAL_TABLE_MAX: u64 = 8192;
 
 /// Below this many (post-reduction) draws the plain urn walk is cheaper
-/// than computing the mode pmf, so the urn path is kept.  Kept small: the
-/// urn consumes one RNG draw per trial (serial per lane), while the
-/// mode-inversion path consumes a single uniform and its transcendental
-/// setup is amortised across lanes by the deferred-flush executors, so
-/// inversion wins from a handful of draws up.
-const URN_MAX_DRAWS: u64 = 4;
+/// than any setup-heavy path, so the urn is kept: at ~3.2 ns per integer
+/// draw it crosses HRUA's ~57 ns flat cost near 16 draws.
+const URN_MAX_DRAWS: u64 = 16;
 
-/// `ln k!` for `k = 0..=`[`EXACT_HYPERGEOMETRIC_MAX_TOTAL`], built once per
+/// Largest `n` for the popcount binomial: `Binomial(n, ½)` is exactly the
+/// number of set bits in `n` fair coin flips, i.e. the popcount of
+/// `⌈n/64⌉` RNG words.  One `popcnt` replaces 64 Bernoulli draws, so this
+/// path crushes every other leaf while the word count stays below BTRS's
+/// flat rejection cost.  `p = ½` is not a corner case: it is the
+/// conditional probability of every final step of the candidate-split
+/// binomial chain ([`split_candidates_uniform`]), i.e. the single hottest
+/// binomial in the pairing pass of any 2-candidate nondeterministic pair.
+const POPCOUNT_MAX_N: u64 = 1024;
+
+/// Below this `n` a binomial is sampled by direct Bernoulli counting —
+/// at ~2.4 ns per boolean draw the counting loop beats every setup-heavy
+/// path until it crosses BTRS's ~70 ns flat cost around n ≈ 32.
+const BERN_MAX_N: u64 = 32;
+
+/// Crossover mean between the binomial CDF walk from zero (one uniform,
+/// O(mean) recurrence steps) and BTRS rejection.  The measured break-even
+/// coincides with the `n·min(p,q) ≥ 10` validity floor of BTRS's squeeze
+/// constants, so the constant serves both purposes and cannot be lowered
+/// further.
+const BTRS_MIN_MEAN: f64 = 10.0;
+
+/// Per-candidate crossover for the uniform multinomial split
+/// ([`split_candidates_uniform`]): with `m` draws over `c` candidates, the
+/// alias path costs `m` uniforms and the binomial chain `c − 1` binomial
+/// draws, so alias wins while `m ≤ ALIAS_DRAWS_PER_CANDIDATE · (c − 1)`.
+const ALIAS_DRAWS_PER_CANDIDATE: u64 = 8;
+
+/// `ln k!` for `k = 0..=`[`LOG_FACTORIAL_TABLE_MAX`], built once per
 /// process and shared by every simulator (the ensemble engine's lanes all
 /// read the same table).  Cumulative-sum construction keeps the absolute
 /// error below ~1e-7, which cancels almost entirely in the pmf ratios.
 fn log_factorials() -> &'static [f64] {
     static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let n = EXACT_HYPERGEOMETRIC_MAX_TOTAL as usize;
+        let n = LOG_FACTORIAL_TABLE_MAX as usize;
         let mut lf = Vec::with_capacity(n + 1);
         lf.push(0.0);
         let mut acc = 0.0f64;
@@ -91,21 +148,19 @@ fn log_factorials() -> &'static [f64] {
     })
 }
 
-/// The Box–Muller transform both engines share: `u1` supplies the radius,
-/// `u2` the angle.  Scalar callers evaluate it once per draw; the ensemble
-/// evaluates it over packed lane arrays, where the `pmath` kernels
-/// autovectorise.
+/// `ln k!` for any `k`: table lookup below the shared table's bound,
+/// Stirling kernel ([`pmath::ln_gamma`]) beyond.  One function shared by
+/// every sampler and both engines, so the table/Stirling crossover is a
+/// deterministic function of `k` alone and can never desynchronise the
+/// scalar and lane-batched paths.
 #[inline(always)]
-fn gaussian_from_uniforms(u1: f64, u2: f64) -> f64 {
-    let r = (-2.0 * pmath::ln((1.0 - u1).max(f64::MIN_POSITIVE))).sqrt();
-    r * pmath::cos_tau(u2)
-}
-
-/// Samples a standard normal deviate via Box–Muller.
-fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(0.0..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    gaussian_from_uniforms(u1, u2)
+fn ln_factorial(k: u64) -> f64 {
+    let lf = log_factorials();
+    if (k as usize) < lf.len() {
+        lf[k as usize]
+    } else {
+        pmath::ln_gamma(k as f64 + 1.0)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -144,10 +199,10 @@ impl Affine {
 /// its uniforms drawn now and its transforms evaluated later in bulk
 /// (lane-batched path) — both yield bit-identical results.
 ///
-/// Post-processing order: `outer(min(inner(leaf), cap))`, where `inner` is
-/// the binomial `p > ½` flip, `cap` is the hypergeometric-via-binomial
-/// success bound, and `outer` composes the hypergeometric symmetry
-/// reductions.
+/// Post-processing order: `outer(inner(leaf))`, where `inner` is the
+/// binomial `p > ½` flip and `outer` composes the hypergeometric symmetry
+/// reductions.  Every leaf is exact; the planner picks the cheapest one for
+/// the parameters.
 #[derive(Debug, Clone, Copy)]
 enum DrawPlan {
     /// The support is a single point: no randomness needed.
@@ -159,47 +214,21 @@ enum DrawPlan {
         draws: u64,
         outer: Affine,
     },
-    /// Exact mode-centered inversion (one uniform).
-    Inv {
+    /// Exact HRUA ratio-of-uniforms rejection (O(1) expected uniforms).
+    Hrua {
         total: u64,
         successes: u64,
         draws: u64,
         outer: Affine,
     },
+    /// Exact `Binomial(n, ½)` by popcount of `⌈n/64⌉` RNG words.
+    Pop { n: u64 },
     /// Direct Bernoulli counting (`n` boolean draws).
-    Bern {
-        n: u64,
-        p: f64,
-        inner: Affine,
-        cap: u64,
-        outer: Affine,
-    },
+    Bern { n: u64, p: f64, inner: Affine },
     /// Binomial CDF walk from zero (one uniform).
-    Cdf {
-        n: u64,
-        p: f64,
-        inner: Affine,
-        cap: u64,
-        outer: Affine,
-    },
-    /// Gaussian-approximated binomial (two uniforms).
-    GaussBin {
-        mean: f64,
-        sd: f64,
-        n: u64,
-        inner: Affine,
-        cap: u64,
-        outer: Affine,
-    },
-    /// Gaussian-approximated hypergeometric with finite-population
-    /// correction (two uniforms).
-    GaussHyp {
-        mean: f64,
-        sd: f64,
-        lo: u64,
-        hi: u64,
-        outer: Affine,
-    },
+    Cdf { n: u64, p: f64, inner: Affine },
+    /// Exact BTRS transformed rejection (O(1) expected uniforms).
+    Btrs { n: u64, p: f64, inner: Affine },
 }
 
 /// Resolves `Binomial(n, p)` to a leaf plan (no RNG consumed).
@@ -209,6 +238,10 @@ fn plan_binomial(n: u64, p: f64) -> DrawPlan {
     }
     if p >= 1.0 {
         return DrawPlan::Done(n);
+    }
+    if p == 0.5 && n <= POPCOUNT_MAX_N {
+        // Fair coins are raw RNG bits: no flip, no transform, no uniforms.
+        return DrawPlan::Pop { n };
     }
     // p > ½ is sampled as n − Binomial(n, 1−p).
     let (p, inner) = if p > 0.5 {
@@ -223,39 +256,18 @@ fn plan_binomial(n: u64, p: f64) -> DrawPlan {
         (p, IDENTITY)
     };
     let mean = n as f64 * p;
-    if n <= 64 {
+    if n <= BERN_MAX_N {
         // Direct Bernoulli counting.
-        return DrawPlan::Bern {
-            n,
-            p,
-            inner,
-            cap: u64::MAX,
-            outer: IDENTITY,
-        };
+        return DrawPlan::Bern { n, p, inner };
     }
-    if mean < 32.0 {
+    if mean < BTRS_MIN_MEAN {
         // Inversion from 0: the CDF walk terminates in O(mean) expected
         // steps.
-        return DrawPlan::Cdf {
-            n,
-            p,
-            inner,
-            cap: u64::MAX,
-            outer: IDENTITY,
-        };
+        return DrawPlan::Cdf { n, p, inner };
     }
-    // Gaussian approximation with continuity correction; the variance is
-    // ≥ 16, where the normal approximation error is far below Monte-Carlo
-    // noise.
-    let sd = (mean * (1.0 - p)).sqrt();
-    DrawPlan::GaussBin {
-        mean,
-        sd,
-        n,
-        inner,
-        cap: u64::MAX,
-        outer: IDENTITY,
-    }
+    // Constant expected-time transformed rejection; exact, and valid here
+    // because mean = n·min(p, 1−p) ≥ BTRS_MIN_MEAN ≥ 10.
+    DrawPlan::Btrs { n, p, inner }
 }
 
 /// Resolves `Hypergeometric(total, successes, draws)` to a leaf plan (no
@@ -289,71 +301,26 @@ fn plan_hypergeometric(total: u64, successes: u64, draws: u64) -> DrawPlan {
         }
         break;
     }
-    if total <= EXACT_HYPERGEOMETRIC_MAX_TOTAL {
-        if d <= URN_MAX_DRAWS {
-            // Exact sequential urn simulation: cheapest when the walk is
-            // short (one Lemire-rejection integer draw per urn pull).
-            return DrawPlan::Urn {
-                total,
-                successes: s,
-                draws: d,
-                outer,
-            };
-        }
-        // Exact mode-centered inversion: one uniform, O(sd) expected pmf
-        // recurrence steps outward from the mode.
-        return DrawPlan::Inv {
+    if d <= URN_MAX_DRAWS {
+        // Exact sequential urn simulation: cheapest when the walk is
+        // short (one Lemire-rejection integer draw per urn pull).
+        return DrawPlan::Urn {
             total,
             successes: s,
             draws: d,
             outer,
         };
     }
-    let p = s as f64 / total as f64;
-    let fraction = d as f64 / total as f64;
-    if fraction <= 0.01 {
-        // Sampling fraction ≤ 1%: the finite-population correction is
-        // negligible and the binomial is an excellent approximation (capped
-        // at the success count).
-        return match plan_binomial(d, p) {
-            DrawPlan::Done(v) => DrawPlan::Done(outer.apply(v.min(s))),
-            DrawPlan::Bern { n, p, inner, .. } => DrawPlan::Bern {
-                n,
-                p,
-                inner,
-                cap: s,
-                outer,
-            },
-            DrawPlan::Cdf { n, p, inner, .. } => DrawPlan::Cdf {
-                n,
-                p,
-                inner,
-                cap: s,
-                outer,
-            },
-            DrawPlan::GaussBin {
-                mean, sd, n, inner, ..
-            } => DrawPlan::GaussBin {
-                mean,
-                sd,
-                n,
-                inner,
-                cap: s,
-                outer,
-            },
-            _ => unreachable!("plan_binomial only yields Done/Bern/Cdf/GaussBin"),
-        };
-    }
-    // Gaussian approximation with finite-population correction.
-    let mean = d as f64 * p;
-    let variance = mean * (1.0 - p) * (total - d) as f64 / (total - 1) as f64;
-    let hi = d.min(s);
-    let lo = (d + s).saturating_sub(total);
-    DrawPlan::GaussHyp {
-        mean,
-        sd: variance.sqrt(),
-        lo,
-        hi,
+    // Constant expected-time ratio-of-uniforms rejection: exact for every
+    // parameter (the log-factorials above the table fall back to the
+    // Stirling kernel), so no large-population approximation is needed at
+    // all.  The mode-centered inversion walk that served this band in PR 6
+    // lost to HRUA at every measured spread (see `sampler_crossovers`), so
+    // it survives only as the independent test oracle below.
+    DrawPlan::Hrua {
+        total,
+        successes: s,
+        draws: d,
         outer,
     }
 }
@@ -377,10 +344,16 @@ fn urn_walk<R: RngCore + ?Sized>(rng: &mut R, total: u64, successes: u64, draws:
     hits
 }
 
-/// The mode and `ln pmf(mode)` of an inversion-path hypergeometric, from
-/// the shared log-factorial table.
+/// The mode and `ln pmf(mode)` of an inversion-oracle hypergeometric, from
+/// the shared log-factorial table.  The mode-centered inversion pair
+/// ([`inv_mode_and_ln_pmf`] + [`inv_walk`]) is no longer a planner leaf —
+/// HRUA beat it at every measured spread — but it is kept, compiled into
+/// the test build only, as an independent exact implementation the
+/// chi-square and agreement suites can hold the rejection samplers
+/// against.
+#[cfg(test)]
 fn inv_mode_and_ln_pmf(total: u64, successes: u64, draws: u64) -> (u64, f64) {
-    debug_assert!(total <= EXACT_HYPERGEOMETRIC_MAX_TOTAL);
+    debug_assert!(total <= LOG_FACTORIAL_TABLE_MAX);
     let failures = total - successes;
     let lo = draws.saturating_sub(failures);
     let hi = draws.min(successes);
@@ -400,8 +373,9 @@ fn inv_mode_and_ln_pmf(total: u64, successes: u64, draws: u64) -> (u64, f64) {
     (mode, ln_pmf)
 }
 
-/// The zigzag CDF walk of the mode-centered inversion, given the uniform
-/// and the already-exponentiated mode pmf.
+/// The zigzag CDF walk of the mode-centered inversion oracle (test builds
+/// only, see [`inv_mode_and_ln_pmf`]), given the uniform and the
+/// already-exponentiated mode pmf.
 ///
 /// Walks outward (alternating above/below the mode) subtracting pmf terms
 /// obtained from the two-term recurrences
@@ -412,9 +386,8 @@ fn inv_mode_and_ln_pmf(total: u64, successes: u64, draws: u64) -> (u64, f64) {
 /// ```
 ///
 /// until the uniform is exhausted.  Since the pmf mass within O(sd) of the
-/// mode is 1 − ε, the expected walk length is O(sd); for the batched
-/// engine's pairing draws (total = Θ(√n)) that is Θ(n^{1/4}) arithmetic
-/// steps instead of Θ(√n) RNG draws for the urn.
+/// mode is 1 − ε, the expected walk length is O(sd).
+#[cfg(test)]
 fn inv_walk(u: f64, total: u64, successes: u64, draws: u64, mode: u64, pmf_mode: f64) -> u64 {
     let failures = total - successes;
     let lo = draws.saturating_sub(failures);
@@ -546,24 +519,140 @@ fn cdf_walk8(
     }
 }
 
+/// Exact `Binomial(n, ½)` by bit counting: the `n` fair coins are the low
+/// bits of `⌈n/64⌉` RNG words (the final partial word keeps its low
+/// `n mod 64` bits), so one `popcnt` instruction replaces 64 Bernoulli
+/// draws.
+fn popcount_binomial<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    let mut hits = 0u64;
+    let mut left = n;
+    while left >= 64 {
+        hits += u64::from(rng.next_u64().count_ones());
+        left -= 64;
+    }
+    if left > 0 {
+        hits += u64::from((rng.next_u64() & ((1u64 << left) - 1)).count_ones());
+    }
+    hits
+}
+
 /// Direct Bernoulli counting.
 fn bern_count<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     (0..n).filter(|_| rng.gen_bool(p)).count() as u64
 }
 
-/// Finishes a Gaussian-binomial leaf from its normal deviate (continuity
-/// correction and support clamp).
-#[inline(always)]
-fn finish_gauss_bin(mean: f64, sd: f64, n: u64, g: f64) -> u64 {
-    let sample = mean + sd * g + 0.5;
-    (sample.max(0.0) as u64).min(n)
+/// Exact `Binomial(n, p)` by BTRS — Hörmann's transformed rejection with
+/// squeeze (W. Hörmann, *The generation of binomial random variates*,
+/// J. Stat. Comput. Simul. 46, 1993).
+///
+/// The proposal `k = ⌊(2a/uₛ + b)·u + c⌋` maps a uniform through a rational
+/// transform whose density dominates the binomial pmf; most candidates are
+/// accepted by the cheap squeeze `v ≤ v_r`, and the rest are decided by an
+/// exact log-pmf comparison against the shared [`ln_factorial`] kernel.
+/// Expected cost is ~2.5 uniforms and ~1.3 iterations, independent of `n`
+/// and `p`.  Callers guarantee `p ≤ ½` (the planner's `inner` flip) and
+/// `n·p ≥ 10` (the squeeze constants' validity floor, enforced by
+/// `BTRS_MIN_MEAN`).
+fn btrs_walk<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    debug_assert!(p <= 0.5 && n as f64 * p >= 10.0);
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let spq = (nf * p * q).sqrt();
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = pmath::ln(p / q);
+    let m = ((nf + 1.0) * p).floor(); // the mode
+    let mu = m as u64;
+    let h = ln_factorial(mu) + ln_factorial(n - mu);
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let v: f64 = rng.gen_range(0.0..1.0);
+        let u = u - 0.5;
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > nf {
+            continue;
+        }
+        // Squeeze: accepts ~86% of in-range candidates without any
+        // transcendental work.
+        if us >= 0.07 && v <= v_r {
+            return kf as u64;
+        }
+        // Exact acceptance test in the log domain.
+        let k = kf as u64;
+        let threshold = h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
+        if pmath::ln(v * alpha / (a / (us * us) + b)) <= threshold {
+            return kf as u64;
+        }
+    }
 }
 
-/// Finishes a Gaussian-hypergeometric leaf from its normal deviate.
-#[inline(always)]
-fn finish_gauss_hyp(mean: f64, sd: f64, lo: u64, hi: u64, g: f64) -> u64 {
-    let sample = mean + sd * g + 0.5;
-    (sample.max(lo as f64) as u64).clamp(lo, hi)
+/// Exact `Hypergeometric(total, successes, draws)` by HRUA — Stadlober's
+/// universal ratio-of-uniforms rejection (E. Stadlober, *The ratio of
+/// uniforms approach for generating discrete random variates*, 1990; the
+/// constants and squeezes follow the classic numpy/randomkit realisation).
+///
+/// A candidate `w = d₆ + d₈·(y − ½)/x` is accepted iff `x² ≤ pmf(⌊w⌋) /
+/// pmf(mode)`, tested in the log domain against the shared
+/// [`ln_factorial`] kernel with two squeeze short-cuts.  The hat covers
+/// the pmf of any log-concave discrete distribution when `d₇` dominates
+/// the standard deviation (it does, by construction), so the sampler is
+/// exact for *every* parameter — no large-population approximation.
+/// Expected cost is ~2.5 uniforms and ~1.5 iterations.  Callers guarantee
+/// the planner's reductions `draws ≤ total/2` and `successes ≤ total/2`.
+fn hrua_draw<R: RngCore + ?Sized>(rng: &mut R, total: u64, successes: u64, draws: u64) -> u64 {
+    debug_assert!(2 * successes <= total && 2 * draws <= total);
+    /// `2·√(2/e)`, the ratio-of-uniforms hat width factor.
+    const D1: f64 = 1.715_527_769_921_413_5;
+    /// `3 − 2·√(3/e)`, the hat width offset.
+    const D2: f64 = 0.898_916_162_058_898_8;
+    let popsize = total as f64;
+    let mingoodbad = successes;
+    let maxgoodbad = total - successes;
+    let m = draws;
+    let mf = m as f64;
+    let d4 = mingoodbad as f64 / popsize;
+    let d5 = 1.0 - d4;
+    let d6 = mf * d4 + 0.5;
+    let d7 = ((popsize - mf) * mf * d4 * d5 / (popsize - 1.0) + 0.5).sqrt();
+    let d8 = D1 * d7 + D2;
+    let d9 = ((mf + 1.0) * (mingoodbad + 1) as f64 / (popsize + 2.0)).floor();
+    let d9u = d9 as u64; // the mode
+    let d10 = ln_factorial(d9u)
+        + ln_factorial(mingoodbad - d9u)
+        + ln_factorial(m - d9u)
+        + ln_factorial(maxgoodbad + d9u - m);
+    let d11 = ((m.min(mingoodbad) + 1) as f64).min((d6 + 16.0 * d7).floor());
+    loop {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        let y: f64 = rng.gen_range(0.0..1.0);
+        let w = d6 + d8 * (y - 0.5) / x;
+        // Fast rejection: outside the support (or the hat's 16σ tail cut).
+        if w < 0.0 || w >= d11 {
+            continue;
+        }
+        let z = w.floor() as u64;
+        let t = d10
+            - (ln_factorial(z)
+                + ln_factorial(mingoodbad - z)
+                + ln_factorial(m - z)
+                + ln_factorial(maxgoodbad + z - m));
+        // Fast acceptance: x(4−x)−3 ≤ ln pmf ratio ⇒ 2·ln x ≤ t.
+        if x * (4.0 - x) - 3.0 <= t {
+            return z;
+        }
+        // Fast rejection: x(x−t) ≥ 1 ⇒ 2·ln x > t.
+        if x * (x - t) >= 1.0 {
+            continue;
+        }
+        // Exact acceptance test.
+        if 2.0 * pmath::ln(x) <= t {
+            return z;
+        }
+    }
 }
 
 /// Executes a plan against one RNG, consuming exactly the draws the plan's
@@ -577,54 +666,21 @@ fn execute_plan<R: RngCore + ?Sized>(rng: &mut R, plan: DrawPlan) -> u64 {
             draws,
             outer,
         } => outer.apply(urn_walk(rng, total, successes, draws)),
-        DrawPlan::Inv {
+        DrawPlan::Hrua {
             total,
             successes,
             draws,
             outer,
-        } => {
-            let (mode, ln_pmf) = inv_mode_and_ln_pmf(total, successes, draws);
-            let pmf_mode = pmath::exp(ln_pmf);
-            let u: f64 = rng.gen_range(0.0..1.0);
-            outer.apply(inv_walk(u, total, successes, draws, mode, pmf_mode))
-        }
-        DrawPlan::Bern {
-            n,
-            p,
-            inner,
-            cap,
-            outer,
-        } => outer.apply(inner.apply(bern_count(rng, n, p)).min(cap)),
-        DrawPlan::Cdf {
-            n,
-            p,
-            inner,
-            cap,
-            outer,
-        } => {
+        } => outer.apply(hrua_draw(rng, total, successes, draws)),
+        DrawPlan::Pop { n } => popcount_binomial(rng, n),
+        DrawPlan::Bern { n, p, inner } => inner.apply(bern_count(rng, n, p)),
+        DrawPlan::Cdf { n, p, inner } => {
             // pmf(0) = qⁿ = exp(n ln q); no RNG consumed by the transform.
             let pmf0 = pmath::exp(n as f64 * pmath::ln(1.0 - p));
             let u: f64 = rng.gen_range(0.0..1.0);
-            outer.apply(inner.apply(cdf_walk(u, pmf0, n, p)).min(cap))
+            inner.apply(cdf_walk(u, pmf0, n, p))
         }
-        DrawPlan::GaussBin {
-            mean,
-            sd,
-            n,
-            inner,
-            cap,
-            outer,
-        } => {
-            let leaf = finish_gauss_bin(mean, sd, n, standard_normal(rng));
-            outer.apply(inner.apply(leaf).min(cap))
-        }
-        DrawPlan::GaussHyp {
-            mean,
-            sd,
-            lo,
-            hi,
-            outer,
-        } => outer.apply(finish_gauss_hyp(mean, sd, lo, hi, standard_normal(rng))),
+        DrawPlan::Btrs { n, p, inner } => inner.apply(btrs_walk(rng, n, p)),
     }
 }
 
@@ -707,13 +763,12 @@ pub fn birthday_collision_draws<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64
 // Lane-batched entry points (the ensemble engine's draw sites)
 // ---------------------------------------------------------------------------
 
-/// A planned draw whose uniforms are already consumed but whose transform
-/// is deferred to a bulk loop.
+/// A planned draw whose uniform is already consumed but whose transform is
+/// deferred to a bulk loop.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     lane: u32,
     u1: f64,
-    u2: f64,
     plan: DrawPlan,
 }
 
@@ -721,134 +776,43 @@ struct Pending {
 /// ensemble's draw sites to keep waves allocation-free.
 #[derive(Debug, Default, Clone)]
 pub struct LaneDrawScratch {
-    gauss: Vec<Pending>,
-    inv: Vec<Pending>,
     cdf: Vec<Pending>,
     fa: Vec<f64>,
-    fb: Vec<f64>,
-    modes: Vec<u64>,
 }
 
 impl LaneDrawScratch {
     fn clear(&mut self) {
-        self.gauss.clear();
-        self.inv.clear();
         self.cdf.clear();
     }
 
     /// Plans one lane's draw, consumes its uniforms in the scalar order,
-    /// and either finishes it immediately (integer-only leaves) or queues
-    /// its transform.
+    /// and either finishes it immediately (integer-only and rejection
+    /// leaves — the latter consume a data-dependent number of uniforms but
+    /// constant expected work, so there is nothing to batch) or queues its
+    /// transform.
     #[inline]
     fn dispatch(&mut self, rng: &mut StdRng, lane: u32, plan: DrawPlan, out: &mut [u64]) {
         match plan {
             DrawPlan::Done(v) => out[lane as usize] = v,
-            DrawPlan::Urn { .. } | DrawPlan::Bern { .. } => {
+            DrawPlan::Urn { .. }
+            | DrawPlan::Pop { .. }
+            | DrawPlan::Bern { .. }
+            | DrawPlan::Btrs { .. }
+            | DrawPlan::Hrua { .. } => {
                 out[lane as usize] = execute_plan(rng, plan);
-            }
-            DrawPlan::Inv { .. } => {
-                let u1: f64 = rng.gen_range(0.0..1.0);
-                self.inv.push(Pending {
-                    lane,
-                    u1,
-                    u2: 0.0,
-                    plan,
-                });
             }
             DrawPlan::Cdf { .. } => {
                 let u1: f64 = rng.gen_range(0.0..1.0);
-                self.cdf.push(Pending {
-                    lane,
-                    u1,
-                    u2: 0.0,
-                    plan,
-                });
-            }
-            DrawPlan::GaussBin { .. } | DrawPlan::GaussHyp { .. } => {
-                let u1: f64 = rng.gen_range(0.0..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                self.gauss.push(Pending { lane, u1, u2, plan });
+                self.cdf.push(Pending { lane, u1, plan });
             }
         }
     }
 
     /// Runs the deferred transforms in bulk and writes every queued lane's
-    /// result.  The packed loops over `fa`/`fb` are the vectorisation
-    /// surface: identical elementwise expressions to the scalar path, just
-    /// many lanes at a time.
+    /// result.  The packed loops over `fa` are the vectorisation surface:
+    /// identical elementwise expressions to the scalar path, just many
+    /// lanes at a time.
     fn flush(&mut self, out: &mut [u64]) {
-        // Gaussian leaves: one packed Box–Muller pass.
-        if !self.gauss.is_empty() {
-            self.fa.clear();
-            self.fb.clear();
-            self.fa.extend(self.gauss.iter().map(|r| r.u1));
-            self.fb.extend(self.gauss.iter().map(|r| r.u2));
-            for (a, b) in self.fa.iter_mut().zip(&self.fb) {
-                *a = gaussian_from_uniforms(*a, *b);
-            }
-            for (r, &g) in self.gauss.iter().zip(&self.fa) {
-                out[r.lane as usize] = match r.plan {
-                    DrawPlan::GaussBin {
-                        mean,
-                        sd,
-                        n,
-                        inner,
-                        cap,
-                        outer,
-                    } => outer.apply(inner.apply(finish_gauss_bin(mean, sd, n, g)).min(cap)),
-                    DrawPlan::GaussHyp {
-                        mean,
-                        sd,
-                        lo,
-                        hi,
-                        outer,
-                    } => outer.apply(finish_gauss_hyp(mean, sd, lo, hi, g)),
-                    _ => unreachable!("gauss queue only holds Gaussian plans"),
-                };
-            }
-        }
-        // Inversion leaves: pack ln pmf(mode), exponentiate in bulk, then
-        // walk each lane (the walks are short and multiply-only).
-        if !self.inv.is_empty() {
-            self.fa.clear();
-            self.modes.clear();
-            for r in &self.inv {
-                let DrawPlan::Inv {
-                    total,
-                    successes,
-                    draws,
-                    ..
-                } = r.plan
-                else {
-                    unreachable!("inv queue only holds Inv plans")
-                };
-                let (mode, ln_pmf) = inv_mode_and_ln_pmf(total, successes, draws);
-                self.fa.push(ln_pmf);
-                self.modes.push(mode);
-            }
-            for a in self.fa.iter_mut() {
-                *a = pmath::exp(*a);
-            }
-            for (i, r) in self.inv.iter().enumerate() {
-                let DrawPlan::Inv {
-                    total,
-                    successes,
-                    draws,
-                    outer,
-                } = r.plan
-                else {
-                    unreachable!()
-                };
-                out[r.lane as usize] = outer.apply(inv_walk(
-                    r.u1,
-                    total,
-                    successes,
-                    draws,
-                    self.modes[i],
-                    self.fa[i],
-                ));
-            }
-        }
         // CDF-walk leaves: pack n·ln(q), exponentiate in bulk, then walk.
         if !self.cdf.is_empty() {
             self.fa.clear();
@@ -882,13 +846,10 @@ impl LaneDrawScratch {
                 cdf_walk8(m, &wu, &wpmf0, &wn, &wp, &mut wres);
                 for (j, &res) in wres.iter().enumerate().take(m) {
                     let r = &self.cdf[base + j];
-                    let DrawPlan::Cdf {
-                        inner, cap, outer, ..
-                    } = r.plan
-                    else {
+                    let DrawPlan::Cdf { inner, .. } = r.plan else {
                         unreachable!()
                     };
-                    out[r.lane as usize] = outer.apply(inner.apply(res).min(cap));
+                    out[r.lane as usize] = inner.apply(res);
                 }
                 base += m;
             }
@@ -933,6 +894,169 @@ pub fn binomial_lanes(
         scratch.dispatch(&mut rngs[lane as usize], lane, plan, out);
     }
     scratch.flush(out);
+}
+
+// ---------------------------------------------------------------------------
+// Alias-table categorical sampling and the uniform candidate split
+// ---------------------------------------------------------------------------
+
+/// A Vose alias table over `k` weighted outcomes: O(k) construction, then
+/// exactly **one uniform** per sample (index and acceptance fraction are
+/// both carved out of the same f64, the classic single-uniform alias
+/// trick).
+///
+/// Built once per nondeterministic pair by
+/// [`CompiledProtocol`](crate::CompiledProtocol) and shared by both
+/// engines, so the candidate-split streams stay bit-identical between the
+/// scalar and lane-batched paths by construction.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Scaled acceptance probability of each column.
+    prob: Vec<f64>,
+    /// Overflow outcome of each column.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative `weights` (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative weight, or sums to
+    /// zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let k = weights.len();
+        assert!(k > 0, "alias table needs at least one outcome");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "alias weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias weights must not all be zero");
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..k as u32).collect();
+        // Vose's stacks: columns below 1 take an alias from columns above.
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // The large column donates the small column's deficit.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residuals of either stack are 1.0 up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// A table over `k` equally likely outcomes (the candidate-split case:
+    /// every column accepts with probability 1, so the alias path is a pure
+    /// `⌊u·k⌋`).
+    pub fn uniform(k: usize) -> Self {
+        Self::new(&vec![1.0; k])
+    }
+
+    /// The number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no outcomes (never true for a constructed
+    /// table, provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples one outcome, consuming exactly one uniform.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let scaled = u * self.prob.len() as f64;
+        // u < 1.0, so the index is < len; the min guards the (impossible
+        // up to rounding) edge without a branch misprediction cost.
+        let i = (scaled as usize).min(self.prob.len() - 1);
+        let frac = scaled - i as f64;
+        if frac < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// Splits `m` interactions uniformly at random across `table.len()`
+/// candidates (a symmetric multinomial), writing per-candidate counts into
+/// `out[..table.len()]` — the canonical candidate-split stream shared by
+/// [`BatchedSimulator`](crate::BatchedSimulator) and
+/// [`EnsembleSimulator`](crate::EnsembleSimulator).
+///
+/// Two regimes, crossing over at `ALIAS_DRAWS_PER_CANDIDATE` draws per
+/// binomial saved (see the module-level threshold table):
+///
+/// * **small `m`, `c ≥ 3`** — `m` alias-table categorical draws (one
+///   uniform each); exact and cheapest when the pair has only a handful of
+///   interactions;
+/// * **large `m`, or any `m` at `c = 2`** — the classic
+///   conditional-binomial chain `share_i ~ Binomial(left, 1/(c−i))`,
+///   `c − 1` O(1) draws total, with the last candidate taking the
+///   remainder.  A two-candidate split is a *single* `Binomial(m, ½)`,
+///   which the planner routes to the popcount leaf — a couple of RNG words
+///   and `popcnt` instructions, cheaper than even one alias draw — so the
+///   chain is unconditionally the fast path for the (overwhelmingly
+///   common) 2-candidate nondeterministic pairs.
+///
+/// Both regimes sample the same distribution exactly; the regime choice is
+/// a deterministic function of `(m, c)`, so it can never desynchronise the
+/// two engines' streams.
+pub fn split_candidates_uniform<R: RngCore + ?Sized>(
+    rng: &mut R,
+    m: u64,
+    table: &AliasTable,
+    out: &mut [u64],
+) {
+    let c = table.len();
+    debug_assert!(out.len() >= c);
+    out[..c].fill(0);
+    if m == 0 {
+        return;
+    }
+    if c == 1 {
+        out[0] = m;
+        return;
+    }
+    if c > 2 && m <= ALIAS_DRAWS_PER_CANDIDATE * (c as u64 - 1) {
+        for _ in 0..m {
+            out[table.sample(rng)] += 1;
+        }
+        return;
+    }
+    let mut left = m;
+    for (i, slot) in out.iter_mut().enumerate().take(c - 1) {
+        if left == 0 {
+            return;
+        }
+        let share = binomial(rng, left, 1.0 / (c - i) as f64);
+        *slot = share;
+        left -= share;
+    }
+    out[c - 1] = left;
 }
 
 /// A reusable birthday-collision-time sampler for a fixed population `n`.
@@ -1063,19 +1187,19 @@ mod tests {
     }
 
     #[test]
-    fn binomial_moments_inversion_regime() {
+    fn binomial_moments_cdf_walk_regime() {
         let mut rng = StdRng::seed_from_u64(2);
-        // n large, mean small: exercises the CDF-walk path.
+        // n large, mean 9 < BTRS_MIN_MEAN: exercises the CDF-walk path.
         let samples: Vec<f64> = (0..20_000)
-            .map(|_| binomial(&mut rng, 10_000, 0.001) as f64)
+            .map(|_| binomial(&mut rng, 10_000, 0.0009) as f64)
             .collect();
         let (mean, var) = mean_and_var(&samples);
-        assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
-        assert!((var - 10.0).abs() < 0.7, "var {var}");
+        assert!((mean - 9.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.7, "var {var}");
     }
 
     #[test]
-    fn binomial_moments_gaussian_regime() {
+    fn binomial_moments_btrs_regime() {
         let mut rng = StdRng::seed_from_u64(3);
         let samples: Vec<f64> = (0..20_000)
             .map(|_| binomial(&mut rng, 1_000_000, 0.25) as f64)
@@ -1132,16 +1256,16 @@ mod tests {
     fn lane_batched_hypergeometric_is_bit_identical_to_scalar() {
         // The core contract of the plan/leaf split: one lane-batched job
         // consumes the lane's RNG and produces its value exactly like a
-        // scalar call — across every leaf path (urn, inversion, Bernoulli,
-        // CDF walk, both Gaussians, and the RNG-free Done short-circuits).
+        // scalar call — across every leaf path (urn, HRUA rejection, and
+        // the RNG-free Done short-circuits).
         let mut meta = StdRng::seed_from_u64(0xD1CE);
         let mut scratch = LaneDrawScratch::default();
         for case in 0..4_000u64 {
             let total: u64 = match case % 4 {
                 0 => meta.gen_range(2..100u64),              // urn / small support
-                1 => meta.gen_range(100..8192u64),           // urn + inversion
-                2 => meta.gen_range(8193..100_000u64),       // binomial approx
-                _ => meta.gen_range(100_000..10_000_000u64), // binomial + Gaussian
+                1 => meta.gen_range(100..8192u64),           // urn + HRUA in the table
+                2 => meta.gen_range(8193..100_000u64),       // HRUA beyond the table
+                _ => meta.gen_range(100_000..10_000_000u64), // HRUA, huge totals
             };
             let successes = meta.gen_range(0..=total);
             let draws = meta.gen_range(0..=total);
@@ -1196,11 +1320,11 @@ mod tests {
         // lane's slot and leave every lane's RNG where scalar calls would.
         let mut scratch = LaneDrawScratch::default();
         let params: Vec<(u32, u64, u64, u64)> = vec![
-            (0, 50, 20, 10),                 // urn
-            (1, 4_000, 1_500, 900),          // inversion
-            (2, 100_000, 40_000, 500),       // binomial → Gaussian
-            (3, 100_000, 30, 400),           // binomial → CDF walk
-            (4, 1_000_000, 600_000, 90_000), // Gaussian hypergeometric
+            (0, 50, 20, 3),                  // urn (draws ≤ URN_MAX_DRAWS)
+            (1, 4_000, 1_500, 900),          // HRUA, wide spread
+            (2, 100_000, 40_000, 500),       // HRUA (total beyond the table)
+            (3, 4_000, 1_500, 50),           // HRUA, narrow spread
+            (4, 1_000_000, 600_000, 90_000), // HRUA, huge total
             (5, 77, 0, 30),                  // Done
         ];
         let mut lane_rngs: Vec<StdRng> = (0..6).map(|i| StdRng::seed_from_u64(900 + i)).collect();
@@ -1283,20 +1407,26 @@ mod tests {
         pmf
     }
 
-    #[test]
-    fn mode_inversion_matches_exact_pmf() {
-        // total ≤ 8192 and draws > URN_MAX_DRAWS forces the mode-inversion
-        // path; compare sampled frequencies against the analytic pmf.
-        let mut rng = StdRng::seed_from_u64(40);
-        let (total, successes, draws) = (500u64, 200u64, 80u64);
-        let trials = 200_000usize;
-        let pmf = hypergeometric_pmf(total, successes, draws);
-        let mut observed = vec![0.0f64; pmf.len()];
-        for _ in 0..trials {
-            let k = hypergeometric(&mut rng, total, successes, draws);
-            observed[k as usize] += 1.0;
+    /// Exact binomial pmf over `0..=n` by the up-recurrence from k = 0.
+    /// Callers keep `n·|ln(1-p)|` well inside f64 range so pmf(0) does not
+    /// underflow to zero.
+    fn binomial_pmf(n: u64, p: f64) -> Vec<f64> {
+        let q = 1.0 - p;
+        let mut pmf = vec![0.0f64; n as usize + 1];
+        let mut val = (n as f64 * q.ln()).exp();
+        pmf[0] = val;
+        for k in 0..n {
+            let kf = k as f64;
+            val *= (n as f64 - kf) / (kf + 1.0) * (p / q);
+            pmf[k as usize + 1] = val;
         }
-        // Pool the tails so every compared bin has expected count ≥ 5.
+        pmf
+    }
+
+    /// Chi-square goodness-of-fit assertion: pools bins with expected
+    /// count < 5 into one tail bin and checks the Pearson statistic against
+    /// the ≈99.99-percentile of chi-square(df), `df + 4·√(2df) + 8`.
+    fn assert_chi_square_gof(observed: &[f64], pmf: &[f64], trials: usize, ctx: &str) {
         let expected: Vec<f64> = pmf.iter().map(|p| p * trials as f64).collect();
         let keep: Vec<usize> = (0..pmf.len()).filter(|&i| expected[i] >= 5.0).collect();
         let mut obs: Vec<f64> = keep.iter().map(|&i| observed[i]).collect();
@@ -1307,17 +1437,306 @@ mod tests {
         exp.push(tail_e.max(1e-9));
         let stat = chi_square(&obs, &exp);
         let df = (obs.len() - 1) as f64;
-        // 99.99-percentile of chi-square(df) is ≈ df + 4·√(2df) + 8.
         let critical = df + 4.0 * (2.0 * df).sqrt() + 8.0;
-        assert!(stat < critical, "chi-square {stat} ≥ {critical} (df {df})");
+        assert!(
+            stat < critical,
+            "{ctx}: chi-square {stat} ≥ {critical} (df {df})"
+        );
     }
 
     #[test]
-    fn urn_and_mode_inversion_agree_on_moments() {
+    fn inversion_oracle_matches_exact_pmf() {
+        // The mode-centered inversion walk is planner-dead since the
+        // retune, but it survives (test builds only) as an independent
+        // exact sampler; pin it against the analytic pmf on the same
+        // parameters the HRUA oracle test below uses.
+        let mut rng = StdRng::seed_from_u64(40);
+        let (total, successes, draws) = (500u64, 200u64, 80u64);
+        let (mode, ln_pmf) = inv_mode_and_ln_pmf(total, successes, draws);
+        let pmf_mode = pmath::exp(ln_pmf);
+        let trials = 200_000usize;
+        let pmf = hypergeometric_pmf(total, successes, draws);
+        let mut observed = vec![0.0f64; pmf.len()];
+        for _ in 0..trials {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let k = inv_walk(u, total, successes, draws, mode, pmf_mode);
+            observed[k as usize] += 1.0;
+        }
+        assert_chi_square_gof(&observed, &pmf, trials, "inversion oracle");
+    }
+
+    #[test]
+    fn hrua_hypergeometric_matches_exact_pmf() {
+        // HRUA across its regimes, checked against the analytic pmf:
+        // inside the log-factorial table, just beyond it, and a
+        // large-population regime whose log-factorials all hit the
+        // Stirling kernel.
+        for (total, successes, draws, seed, ctx) in [
+            (8_000u64, 500u64, 4_000u64, 60u64, "inside the table"),
+            (10_000, 3_000, 200, 61, "total-forced"),
+            (1_000_000, 400_000, 300, 62, "large population"),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 100_000usize;
+            let pmf = hypergeometric_pmf(total, successes, draws);
+            let lo = draws.saturating_sub(total - successes);
+            let mut observed = vec![0.0f64; pmf.len()];
+            for _ in 0..trials {
+                let k = hypergeometric(&mut rng, total, successes, draws);
+                observed[(k - lo) as usize] += 1.0;
+            }
+            assert_chi_square_gof(&observed, &pmf, trials, ctx);
+        }
+    }
+
+    #[test]
+    fn hrua_agrees_with_the_inversion_oracle_on_shared_parameters() {
+        // The rejection kernel on the narrow-spread parameters the
+        // inversion oracle is pinned on above: both implementations must
+        // sample the same analytic law — the walk stays in the test build
+        // precisely to oracle-check the rejection samplers like this.
+        let (total, successes, draws) = (500u64, 200u64, 80u64);
+        let mut rng = StdRng::seed_from_u64(63);
+        let trials = 200_000usize;
+        let pmf = hypergeometric_pmf(total, successes, draws);
+        let mut observed = vec![0.0f64; pmf.len()];
+        for _ in 0..trials {
+            let k = hrua_draw(&mut rng, total, successes, draws);
+            observed[k as usize] += 1.0;
+        }
+        assert_chi_square_gof(&observed, &pmf, trials, "hrua vs inversion params");
+    }
+
+    #[test]
+    fn btrs_binomial_matches_exact_pmf() {
+        // n·p ≥ BTRS_MIN_MEAN forces the BTRS leaf: small, medium, and
+        // small-p/huge-n regimes against the analytic pmf.
+        for (n, p, seed, ctx) in [
+            (200u64, 0.45f64, 50u64, "small n"),
+            (1_000, 0.4, 51, "medium n"),
+            (500_000, 0.001, 52, "huge n, tiny p"),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 100_000usize;
+            let pmf = binomial_pmf(n, p);
+            let mut observed = vec![0.0f64; pmf.len()];
+            for _ in 0..trials {
+                observed[binomial(&mut rng, n, p) as usize] += 1.0;
+            }
+            assert_chi_square_gof(&observed, &pmf, trials, ctx);
+        }
+    }
+
+    #[test]
+    fn btrs_agrees_with_the_cdf_walk_oracle_on_shared_parameters() {
+        // Mean 12 sits just above the BTRS validity floor (n·p ≥ 10);
+        // calling the rejection kernel directly pins the kernel itself —
+        // not the planner — against the analytic pmf, at parameters the
+        // CDF walk covers identically below the crossover.
+        let (n, p) = (40u64, 0.3f64);
+        let mut rng = StdRng::seed_from_u64(53);
+        let trials = 200_000usize;
+        let pmf = binomial_pmf(n, p);
+        let mut observed = vec![0.0f64; pmf.len()];
+        for _ in 0..trials {
+            observed[btrs_walk(&mut rng, n, p) as usize] += 1.0;
+        }
+        assert_chi_square_gof(&observed, &pmf, trials, "btrs vs cdf-walk params");
+    }
+
+    #[test]
+    fn cdf_walk_matches_exact_pmf() {
+        // Mean 9 < BTRS_MIN_MEAN routes the planner to the CDF walk;
+        // check the whole sampled distribution, not just moments.
+        let (n, p) = (10_000u64, 0.0009f64);
+        let mut rng = StdRng::seed_from_u64(58);
+        let trials = 200_000usize;
+        // Exact pmf by the ratio recurrence, truncated at k = 40 where the
+        // remaining tail mass (mean 9) is far below one expected count.
+        let exact: Vec<f64> = {
+            let q = 1.0 - p;
+            let mut v = vec![0.0f64; 41];
+            let mut cur = pmath::exp(n as f64 * pmath::ln(q));
+            for (k, slot) in v.iter_mut().enumerate() {
+                *slot = cur;
+                let k = k as u64;
+                cur *= ((n - k) as f64 / (k + 1) as f64) * (p / q);
+            }
+            v
+        };
+        let mut observed = vec![0.0f64; exact.len()];
+        for _ in 0..trials {
+            let k = binomial(&mut rng, n, p) as usize;
+            observed[k.min(exact.len() - 1)] += 1.0;
+        }
+        assert_chi_square_gof(&observed, &exact, trials, "cdf walk");
+    }
+
+    #[test]
+    fn popcount_binomial_matches_exact_pmf() {
+        // p = ½, n ≤ POPCOUNT_MAX_N routes to the popcount leaf; check it
+        // against the analytic pmf both below and at the word boundary.
+        for (n, seed, ctx) in [
+            (100u64, 56u64, "partial word"),
+            (1_024, 57, "full words at the cap"),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 100_000usize;
+            let pmf = binomial_pmf(n, 0.5);
+            let mut observed = vec![0.0f64; pmf.len()];
+            for _ in 0..trials {
+                observed[binomial(&mut rng, n, 0.5) as usize] += 1.0;
+            }
+            assert_chi_square_gof(&observed, &pmf, trials, ctx);
+        }
+    }
+
+    #[test]
+    fn popcount_binomial_consumes_exactly_one_word_per_64_bits() {
+        // The popcount leaf's stream contract: exactly ⌈n/64⌉ raw words,
+        // no uniforms.  Verified by drawing a known value right after and
+        // comparing with a manually advanced twin RNG.
+        for n in [1u64, 63, 64, 65, 500, 1_024] {
+            assert!(
+                matches!(plan_binomial(n, 0.5), DrawPlan::Pop { .. }),
+                "n = {n} must route to the popcount leaf"
+            );
+            let mut rng = StdRng::seed_from_u64(900 + n);
+            let mut twin = StdRng::seed_from_u64(900 + n);
+            let _ = binomial(&mut rng, n, 0.5);
+            for _ in 0..n.div_ceil(64) {
+                let _ = twin.next_u64();
+            }
+            assert_eq!(
+                rng.next_u64(),
+                twin.next_u64(),
+                "stream position after popcount draw, n = {n}"
+            );
+        }
+        // One past the cap falls back to BTRS rejection.
+        assert!(matches!(plan_binomial(1_025, 0.5), DrawPlan::Btrs { .. }));
+    }
+
+    #[test]
+    fn alias_table_uniform_is_uniform() {
+        let table = AliasTable::uniform(7);
+        assert_eq!(table.len(), 7);
+        assert!(!table.is_empty());
+        let mut rng = StdRng::seed_from_u64(54);
+        let trials = 140_000usize;
+        let mut observed = vec![0.0f64; 7];
+        for _ in 0..trials {
+            observed[table.sample(&mut rng)] += 1.0;
+        }
+        let pmf = vec![1.0 / 7.0; 7];
+        assert_chi_square_gof(&observed, &pmf, trials, "uniform alias");
+    }
+
+    #[test]
+    fn alias_table_matches_arbitrary_weights() {
+        let weights = [0.5f64, 2.5, 3.0, 1.0, 0.0, 3.0];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(55);
+        let trials = 200_000usize;
+        let mut observed = vec![0.0f64; weights.len()];
+        for _ in 0..trials {
+            observed[table.sample(&mut rng)] += 1.0;
+        }
+        assert_eq!(observed[4], 0.0, "zero-weight outcome sampled");
+        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        assert_chi_square_gof(&observed, &pmf, trials, "weighted alias");
+    }
+
+    #[test]
+    fn split_candidates_partitions_m_in_both_regimes() {
+        let table = AliasTable::uniform(3);
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut out = [0u64; 3];
+        // m = 16 is the last alias-regime size for c = 3; m = 17 the first
+        // chain-regime size; 10_000 is deep in the chain regime.
+        for m in [0u64, 1, 16, 17, 10_000] {
+            for _ in 0..200 {
+                split_candidates_uniform(&mut rng, m, &table, &mut out);
+                assert_eq!(out.iter().sum::<u64>(), m, "m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_candidates_marginals_match_binomial_in_both_regimes() {
+        // The marginal of any single candidate in a symmetric multinomial
+        // split of m over c candidates is Binomial(m, 1/c) — exactly, in
+        // both the alias and the chain regime.
+        let c = 3usize;
+        let table = AliasTable::uniform(c);
+        for (m, seed, ctx) in [(16u64, 57u64, "alias regime"), (17, 58, "chain regime")] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 100_000usize;
+            let pmf = binomial_pmf(m, 1.0 / c as f64);
+            let mut observed = vec![vec![0.0f64; pmf.len()]; c];
+            let mut out = [0u64; 3];
+            for _ in 0..trials {
+                split_candidates_uniform(&mut rng, m, &table, &mut out);
+                for (i, &share) in out.iter().enumerate() {
+                    observed[i][share as usize] += 1.0;
+                }
+            }
+            for (i, obs) in observed.iter().enumerate() {
+                assert_chi_square_gof(obs, &pmf, trials, &format!("{ctx}, candidate {i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn split_candidates_two_candidates_use_the_popcount_chain() {
+        // c = 2 always takes the chain: a single Binomial(m, ½), which the
+        // planner resolves as one popcount word for m ≤ 64.  This is the
+        // hottest split in practice (every 2-way nondeterministic pair).
+        let table = AliasTable::uniform(2);
+        let m = 40u64;
+        let mut rng = StdRng::seed_from_u64(60);
+        let trials = 100_000usize;
+        let pmf = binomial_pmf(m, 0.5);
+        let mut observed = vec![vec![0.0f64; pmf.len()]; 2];
+        let mut out = [0u64; 2];
+        for _ in 0..trials {
+            split_candidates_uniform(&mut rng, m, &table, &mut out);
+            assert_eq!(out[0] + out[1], m);
+            for (i, &share) in out.iter().enumerate() {
+                observed[i][share as usize] += 1.0;
+            }
+        }
+        for (i, obs) in observed.iter().enumerate() {
+            assert_chi_square_gof(obs, &pmf, trials, &format!("c = 2, candidate {i}"));
+        }
+        // Stream contract: exactly one raw word for the whole split.
+        let mut a = StdRng::seed_from_u64(61);
+        let mut b = StdRng::seed_from_u64(61);
+        split_candidates_uniform(&mut a, m, &table, &mut out);
+        let _ = b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64(), "one word per 2-way split");
+    }
+
+    #[test]
+    fn split_candidates_consumes_no_rng_in_trivial_cases() {
+        // m = 0 and c = 1 must leave the stream untouched — the engines
+        // rely on this to keep scalar/lane streams aligned.
+        let mut out = [0u64; 3];
+        for (m, table) in [(0u64, AliasTable::uniform(3)), (99, AliasTable::uniform(1))] {
+            let mut a = StdRng::seed_from_u64(59);
+            let mut b = StdRng::seed_from_u64(59);
+            split_candidates_uniform(&mut a, m, &table, &mut out);
+            assert_eq!(a.next_u64(), b.next_u64(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn urn_and_hrua_agree_on_moments_at_the_crossover() {
         // Same distribution parameters sampled through both exact paths:
-        // draws = 4 keeps the urn, draws = 5 switches to inversion.
+        // draws = 16 keeps the urn, draws = 17 switches to HRUA.
         let (total, successes) = (2000u64, 700u64);
-        for draws in [4u64, 5] {
+        for draws in [16u64, 17] {
             let mut rng = StdRng::seed_from_u64(41 + draws);
             let samples: Vec<f64> = (0..40_000)
                 .map(|_| hypergeometric(&mut rng, total, successes, draws) as f64)

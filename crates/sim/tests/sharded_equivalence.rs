@@ -1,0 +1,91 @@
+//! Threads × lanes bit-equivalence: the sharded ensemble vs the unsharded
+//! one.
+//!
+//! The contract under test: running a K-lane ensemble as P contiguous lane
+//! sub-blocks on the worker pool is **bit-identical** to running it as one
+//! unsharded ensemble — for every tested P, including P values that do not
+//! divide K, P ≥ K (one lane per shard), and the auto-detect setting — at
+//! the convergence-driver level and the `run_experiment` level.  Sharding
+//! is a throughput knob, never a semantics knob.
+
+use popproto_model::Input;
+use popproto_sim::{
+    run_ensemble_until_convergence, run_sharded_ensemble_until_convergence, ConvergenceCriterion,
+    ConvergenceOutcome, EngineKind, EnsembleSimulator, SimulationExperiment,
+};
+use popproto_zoo::{approximate_majority, binary_counter};
+
+fn assert_outcomes_identical(a: &[ConvergenceOutcome], b: &[ConvergenceOutcome], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "outcome count: {ctx}");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.converged, y.converged, "converged, seed {i}: {ctx}");
+        assert_eq!(x.output, y.output, "output, seed {i}: {ctx}");
+        assert_eq!(
+            x.interactions, y.interactions,
+            "interactions, seed {i}: {ctx}"
+        );
+        assert_eq!(
+            x.interactions_to_convergence, y.interactions_to_convergence,
+            "convergence point, seed {i}: {ctx}"
+        );
+    }
+}
+
+#[test]
+fn sharded_driver_is_bit_identical_to_unsharded_for_every_shard_count() {
+    let p = approximate_majority();
+    let ic = p.initial_config(&Input::from_counts(vec![700, 500]));
+    let seeds: Vec<u64> = (0..13).collect();
+    let criterion = ConvergenceCriterion::Silent;
+    let budget = 2_000_000u64;
+
+    let mut unsharded = EnsembleSimulator::new(p.clone(), ic.clone(), &seeds);
+    let reference = run_ensemble_until_convergence(&mut unsharded, criterion, budget);
+
+    // 13 seeds: P = 2 and 4 leave a ragged final shard, P = 7 gives
+    // two-lane shards, P = 64 > K degenerates to one lane per shard, and
+    // P = 0 auto-detects from the pool.
+    for shards in [1usize, 2, 4, 7, 64, 0] {
+        let sharded =
+            run_sharded_ensemble_until_convergence(&p, &ic, &seeds, shards, criterion, budget);
+        assert_outcomes_identical(&reference, &sharded, &format!("P = {shards}"));
+    }
+}
+
+#[test]
+fn sharded_driver_matches_under_the_persistence_criterion() {
+    let p = binary_counter(3);
+    let ic = p.initial_config_unary(5_000);
+    let seeds: Vec<u64> = (100..106).collect();
+    let criterion = ConvergenceCriterion::ConsensusPersistence { window: 10_000 };
+
+    let mut unsharded = EnsembleSimulator::new(p.clone(), ic.clone(), &seeds);
+    let reference = run_ensemble_until_convergence(&mut unsharded, criterion, u64::MAX);
+    for shards in [2usize, 3] {
+        let sharded =
+            run_sharded_ensemble_until_convergence(&p, &ic, &seeds, shards, criterion, u64::MAX);
+        assert_outcomes_identical(&reference, &sharded, &format!("persistence, P = {shards}"));
+    }
+}
+
+#[test]
+fn experiment_runner_is_shard_count_invariant() {
+    let p = binary_counter(3);
+    let base = SimulationExperiment::new(p, Input::unary(2_000), 11, u64::MAX);
+    let reference = popproto_sim::run_experiment(&base.clone().with_engine(EngineKind::Ensemble {
+        lanes: 4,
+        shards: 1,
+    }));
+    for shards in [2usize, 3, 0] {
+        let sharded = popproto_sim::run_experiment(
+            &base
+                .clone()
+                .with_engine(EngineKind::Ensemble { lanes: 4, shards }),
+        );
+        assert_outcomes_identical(
+            &reference.outcomes,
+            &sharded.outcomes,
+            &format!("run_experiment, P = {shards}"),
+        );
+    }
+}
