@@ -65,13 +65,41 @@ fn killed_and_resumed(budget: u64, sessions: u64) -> (PipelineStats, Option<u64>
 }
 
 /// Runs the segmented E12 at `workers` until the merged prefix holds
-/// `budget` orbits; returns `(report, seconds)`.
-fn segmented_run(budget: u64, workers: usize, order: SegmentOrder) -> (E12SegmentedReport, f64) {
+/// `budget` orbits; returns `(report, seconds, pool stats)` — the pool
+/// counters (helping-wait jobs, per-worker task counts and idle time) feed
+/// the `parallel_scaling` rows of `BENCH_bb.json`.
+fn segmented_run(
+    budget: u64,
+    workers: usize,
+    order: SegmentOrder,
+) -> (E12SegmentedReport, f64, popproto_exec::PoolStats) {
     let start = Instant::now();
+    let pool = popproto_exec::Pool::new(workers);
     let mut search = e12_segmented_search(MAX_INPUT, order);
-    search.run(workers, budget);
+    search.run_on(&pool, budget);
     let seconds = start.elapsed().as_secs_f64();
-    (e12_segmented_report_from(&search, budget, workers), seconds)
+    (
+        e12_segmented_report_from(&search, budget, workers),
+        seconds,
+        pool.stats(),
+    )
+}
+
+/// Renders pool counters as the `"pool"` object of a scaling row.
+fn pool_json(stats: &popproto_exec::PoolStats) -> String {
+    let tasks: Vec<String> = stats.per_worker_tasks.iter().map(u64::to_string).collect();
+    let idle_ms: Vec<String> = stats
+        .per_worker_idle_ns
+        .iter()
+        .map(|&ns| format!("{:.1}", ns as f64 / 1e6))
+        .collect();
+    format!(
+        "{{\"workers\": {}, \"helped\": {}, \"worker_tasks\": [{}], \"worker_idle_ms\": [{}]}}",
+        stats.workers,
+        stats.helped,
+        tasks.join(", "),
+        idle_ms.join(", ")
+    )
 }
 
 /// Asserts the segmented prefix reproduces the sequential stream bit for bit
@@ -228,28 +256,33 @@ fn emit_bench_json(_c: &mut Criterion) {
     };
     let mut scaling_rows = Vec::new();
     for &workers in &scaling_workers {
-        let (seg_report, seg_seconds) = segmented_run(budget, workers, SegmentOrder::Index);
+        let (seg_report, seg_seconds, pool_stats) =
+            segmented_run(budget, workers, SegmentOrder::Index);
         assert!(seg_report.prefix_orbits >= budget);
         assert_segmented_matches_sequential(&seg_report);
         let throughput = seg_report.prefix_orbits as f64 / seg_seconds;
         println!(
             "[E12] segmented @ {workers} workers: {} orbits in {seg_seconds:.2}s \
-             ({throughput:.0} orbits/s, {} segments, {} local + {} cross memo hits) — \
-             funnel bit-identical to the sequential stream",
+             ({throughput:.0} orbits/s, {} segments, {} local + {} cross memo hits, \
+             {} pool tasks + {} helped) — funnel bit-identical to the sequential stream",
             seg_report.prefix_orbits,
             seg_report.segments_merged,
             seg_report.stats.memo_hits,
             seg_report.stats.memo_hits_cross,
+            pool_stats.total_tasks(),
+            pool_stats.helped,
         );
         scaling_rows.push(format!(
             "      {{\"workers\": {workers}, \"seconds\": {seg_seconds:.3}, \
              \"orbits_per_second\": {throughput:.0}, \"segments_merged\": {}, \
              \"memo_hits_local\": {}, \"memo_hits_cross\": {}, \
-             \"speedup_vs_sequential\": {:.2}, \"identical_funnel\": true}}",
+             \"speedup_vs_sequential\": {:.2}, \"identical_funnel\": true, \
+             \"pool\": {}}}",
             seg_report.segments_merged,
             seg_report.stats.memo_hits,
             seg_report.stats.memo_hits_cross,
             seconds / seg_seconds,
+            pool_json(&pool_stats),
         ));
     }
 
@@ -277,7 +310,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     // 6. Entropy-guided order: what the same budget surfaces when segments
     // are visited by descending function-index entropy.
     let entropy_budget = if full { 50_000 } else { 2_000 };
-    let (entropy_report, entropy_seconds) = segmented_run(
+    let (entropy_report, entropy_seconds, _) = segmented_run(
         entropy_budget,
         smoke_workers,
         SegmentOrder::EntropyDescending,

@@ -202,6 +202,52 @@ fn entropy_order_covers_the_same_full_range() {
     }
 }
 
+/// Instrumentation inertness for the segmented search: running with the
+/// tracing gate open and a zero-period heartbeat attached reproduces every
+/// deterministic number of a run with the obs layer dark.
+#[test]
+fn tracing_and_heartbeats_leave_the_segmented_search_bit_identical() {
+    use popproto_obs as obs;
+    use std::time::Duration;
+
+    let _serial = obs::test_support::serial();
+    let limits = ExploreLimits::default();
+    let config = PipelineConfig::exact(5, &limits);
+    let end = 14_000u128;
+    let segmentation = SegmentationConfig::index_order(700, Some(end));
+
+    assert!(!obs::enabled(), "tracing must start disabled");
+    let mut dark = SegmentedSearch::new(3, config.clone(), segmentation.clone());
+    dark.run(4, u64::MAX);
+    let expected = dark.result();
+    assert!(expected.finished);
+
+    obs::start();
+    let (mut heartbeat, lines) = obs::Heartbeat::shared_buffer(Duration::ZERO);
+    let pool = popproto_exec::Pool::new(4);
+    let mut lit = SegmentedSearch::new(3, config, segmentation);
+    lit.run_with_heartbeat(&pool, u64::MAX, &mut heartbeat);
+    let result = lit.result();
+    let trace = obs::stop();
+
+    assert!(result.finished);
+    assert_deterministic_stats_eq(&result.stats, &expected.stats, "traced run");
+    // Identical segmentation ⟹ identical local memo hits even when lit up.
+    assert_eq!(result.stats.memo_hits, expected.stats.memo_hits);
+    assert_eq!(result.best, expected.best);
+    assert_eq!(result.confirmed, expected.confirmed, "witness set");
+    assert_eq!(result.candidates_consumed, expected.candidates_consumed);
+
+    // And the byproducts are real: nested segment spans, final heartbeat.
+    let json = trace.to_chrome_trace();
+    let summary = obs::validate_chrome_trace(&json).expect("trace validates");
+    assert!(summary.complete > 0, "segment/wave spans were traced");
+    let text = String::from_utf8(lines.lock().unwrap().clone()).unwrap();
+    let last = text.lines().last().expect("final heartbeat line");
+    assert!(last.contains("\"kind\":\"segmented_heartbeat\""));
+    assert!(last.contains("\"final\":true"));
+}
+
 #[test]
 fn busy_beaver_on_the_pool_matches_every_worker_count() {
     // The ported busy_beaver_search_with_threads must agree across worker

@@ -194,6 +194,44 @@ impl PipelineStats {
         self.memo_hits += other.memo_hits;
         self.memo_hits_cross += other.memo_hits_cross;
     }
+
+    /// Publishes the funnel counters as gauges named `{prefix}.{counter}`
+    /// in the process-wide [`popproto_obs`] metrics registry, so one
+    /// [`ObsSnapshot`](popproto_obs::ObsSnapshot) carries the pipeline
+    /// funnel alongside the exec-pool and ensemble metrics.
+    pub fn publish(&self, prefix: &str) {
+        let reg = popproto_obs::registry();
+        reg.set_gauge(
+            &format!("{prefix}.canonical_orbits"),
+            self.canonical_orbits as i64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.pruned_symmetric"),
+            self.pruned_symmetric as i64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.pruned_symbolic"),
+            self.pruned_symbolic as i64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.pruned_eta_bounded"),
+            self.pruned_eta_bounded as i64,
+        );
+        reg.set_gauge(&format!("{prefix}.profiled"), self.profiled as i64);
+        reg.set_gauge(
+            &format!("{prefix}.threshold_protocols"),
+            self.threshold_protocols as i64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.truncated_orbits"),
+            self.truncated_orbits as i64,
+        );
+        reg.set_gauge(&format!("{prefix}.memo_hits"), self.memo_hits as i64);
+        reg.set_gauge(
+            &format!("{prefix}.memo_hits_cross"),
+            self.memo_hits_cross as i64,
+        );
+    }
 }
 
 /// A concurrent, sharded transposition table shared across the segments of a

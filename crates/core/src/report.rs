@@ -225,6 +225,42 @@ pub fn render_e12_segmented(report: &E12SegmentedReport) -> String {
     out
 }
 
+/// Renders an [`ObsSnapshot`](popproto_obs::ObsSnapshot) — the unified
+/// metrics registry (exec-pool stats, ensemble wave-phase breakdown,
+/// pipeline funnel) — as markdown tables, one per metric kind.
+pub fn render_obs(snapshot: &popproto_obs::ObsSnapshot) -> String {
+    let mut out = String::from("## Observability snapshot\n");
+    if snapshot.is_empty() {
+        out.push_str("\n(no metrics recorded)\n");
+        return out;
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n| counter | value |\n|---|---|\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("| {name} | {value} |\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n| gauge | value |\n|---|---|\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("| {name} | {value} |\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n| histogram | observations | sum | mean |\n|---|---|---|---|\n");
+        for h in &snapshot.histograms {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.1} |\n",
+                h.name,
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+    }
+    out
+}
+
 /// Renders the full small-scale report.
 pub fn render_full(report: &FullReport) -> String {
     let mut out = String::new();
@@ -350,6 +386,29 @@ mod tests {
         assert!(table.contains("entropy"));
         assert!(table.contains("local (deterministic)"));
         assert!(table.contains("cross-segment"));
+    }
+
+    #[test]
+    fn obs_snapshot_renders_every_metric_kind() {
+        // Unique names: the registry is process-wide and other tests in
+        // this binary may publish concurrently, so assert only on our own
+        // entries rather than resetting under their feet.
+        let reg = popproto_obs::registry();
+        reg.counter("report_test.offers").add(3);
+        reg.set_gauge("report_test.best_eta", 8);
+        reg.histogram("report_test.batch_len").observe(1000);
+        let table = render_obs(&reg.snapshot());
+        assert!(table.contains("| report_test.offers | 3 |"));
+        assert!(table.contains("| report_test.best_eta | 8 |"));
+        assert!(table.contains("report_test.batch_len"));
+
+        let funnel = crate::candidate_pipeline::PipelineStats {
+            canonical_orbits: 10,
+            ..Default::default()
+        };
+        funnel.publish("report_test.funnel");
+        let table = render_obs(&reg.snapshot());
+        assert!(table.contains("| report_test.funnel.canonical_orbits | 10 |"));
     }
 
     #[test]

@@ -63,10 +63,12 @@ use crate::candidate_pipeline::{
 use crate::enumeration::EnumerationResult;
 use crate::orbit_stream::{OrbitSpace, OrbitStream, SegmentOrder, StreamCursor, U128Parts};
 use popproto_exec::Pool;
+use popproto_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How a candidate range is cut into segments and in which order the
 /// segments are visited.
@@ -461,21 +463,144 @@ impl SegmentedSearch {
     /// sessions compose: `run(w, 1000)` then `run(w, 3000)` processes
     /// exactly what one `run(w, 3000)` would have.
     pub fn run(&mut self, workers: usize, target_prefix_orbits: u64) -> u64 {
-        self.target_orbits = target_prefix_orbits;
         // One persistent pool for the whole run: the wave loop below fans
         // out many times, and with scoped threads each wave paid a full
         // spawn/join round.
         let pool = Pool::new(workers);
+        self.run_on(&pool, target_prefix_orbits)
+    }
+
+    /// [`SegmentedSearch::run`] on a caller-owned pool, so the caller can
+    /// read [`Pool::stats`] afterwards (per-worker task counts, idle time,
+    /// helping-wait jobs) — e.g. for the `parallel_scaling` rows of the
+    /// busy-beaver bench report.
+    pub fn run_on(&mut self, pool: &Pool, target_prefix_orbits: u64) -> u64 {
+        self.run_inner(pool, target_prefix_orbits, None)
+    }
+
+    /// [`SegmentedSearch::run_on`] with streaming progress: between waves
+    /// (and once, forced, at the end) a JSONL line is emitted through
+    /// `heartbeat` carrying orbit throughput, an ETA against the target,
+    /// the funnel counters so far, the best η so far — and a full
+    /// serialised [`SegmentedCheckpoint`] under `"checkpoint"`, so a
+    /// consumer can resume the search from **any** heartbeat line it has
+    /// seen (the per-segment [`StreamCursor`]s ride inside it).
+    ///
+    /// The heartbeat is a pure observer: it reads completed per-segment
+    /// state between waves and never influences wave picking, budget cuts,
+    /// or segment scheduling, so results stay bit-identical with or
+    /// without it.
+    pub fn run_with_heartbeat(
+        &mut self,
+        pool: &Pool,
+        target_prefix_orbits: u64,
+        heartbeat: &mut obs::Heartbeat,
+    ) -> u64 {
+        self.run_inner(pool, target_prefix_orbits, Some(heartbeat))
+    }
+
+    fn run_inner(
+        &mut self,
+        pool: &Pool,
+        target_prefix_orbits: u64,
+        mut heartbeat: Option<&mut obs::Heartbeat>,
+    ) -> u64 {
+        self.target_orbits = target_prefix_orbits;
+        let started = Instant::now();
         loop {
             let (prefix_pos, prefix_orbits) = self.prefix_state();
             if prefix_orbits >= target_prefix_orbits || prefix_pos == self.order.len() {
+                if let Some(hb) = heartbeat.as_deref_mut() {
+                    let line = self.heartbeat_line(hb, started, target_prefix_orbits, true);
+                    hb.emit(&line);
+                }
                 return prefix_orbits;
             }
-            let wave_positions =
-                self.pick_wave(prefix_pos, prefix_orbits, target_prefix_orbits, workers);
+            if let Some(hb) = heartbeat.as_deref_mut() {
+                if hb.due() {
+                    let line = self.heartbeat_line(hb, started, target_prefix_orbits, false);
+                    hb.emit(&line);
+                }
+            }
+            let wave_positions = self.pick_wave(
+                prefix_pos,
+                prefix_orbits,
+                target_prefix_orbits,
+                pool.workers(),
+            );
             debug_assert!(!wave_positions.is_empty());
-            self.run_wave(&pool, &wave_positions, target_prefix_orbits, prefix_orbits);
+            self.run_wave(pool, &wave_positions, target_prefix_orbits, prefix_orbits);
         }
+    }
+
+    /// Builds one self-contained heartbeat JSONL line (no trailing
+    /// newline).  `is_final` marks the forced end-of-run emission.
+    fn heartbeat_line(
+        &self,
+        hb: &obs::Heartbeat,
+        started: Instant,
+        target: u64,
+        is_final: bool,
+    ) -> String {
+        let (_, prefix_orbits) = self.prefix_state();
+        let elapsed_s = started.elapsed().as_secs_f64();
+        let orbits_per_s = if elapsed_s > 0.0 {
+            prefix_orbits as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let eta_s = if target != u64::MAX && orbits_per_s > 0.0 {
+            format!(
+                "{:.3}",
+                target.saturating_sub(prefix_orbits) as f64 / orbits_per_s
+            )
+        } else {
+            "null".to_owned()
+        };
+        let target_json = if target == u64::MAX {
+            "null".to_owned()
+        } else {
+            target.to_string()
+        };
+        let mut stats = PipelineStats::default();
+        let mut best = None;
+        let mut segments_done = 0usize;
+        for run in self.runs.iter().flatten() {
+            stats.merge(&run.stats());
+            best = BestCandidate::merge(best, run.pipeline.best());
+            segments_done += usize::from(run.done);
+        }
+        let best_eta = best.map_or("null".to_owned(), |b| b.eta.to_string());
+        let checkpoint = serde_json::to_string(&self.checkpoint_evicting(1))
+            .expect("segmented checkpoints serialise");
+        format!(
+            concat!(
+                "{{\"kind\":\"segmented_heartbeat\",\"seq\":{},\"elapsed_s\":{:.3},",
+                "\"final\":{},\"prefix_orbits\":{},\"target_orbits\":{},",
+                "\"segments_done\":{},\"segments_total\":{},",
+                "\"orbits_per_s\":{:.1},\"eta_s\":{},\"best_eta\":{},",
+                "\"funnel\":{{\"canonical_orbits\":{},\"pruned_symmetric\":{},",
+                "\"pruned_symbolic\":{},\"pruned_eta_bounded\":{},\"profiled\":{},",
+                "\"threshold_protocols\":{}}},\"checkpoint\":{}}}"
+            ),
+            hb.seq(),
+            elapsed_s,
+            is_final,
+            prefix_orbits,
+            target_json,
+            segments_done,
+            self.order.len(),
+            orbits_per_s,
+            eta_s,
+            best_eta,
+            stats.canonical_orbits,
+            stats.pruned_symmetric,
+            stats.pruned_symbolic,
+            stats.pruned_eta_bounded,
+            stats.profiled,
+            stats.threshold_protocols,
+            checkpoint,
+        )
     }
 
     /// Plan positions of the next wave of unfinished segments.
@@ -531,6 +656,7 @@ impl SegmentedSearch {
         target: u64,
         prefix_orbits_before: u64,
     ) {
+        let _wave = obs::span_with_arg("bb_wave", "segments", positions.len() as u64);
         let (prefix_pos_before, _) = self.prefix_state();
         // Prime the tracker with already-done segments beyond the prefix
         // (left over from earlier, larger waves).
@@ -582,6 +708,9 @@ impl SegmentedSearch {
                 if run.done || cancel.load(Ordering::Relaxed) {
                     return (seg_id, run);
                 }
+                // The segment lease: one complete span per segment a worker
+                // holds, the unit of the per-worker exec timeline.
+                let _lease = obs::span_with_arg("segment", "seg", u64::from(seg_id));
                 let mut stream = OrbitStream::resume(&space, &run.cursor);
                 let mut since_check = 0u32;
                 loop {
@@ -844,6 +973,63 @@ mod tests {
             straight.stats.threshold_protocols
         );
         assert_eq!(result.stats.profiled, straight.stats.profiled);
+    }
+
+    #[test]
+    fn heartbeat_lines_carry_resumable_checkpoints() {
+        use serde::Deserialize as _;
+        use std::time::Duration;
+
+        let seg = SegmentationConfig::index_order(16, None);
+        let straight = sequential(2, seg.clone(), 6);
+
+        // Period zero: one line per wave boundary plus the forced final one.
+        let (mut hb, buf) = popproto_obs::Heartbeat::shared_buffer(Duration::ZERO);
+        let pool = Pool::new(2);
+        let mut observed = SegmentedSearch::new(2, config(6), seg.clone());
+        observed.run_with_heartbeat(&pool, 20, &mut hb);
+        let observed_result = observed.result();
+
+        // The heartbeat is a pure observer: the observed run's merged
+        // prefix equals an unobserved run's of the same budget (modulo
+        // `memo_hits_cross`, which is scheduling-dependent either way).
+        let mut plain = SegmentedSearch::new(2, config(6), seg);
+        plain.run(2, 20);
+        let mut observed_det = observed_result.clone();
+        let mut plain_det = plain.result();
+        observed_det.stats.memo_hits_cross = 0;
+        plain_det.stats.memo_hits_cross = 0;
+        assert_eq!(observed_det, plain_det);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "at least the final line must be emitted");
+        let last = lines.last().unwrap();
+        let value: serde::Value = serde_json::from_str(last).expect("heartbeat line is JSON");
+        assert_eq!(
+            value.field("kind").and_then(String::from_value).unwrap(),
+            "segmented_heartbeat"
+        );
+        assert!(value.field("final").and_then(bool::from_value).unwrap());
+
+        // Resume from the checkpoint embedded in the last heartbeat and
+        // drive the plan to exhaustion: bit-identical to the straight run.
+        let checkpoint =
+            SegmentedCheckpoint::from_value(value.field("checkpoint").unwrap()).unwrap();
+        let mut resumed = SegmentedSearch::from_checkpoint(&checkpoint);
+        resumed.run(3, u64::MAX);
+        let result = resumed.result();
+        assert!(result.finished);
+        assert_eq!(result.best, straight.best);
+        assert_eq!(result.confirmed, straight.confirmed);
+        assert_eq!(
+            result.stats.canonical_orbits,
+            straight.stats.canonical_orbits
+        );
+        assert_eq!(
+            result.stats.threshold_protocols,
+            straight.stats.threshold_protocols
+        );
     }
 
     #[test]

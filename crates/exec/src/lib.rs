@@ -50,15 +50,52 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
-/// Scheduling counters of one [`map_with_stats`] run (diagnostic only —
-/// the *results* never depend on them).
+use popproto_obs as obs;
+
+/// Scheduling counters of one [`map_with_stats`] run or one [`Pool`]'s
+/// lifetime (diagnostic only — the *results* never depend on them).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads that ran (1 = inline execution, no threads spawned).
     pub workers: usize,
     /// Items executed by a worker other than the one they were dealt to.
     pub steals: u64,
+    /// Jobs executed by a submitting thread in a [`Pool`]'s helping wait
+    /// (always 0 for the scoped [`map`], which has no submitter queue).
+    pub helped: u64,
+    /// Items executed by each worker, indexed by worker.
+    pub per_worker_tasks: Vec<u64>,
+    /// Wall-clock nanoseconds each worker spent idle (backing off with an
+    /// empty deque, or parked on the queue condvar), indexed by worker.
+    pub per_worker_idle_ns: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total items executed by workers (excluding helping submitters).
+    pub fn total_tasks(&self) -> u64 {
+        self.per_worker_tasks.iter().sum()
+    }
+
+    /// Publishes the counters into the global metrics registry: gauges
+    /// `{prefix}.workers` / `{prefix}.steals` / `{prefix}.helped`, and
+    /// histograms `{prefix}.worker_tasks` / `{prefix}.worker_idle_ns`
+    /// with one observation per worker.
+    pub fn publish(&self, prefix: &str) {
+        let reg = obs::registry();
+        reg.set_gauge(&format!("{prefix}.workers"), self.workers as i64);
+        reg.set_gauge(&format!("{prefix}.steals"), self.steals as i64);
+        reg.set_gauge(&format!("{prefix}.helped"), self.helped as i64);
+        let tasks = reg.histogram(&format!("{prefix}.worker_tasks"));
+        for &n in &self.per_worker_tasks {
+            tasks.observe(n);
+        }
+        let idle = reg.histogram(&format!("{prefix}.worker_idle_ns"));
+        for &ns in &self.per_worker_idle_ns {
+            idle.observe(ns);
+        }
+    }
 }
 
 /// The worker count [`map`] uses when the caller passes `0`: the machine's
@@ -100,16 +137,23 @@ where
     if workers == 1 {
         // Inline fast path: no threads, no locks — and the reference
         // semantics every multi-worker run must reproduce.
+        let total = items.len() as u64;
         let results = items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                let _task = obs::span_with_arg("task", "item", i as u64);
+                f(i, item)
+            })
             .collect();
         return (
             results,
             PoolStats {
                 workers: 1,
                 steals: 0,
+                helped: 0,
+                per_worker_tasks: vec![total],
+                per_worker_idle_ns: vec![0],
             },
         );
     }
@@ -127,7 +171,7 @@ where
     let remaining = AtomicUsize::new(total);
     let steals = AtomicU64::new(0);
 
-    let mut buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let mut buckets: Vec<(Vec<(usize, T)>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|me| {
                 let deques = &deques;
@@ -137,17 +181,23 @@ where
                 scope.spawn(move || {
                     let mut out: Vec<(usize, T)> = Vec::new();
                     let mut idle_spins = 0u32;
+                    let mut idle_ns = 0u64;
+                    // Start of the current contiguous idle stretch, plus
+                    // the span guard drawing it in the trace.
+                    let mut idle_since: Option<Instant> = None;
+                    let mut idle_span: Option<obs::Span> = None;
                     loop {
                         // 1. Own deque, front (submission order).
                         let own = deques[me].lock().expect("deque poisoned").pop_front();
-                        let job = match own {
-                            Some(job) => Some(job),
+                        let (job, stolen_from) = match own {
+                            Some(job) => (Some(job), None),
                             None => {
                                 if remaining.load(Ordering::Acquire) == 0 {
                                     break;
                                 }
                                 // 2. Steal from the back of a victim.
                                 let mut stolen = None;
+                                let mut victim_id = None;
                                 for off in 1..workers {
                                     let victim = (me + off) % workers;
                                     if let Some(job) =
@@ -155,25 +205,41 @@ where
                                     {
                                         steals.fetch_add(1, Ordering::Relaxed);
                                         stolen = Some(job);
+                                        victim_id = Some(victim);
                                         break;
                                     }
                                 }
-                                stolen
+                                (stolen, victim_id)
                             }
                         };
                         match job {
                             Some((i, item)) => {
                                 idle_spins = 0;
+                                if let Some(t0) = idle_since.take() {
+                                    idle_ns += t0.elapsed().as_nanos() as u64;
+                                    drop(idle_span.take());
+                                }
+                                if let Some(victim) = stolen_from {
+                                    obs::instant_with_arg("steal", "victim", victim as u64);
+                                }
                                 // Decrement on pop, not on completion: if `f`
                                 // panics, the other workers must still see
                                 // the counter reach zero and exit (the panic
                                 // itself propagates at scope join).
                                 remaining.fetch_sub(1, Ordering::Release);
+                                let task = obs::span_with_arg("task", "item", i as u64);
                                 out.push((i, f(i, item)));
+                                drop(task);
                             }
                             None => {
                                 // All deques empty but items still in flight
                                 // on other workers: back off politely.
+                                if idle_since.is_none() {
+                                    idle_since = Some(Instant::now());
+                                    if obs::enabled() {
+                                        idle_span = Some(obs::span("idle"));
+                                    }
+                                }
                                 idle_spins = idle_spins.saturating_add(1);
                                 if idle_spins < 16 {
                                     std::thread::yield_now();
@@ -183,7 +249,11 @@ where
                             }
                         }
                     }
-                    out
+                    if let Some(t0) = idle_since.take() {
+                        idle_ns += t0.elapsed().as_nanos() as u64;
+                        drop(idle_span.take());
+                    }
+                    (out, idle_ns)
                 })
             })
             .collect();
@@ -195,8 +265,12 @@ where
 
     // Reassemble into submission order: scheduling cannot leak into the
     // output.
+    let mut per_worker_tasks = Vec::with_capacity(workers);
+    let mut per_worker_idle_ns = Vec::with_capacity(workers);
     let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
-    for bucket in buckets.drain(..) {
+    for (bucket, idle_ns) in buckets.drain(..) {
+        per_worker_tasks.push(bucket.len() as u64);
+        per_worker_idle_ns.push(idle_ns);
         for (i, value) in bucket {
             debug_assert!(slots[i].is_none(), "item {i} executed twice");
             slots[i] = Some(value);
@@ -211,6 +285,9 @@ where
         PoolStats {
             workers,
             steals: steals.load(Ordering::Relaxed),
+            helped: 0,
+            per_worker_tasks,
+            per_worker_idle_ns,
         },
     )
 }
@@ -224,6 +301,12 @@ struct PoolShared {
     state: Mutex<PoolQueue>,
     /// Signalled when jobs are enqueued (and at shutdown).
     available: Condvar,
+    /// Jobs executed by each worker over the pool's lifetime.
+    worker_tasks: Vec<AtomicU64>,
+    /// Nanoseconds each worker spent parked on the queue condvar.
+    worker_idle_ns: Vec<AtomicU64>,
+    /// Jobs executed by submitting threads inside a helping wait.
+    helped: AtomicU64,
 }
 
 struct PoolQueue {
@@ -274,13 +357,16 @@ impl Pool {
                 shutdown: false,
             }),
             available: Condvar::new(),
+            worker_tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            worker_idle_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            helped: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("popproto-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -294,6 +380,30 @@ impl Pool {
     /// The number of worker threads (excluding helping submitters).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Cumulative scheduling counters since the pool was created: jobs
+    /// per worker, condvar-parked nanoseconds per worker, and jobs run
+    /// by helping submitters.  `steals` is always 0 — the persistent
+    /// pool has one shared queue, so nothing is ever "stolen".
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            steals: 0,
+            helped: self.shared.helped.load(Ordering::Relaxed),
+            per_worker_tasks: self
+                .shared
+                .worker_tasks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            per_worker_idle_ns: self
+                .shared
+                .worker_idle_ns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// Maps `f` over `items` on the pool, returning results in submission
@@ -368,7 +478,11 @@ impl Pool {
                 .jobs
                 .pop_front();
             match job {
-                Some(job) => job(),
+                Some(job) => {
+                    self.shared.helped.fetch_add(1, Ordering::Relaxed);
+                    let _help = obs::span("help");
+                    job();
+                }
                 None => {
                     let remaining = call.remaining.lock().expect("pool remaining poisoned");
                     if *remaining > 0 {
@@ -407,7 +521,7 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, me: usize) {
     loop {
         let job = {
             let mut state = shared.state.lock().expect("pool queue poisoned");
@@ -418,14 +532,27 @@ fn worker_loop(shared: &PoolShared) {
                 if state.shutdown {
                     break None;
                 }
+                let idle_span = if obs::enabled() {
+                    Some(obs::span("idle"))
+                } else {
+                    None
+                };
+                let parked = Instant::now();
                 state = shared
                     .available
                     .wait(state)
                     .expect("pool idle wait poisoned");
+                shared.worker_idle_ns[me]
+                    .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                drop(idle_span);
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                shared.worker_tasks[me].fetch_add(1, Ordering::Relaxed);
+                let _job_span = obs::span("job");
+                job();
+            }
             None => return,
         }
     }
@@ -485,6 +612,9 @@ mod tests {
             stats.steals > 0,
             "the blocked worker's items were never stolen"
         );
+        assert_eq!(stats.per_worker_tasks.len(), 4);
+        assert_eq!(stats.per_worker_idle_ns.len(), 4);
+        assert_eq!(stats.total_tasks(), 64);
     }
 
     #[test]
@@ -599,5 +729,53 @@ mod tests {
         let pool = Pool::new(2);
         let out: Vec<u32> = pool.map(Vec::<u32>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_stats_account_for_every_job() {
+        let pool = Pool::new(2);
+        for _ in 0..3 {
+            let _ = pool.map((0..32u64).collect(), |_, x| x + 1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.steals, 0, "the shared-queue pool never steals");
+        assert_eq!(stats.per_worker_tasks.len(), 2);
+        assert_eq!(stats.per_worker_idle_ns.len(), 2);
+        assert_eq!(
+            stats.total_tasks() + stats.helped,
+            96,
+            "workers + helping submitter must cover all jobs: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pool_stats_publish_lands_in_the_metrics_registry() {
+        let stats = PoolStats {
+            workers: 3,
+            steals: 5,
+            helped: 2,
+            per_worker_tasks: vec![10, 11, 12],
+            per_worker_idle_ns: vec![0, 1_000, 2_000],
+        };
+        stats.publish("exec.test.pool");
+        let snap = obs::registry().snapshot();
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("gauge {name} missing"))
+        };
+        assert_eq!(gauge("exec.test.pool.workers"), 3);
+        assert_eq!(gauge("exec.test.pool.steals"), 5);
+        assert_eq!(gauge("exec.test.pool.helped"), 2);
+        let tasks = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "exec.test.pool.worker_tasks")
+            .expect("worker_tasks histogram missing");
+        assert_eq!(tasks.count, 3);
+        assert_eq!(tasks.sum, 33);
     }
 }

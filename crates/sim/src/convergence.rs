@@ -3,8 +3,10 @@
 use crate::engine_api::SimulationEngine;
 use crate::ensemble::EnsembleSimulator;
 use popproto_model::{Config, Output, Protocol};
+use popproto_obs as obs;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Strategies for deciding that a simulated execution has (very likely)
 /// stabilised.
@@ -159,12 +161,48 @@ pub fn run_ensemble_until_convergence(
     criterion: ConvergenceCriterion,
     max_interactions: u64,
 ) -> Vec<ConvergenceOutcome> {
+    run_ensemble_until_convergence_observed(sim, criterion, max_interactions, |_| {})
+}
+
+/// A progress snapshot of one ensemble convergence drive, handed to the
+/// observer of [`run_ensemble_until_convergence_observed`] after each
+/// check/retire pass.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleProgress {
+    /// Lanes the drive started with.
+    pub lanes_total: usize,
+    /// Lanes still advancing.
+    pub lanes_live: usize,
+    /// Lanes already finalised (converged, stuck, or out of budget).
+    pub lanes_finished: usize,
+    /// Lockstep waves executed so far.
+    pub waves: u64,
+    /// Total interactions simulated across all lanes (live and retired).
+    pub interactions: u64,
+}
+
+/// [`run_ensemble_until_convergence`] with a progress observer.
+///
+/// `observe` fires after every check/retire pass with a read-only
+/// snapshot.  It is a **pure observer**: the wave structure, per-lane
+/// chunk budgets and RNG consumption are computed exactly as in the
+/// unobserved drive, so the outcomes are bit-identical whether or not an
+/// observer is attached (the sharded-equivalence suite pins this).
+pub fn run_ensemble_until_convergence_observed<F: FnMut(&EnsembleProgress)>(
+    sim: &mut EnsembleSimulator,
+    criterion: ConvergenceCriterion,
+    max_interactions: u64,
+    mut observe: F,
+) -> Vec<ConvergenceOutcome> {
     let population = sim.population();
     let total = sim.lanes();
     let check_granularity = (population / 2).max(1);
     let mut outcomes: Vec<Option<ConvergenceOutcome>> = vec![None; total];
     // Indexed by original lane id, so it survives compaction.
     let mut consensus_since: Vec<Option<u64>> = vec![None; total];
+    // Interactions banked by retired lanes (their columns are gone, but
+    // the progress reports still count them).
+    let mut retired_interactions = 0u64;
 
     let finalize =
         |sim: &EnsembleSimulator, lane: usize, converged_at: Option<u64>| ConvergenceOutcome {
@@ -204,6 +242,7 @@ pub fn run_ensemble_until_convergence(
                 }
             }
             if converged_at.is_some() || silent_disagreement || interactions >= max_interactions {
+                retired_interactions += interactions;
                 outcomes[id] = Some(finalize(sim, lane, converged_at));
                 finished.push(lane);
             }
@@ -213,6 +252,15 @@ pub fn run_ensemble_until_convergence(
         for &lane in finished.iter().rev() {
             sim.retire_lane(lane);
         }
+        let live = sim.lanes();
+        let live_interactions: u64 = (0..live).map(|lane| sim.lane_interactions(lane)).sum();
+        observe(&EnsembleProgress {
+            lanes_total: total,
+            lanes_live: live,
+            lanes_finished: total - live,
+            waves: sim.phase_breakdown().waves,
+            interactions: retired_interactions + live_interactions,
+        });
         if sim.lanes() == 0 {
             break;
         }
@@ -244,6 +292,7 @@ pub fn run_ensemble_until_convergence(
         let mut stuck: Vec<usize> = Vec::new();
         for lane in 0..sim.lanes() {
             if advanced[lane] == 0 && sim.lane_output(lane).is_none() {
+                retired_interactions += sim.lane_interactions(lane);
                 outcomes[sim.lane_id(lane)] = Some(finalize(sim, lane, None));
                 stuck.push(lane);
             }
@@ -300,11 +349,150 @@ pub fn run_sharded_ensemble_until_convergence(
     let protocol = Arc::new(protocol.clone());
     let initial = Arc::new(initial.clone());
     let blocks: Vec<Vec<u64>> = seeds.chunks(chunk).map(<[u64]>::to_vec).collect();
-    let per_block = popproto_exec::global().map(blocks, move |_, block| {
+    let per_block = popproto_exec::global().map(blocks, move |shard, block| {
+        let _shard_span = obs::span_with_arg("shard", "shard", shard as u64);
         let mut sim = EnsembleSimulator::new((*protocol).clone(), (*initial).clone(), &block);
         run_ensemble_until_convergence(&mut sim, criterion, max_interactions)
     });
     per_block.into_iter().flatten().collect()
+}
+
+/// [`run_sharded_ensemble_until_convergence`] with streaming JSONL
+/// progress.
+///
+/// Every shard reports its check-pass snapshots into shared atomics;
+/// whichever shard finds the heartbeat due (and uncontended) emits one
+/// line aggregating all shards:
+///
+/// ```json
+/// {"kind":"ensemble_heartbeat","seq":0,"elapsed_s":1.25,
+///  "lanes_total":16,"lanes_finished":9,"shards":4,
+///  "interactions":123456,"interactions_per_s":98765.0}
+/// ```
+///
+/// A final line (`"final":true`, plus `lanes_converged`) is always
+/// emitted after the drive completes, whatever the period.  The
+/// heartbeat is a **pure observer** — emission can never change a wave,
+/// a budget or an RNG draw — so the returned outcomes are bit-identical
+/// to [`run_sharded_ensemble_until_convergence`] for every shard count
+/// and every heartbeat period.
+pub fn run_sharded_ensemble_with_heartbeat(
+    protocol: &Protocol,
+    initial: &Config,
+    seeds: &[u64],
+    shards: usize,
+    criterion: ConvergenceCriterion,
+    max_interactions: u64,
+    heartbeat: &Arc<Mutex<obs::Heartbeat>>,
+) -> Vec<ConvergenceOutcome> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let shards = if shards == 0 {
+        popproto_exec::global().workers()
+    } else {
+        shards
+    }
+    .max(1);
+    let chunk = seeds.len().div_ceil(shards);
+    let blocks: Vec<Vec<u64>> = seeds.chunks(chunk).map(<[u64]>::to_vec).collect();
+    let lanes_total = seeds.len();
+    let shard_count = blocks.len();
+
+    // Per-shard progress cells, aggregated by whichever shard emits.
+    let finished: Arc<Vec<AtomicU64>> =
+        Arc::new((0..shard_count).map(|_| AtomicU64::new(0)).collect());
+    let interactions: Arc<Vec<AtomicU64>> =
+        Arc::new((0..shard_count).map(|_| AtomicU64::new(0)).collect());
+
+    let emit = {
+        let finished = Arc::clone(&finished);
+        let interactions = Arc::clone(&interactions);
+        let heartbeat = Arc::clone(heartbeat);
+        move || {
+            // try_lock: a contended heartbeat just means another shard is
+            // emitting this very line — skip, never block the wave loop.
+            let Ok(mut hb) = heartbeat.try_lock() else {
+                return;
+            };
+            if !hb.due() {
+                return;
+            }
+            let done: u64 = finished.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            let inter: u64 = interactions.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            let elapsed = hb.elapsed_s();
+            let rate = if elapsed > 0.0 {
+                inter as f64 / elapsed
+            } else {
+                0.0
+            };
+            let line = format!(
+                "{{\"kind\":\"ensemble_heartbeat\",\"seq\":{},\"elapsed_s\":{elapsed:.3},\
+                 \"lanes_total\":{lanes_total},\"lanes_finished\":{done},\
+                 \"shards\":{shard_count},\"interactions\":{inter},\
+                 \"interactions_per_s\":{rate:.1}}}",
+                hb.seq(),
+            );
+            hb.emit(&line);
+        }
+    };
+
+    let per_block = if shard_count == 1 {
+        let mut sim = EnsembleSimulator::new(protocol.clone(), initial.clone(), &blocks[0]);
+        let observe = |p: &EnsembleProgress| {
+            finished[0].store(p.lanes_finished as u64, Ordering::Relaxed);
+            interactions[0].store(p.interactions, Ordering::Relaxed);
+            emit();
+        };
+        vec![run_ensemble_until_convergence_observed(
+            &mut sim,
+            criterion,
+            max_interactions,
+            observe,
+        )]
+    } else {
+        let protocol = Arc::new(protocol.clone());
+        let initial = Arc::new(initial.clone());
+        let finished = Arc::clone(&finished);
+        let interactions = Arc::clone(&interactions);
+        let emit = emit.clone();
+        popproto_exec::global().map(blocks, move |shard, block| {
+            let _shard_span = obs::span_with_arg("shard", "shard", shard as u64);
+            let mut sim = EnsembleSimulator::new((*protocol).clone(), (*initial).clone(), &block);
+            let observe = |p: &EnsembleProgress| {
+                finished[shard].store(p.lanes_finished as u64, Ordering::Relaxed);
+                interactions[shard].store(p.interactions, Ordering::Relaxed);
+                emit();
+            };
+            run_ensemble_until_convergence_observed(&mut sim, criterion, max_interactions, observe)
+        })
+    };
+
+    let outcomes: Vec<ConvergenceOutcome> = per_block.into_iter().flatten().collect();
+
+    // Final line: the aggregate cells are complete now, and the converged
+    // count is exact.
+    {
+        let converged = outcomes.iter().filter(|o| o.converged).count();
+        let done: u64 = finished.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let inter: u64 = interactions.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let mut hb = heartbeat.lock().expect("heartbeat poisoned");
+        let elapsed = hb.elapsed_s();
+        let rate = if elapsed > 0.0 {
+            inter as f64 / elapsed
+        } else {
+            0.0
+        };
+        let line = format!(
+            "{{\"kind\":\"ensemble_heartbeat\",\"seq\":{},\"elapsed_s\":{elapsed:.3},\
+             \"lanes_total\":{lanes_total},\"lanes_finished\":{done},\
+             \"lanes_converged\":{converged},\"shards\":{shard_count},\
+             \"interactions\":{inter},\"interactions_per_s\":{rate:.1},\"final\":true}}",
+            hb.seq(),
+        );
+        hb.emit(&line);
+    }
+    outcomes
 }
 
 #[cfg(test)]

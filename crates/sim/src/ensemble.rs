@@ -53,9 +53,9 @@ use crate::sampling::{
     hypergeometric_lanes, split_candidates_uniform, BirthdaySampler, LaneDrawScratch,
 };
 use popproto_model::{Config, Output, Protocol};
+use popproto_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Mirrors `MIN_BATCHED_POPULATION` in `batched.rs` (kept private there to
 /// preserve its doc story; the values must agree for lane equivalence, which
@@ -96,17 +96,36 @@ pub fn add_lanes(dst: &mut [u64], src: &[u64]) {
     }
 }
 
+/// Phase slot order of the ensemble's [`obs::Phases`] accumulator; the
+/// indices below must match.
+const WAVE_PHASES: &[&str] = &[
+    "classification",
+    "split",
+    "pairing",
+    "apply",
+    "collision",
+    "silence",
+];
+const PH_CLASSIFICATION: usize = 0;
+const PH_SPLIT: usize = 1;
+const PH_PAIRING: usize = 2;
+const PH_APPLY: usize = 3;
+const PH_COLLISION: usize = 4;
+const PH_SILENCE: usize = 5;
+
 /// Cumulative wall-clock time spent in each phase of the lockstep waves,
 /// in nanoseconds — the machine-checkable evidence behind pairing-share
 /// claims (exported as the `wave_phase_breakdown` section of
 /// `BENCH_sim.json`).
 ///
-/// The two `Instant::now()` calls bracketing each phase cost tens of
-/// nanoseconds against wave phases that run micro- to milliseconds, so the
-/// breakdown is always on.  Candidate splits are counted inside
-/// `pairing_ns` (they happen during the pair-table pass), and the
-/// initiator/responder multivariate-hypergeometric chains share
-/// `split_ns`.
+/// This is a *view*: the accumulation itself lives in an
+/// [`obs::Phases`] (one `Instant::now()` per phase boundary, costing
+/// tens of nanoseconds against wave phases that run micro- to
+/// milliseconds, so the breakdown is always on — and the same marks draw
+/// per-wave flame rows in the chrome trace whenever tracing is enabled).
+/// Candidate splits are counted inside `pairing_ns` (they happen during
+/// the pair-table pass), and the initiator/responder
+/// multivariate-hypergeometric chains share `split_ns`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WavePhaseBreakdown {
     /// Waves timed.
@@ -136,6 +155,22 @@ impl WavePhaseBreakdown {
             + self.apply_ns
             + self.collision_ns
             + self.silence_ns
+    }
+
+    /// Publishes the breakdown into the global metrics registry as
+    /// gauges `{prefix}.{phase}_ns` plus `{prefix}.waves`.
+    pub fn publish(&self, prefix: &str) {
+        let reg = obs::registry();
+        reg.set_gauge(&format!("{prefix}.waves"), self.waves as i64);
+        reg.set_gauge(
+            &format!("{prefix}.classification_ns"),
+            self.classification_ns as i64,
+        );
+        reg.set_gauge(&format!("{prefix}.split_ns"), self.split_ns as i64);
+        reg.set_gauge(&format!("{prefix}.pairing_ns"), self.pairing_ns as i64);
+        reg.set_gauge(&format!("{prefix}.apply_ns"), self.apply_ns as i64);
+        reg.set_gauge(&format!("{prefix}.collision_ns"), self.collision_ns as i64);
+        reg.set_gauge(&format!("{prefix}.silence_ns"), self.silence_ns as i64);
     }
 }
 
@@ -200,8 +235,9 @@ pub struct EnsembleSimulator {
     lane_buf: Vec<u32>,
     draw_out: Vec<u64>,
     lane_scratch: LaneDrawScratch,
-    /// Cumulative per-phase wave timings.
-    phases: WavePhaseBreakdown,
+    /// Cumulative per-phase wave timings (and, when tracing is enabled,
+    /// the per-wave phase spans of the chrome trace).
+    phases: obs::Phases,
 }
 
 impl EnsembleSimulator {
@@ -263,7 +299,7 @@ impl EnsembleSimulator {
             lane_buf: Vec::with_capacity(k),
             draw_out: vec![0; k],
             lane_scratch: LaneDrawScratch::default(),
-            phases: WavePhaseBreakdown::default(),
+            phases: obs::Phases::new(WAVE_PHASES),
         };
         sim.refresh_silence(None);
         sim
@@ -315,14 +351,23 @@ impl EnsembleSimulator {
     }
 
     /// The cumulative per-phase wave timings since construction (or the
-    /// last [`reset_phase_breakdown`](Self::reset_phase_breakdown)).
+    /// last [`reset_phase_breakdown`](Self::reset_phase_breakdown)), as
+    /// a plain-struct view over the [`obs::Phases`] accumulator.
     pub fn phase_breakdown(&self) -> WavePhaseBreakdown {
-        self.phases
+        WavePhaseBreakdown {
+            waves: self.phases.rounds(),
+            classification_ns: self.phases.ns(PH_CLASSIFICATION),
+            split_ns: self.phases.ns(PH_SPLIT),
+            pairing_ns: self.phases.ns(PH_PAIRING),
+            apply_ns: self.phases.ns(PH_APPLY),
+            collision_ns: self.phases.ns(PH_COLLISION),
+            silence_ns: self.phases.ns(PH_SILENCE),
+        }
     }
 
     /// Zeroes the per-phase wave timings (e.g. after warmup).
     pub fn reset_phase_breakdown(&mut self) {
-        self.phases = WavePhaseBreakdown::default();
+        self.phases.reset();
     }
 
     /// The per-state counts of lane `lane` (a strided column copy).
@@ -394,7 +439,8 @@ impl EnsembleSimulator {
         let stride = self.stride;
         let n = self.population;
         let q = self.num_states;
-        let wave_start = Instant::now();
+        let _wave_span = obs::span_with_arg("wave", "lanes", active as u64);
+        let mut mark = self.phases.begin_round();
 
         // Phase 0: per-lane wave classification, then one lane-batched
         // birthday draw covering every batching candidate.  The budget
@@ -434,8 +480,7 @@ impl EnsembleSimulator {
                 batchers += 1;
             }
         }
-        let mut mark = Instant::now();
-        self.phases.classification_ns += (mark - wave_start).as_nanos() as u64;
+        self.phases.mark(&mut mark, PH_CLASSIFICATION);
 
         if batchers > 0 {
             // Phase 1: initiator split — one pass over the state axis, all
@@ -539,9 +584,7 @@ impl EnsembleSimulator {
             }
             self.post_acc[..q * stride].fill(0);
             self.m_lane[..active].fill(0);
-            let t = Instant::now();
-            self.phases.split_ns += (t - mark).as_nanos() as u64;
-            mark = t;
+            self.phases.mark(&mut mark, PH_SPLIT);
 
             // Phase 3: the single pass over the pair table.  For each entry
             // (a, b), sample every lane's interaction count (and candidate
@@ -691,9 +734,7 @@ impl EnsembleSimulator {
                 );
             }
 
-            let t = Instant::now();
-            self.phases.pairing_ns += (t - mark).as_nanos() as u64;
-            mark = t;
+            self.phases.mark(&mut mark, PH_PAIRING);
 
             // Phase 4: fused application of the wave's accumulated deltas
             // and counters.
@@ -706,9 +747,7 @@ impl EnsembleSimulator {
             }
             add_lanes(&mut self.interactions[..active], &self.wave_l[..active]);
             add_lanes(&mut done[..active], &self.wave_l[..active]);
-            let t = Instant::now();
-            self.phases.apply_ns += (t - mark).as_nanos() as u64;
-            mark = t;
+            self.phases.mark(&mut mark, PH_APPLY);
         }
 
         // Phase 5: the collision interaction (batch lanes) / the whole wave
@@ -719,15 +758,13 @@ impl EnsembleSimulator {
                 *d += 1;
             }
         }
-        let t = Instant::now();
-        self.phases.collision_ns += (t - mark).as_nanos() as u64;
-        mark = t;
+        self.phases.mark(&mut mark, PH_COLLISION);
 
         // Phase 6: refresh the silence flags of every participant in one
         // pass over the non-silent pairs.
         self.refresh_silence(Some(active));
-        self.phases.silence_ns += (Instant::now() - mark).as_nanos() as u64;
-        self.phases.waves += 1;
+        self.phases.mark(&mut mark, PH_SILENCE);
+        self.phases.end_round();
     }
 
     /// Accumulates `m[k]` agents into rows `a` and `b` of the post

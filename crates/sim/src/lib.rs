@@ -63,8 +63,9 @@ pub mod stats;
 pub use batched::BatchedSimulator;
 pub use compiled::CompiledProtocol;
 pub use convergence::{
-    run_ensemble_until_convergence, run_sharded_ensemble_until_convergence, run_until_convergence,
-    ConvergenceCriterion, ConvergenceOutcome,
+    run_ensemble_until_convergence, run_ensemble_until_convergence_observed,
+    run_sharded_ensemble_until_convergence, run_sharded_ensemble_with_heartbeat,
+    run_until_convergence, ConvergenceCriterion, ConvergenceOutcome, EnsembleProgress,
 };
 pub use engine::Simulator;
 pub use engine_api::SimulationEngine;

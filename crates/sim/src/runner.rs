@@ -8,6 +8,7 @@ use crate::engine::Simulator;
 use crate::ensemble::EnsembleSimulator;
 use crate::stats::{aggregate_outcomes, ConvergenceStats};
 use popproto_model::{Config, Input, Protocol};
+use popproto_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -119,14 +120,18 @@ pub fn run_experiment(experiment: &SimulationExperiment) -> ExperimentResult {
                 .flat_map(|block| block.chunks(sub))
                 .map(<[u64]>::to_vec)
                 .collect();
-            let per_block = popproto_exec::global().map(blocks, move |_, block| {
+            let per_block = popproto_exec::global().map(blocks, move |i, block| {
+                let _span = obs::span_with_arg("seed_block", "block", i as u64);
                 run_seed_block(&experiment, &ic, &block)
             });
             per_block.into_iter().flatten().collect()
         }
         _ => {
             let seeds = experiment.seeds.clone();
-            popproto_exec::global().map(seeds, move |_, seed| run_one_seed(&experiment, &ic, seed))
+            popproto_exec::global().map(seeds, move |_, seed| {
+                let _span = obs::span_with_arg("seed", "seed", seed);
+                run_one_seed(&experiment, &ic, seed)
+            })
         }
     };
     let stats = aggregate_outcomes(&outcomes);

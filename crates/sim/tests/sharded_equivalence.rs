@@ -9,11 +9,15 @@
 //! is a throughput knob, never a semantics knob.
 
 use popproto_model::Input;
+use popproto_obs as obs;
 use popproto_sim::{
-    run_ensemble_until_convergence, run_sharded_ensemble_until_convergence, ConvergenceCriterion,
-    ConvergenceOutcome, EngineKind, EnsembleSimulator, SimulationExperiment,
+    run_ensemble_until_convergence, run_sharded_ensemble_until_convergence,
+    run_sharded_ensemble_with_heartbeat, ConvergenceCriterion, ConvergenceOutcome, EngineKind,
+    EnsembleSimulator, SimulationExperiment,
 };
 use popproto_zoo::{approximate_majority, binary_counter};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 fn assert_outcomes_identical(a: &[ConvergenceOutcome], b: &[ConvergenceOutcome], ctx: &str) {
     assert_eq!(a.len(), b.len(), "outcome count: {ctx}");
@@ -66,6 +70,45 @@ fn sharded_driver_matches_under_the_persistence_criterion() {
             run_sharded_ensemble_until_convergence(&p, &ic, &seeds, shards, criterion, u64::MAX);
         assert_outcomes_identical(&reference, &sharded, &format!("persistence, P = {shards}"));
     }
+}
+
+/// Instrumentation inertness at the sharded-driver level: outcomes are
+/// bit-identical with tracing disabled, with tracing enabled, and with the
+/// heartbeat variant layered on top — the obs layer is a pure observer.
+#[test]
+fn tracing_and_heartbeats_leave_sharded_outcomes_bit_identical() {
+    let _serial = obs::test_support::serial();
+    let p = approximate_majority();
+    let ic = p.initial_config(&Input::from_counts(vec![700, 500]));
+    let seeds: Vec<u64> = (0..13).collect();
+    let criterion = ConvergenceCriterion::Silent;
+    let budget = 2_000_000u64;
+
+    assert!(!obs::enabled(), "tracing must start disabled");
+    let reference = run_sharded_ensemble_until_convergence(&p, &ic, &seeds, 4, criterion, budget);
+
+    obs::start();
+    let traced = run_sharded_ensemble_until_convergence(&p, &ic, &seeds, 4, criterion, budget);
+    let (heartbeat, lines) = obs::Heartbeat::shared_buffer(Duration::ZERO);
+    let heartbeat = Arc::new(Mutex::new(heartbeat));
+    let observed =
+        run_sharded_ensemble_with_heartbeat(&p, &ic, &seeds, 4, criterion, budget, &heartbeat);
+    let trace = obs::stop();
+
+    assert_outcomes_identical(&reference, &traced, "tracing enabled");
+    assert_outcomes_identical(&reference, &observed, "tracing + heartbeat");
+
+    // The byproducts must be real: shard spans in a valid chrome trace, and
+    // a final heartbeat line counting the converged lanes.
+    let json = trace.to_chrome_trace();
+    let summary = obs::validate_chrome_trace(&json).expect("trace validates");
+    assert!(summary.complete > 0, "shard/wave spans were traced");
+    let text = String::from_utf8(lines.lock().unwrap().clone()).unwrap();
+    let last = text.lines().last().expect("final heartbeat line");
+    assert!(last.contains("\"kind\":\"ensemble_heartbeat\""));
+    assert!(last.contains("\"final\":true"));
+    let converged = reference.iter().filter(|o| o.converged).count();
+    assert!(last.contains(&format!("\"lanes_converged\":{converged}")));
 }
 
 #[test]
