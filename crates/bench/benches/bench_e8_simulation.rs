@@ -19,13 +19,17 @@
 //!   `host_cpus` / `time_sliced` so plateaus on starved hosts read as what
 //!   they are;
 //! * `wave_phase_breakdown` — cumulative per-phase wall time of the
-//!   ensemble waves at n = 10⁶, K = 256, making the pairing-pass share
-//!   machine-checkable;
+//!   ensemble waves at n = 10⁶, K = 256, making the pairing *and split*
+//!   shares machine-checkable, with per-phase before/after rows against
+//!   the committed pre-cached-sampler baseline;
 //! * `sampler_crossovers` — ns/draw of the public samplers at parameter
 //!   points straddling each planner threshold (`URN_MAX_DRAWS`,
 //!   `POPCOUNT_MAX_N`, `BERN_MAX_N`, `BTRS_MIN_MEAN`,
 //!   `ALIAS_DRAWS_PER_CANDIDATE`), the measurements behind the threshold
-//!   table in `sampling.rs`.
+//!   table in `sampling.rs`, plus cached-setup rows comparing the scalar
+//!   entry points (plan rebuilt per draw) against
+//!   `CachedHypergeometric` / `CachedBinomial` constructed once outside
+//!   the loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use popproto::experiments::experiment_e8;
@@ -367,32 +371,75 @@ fn emit_bench_json(_c: &mut Criterion) {
     // 5. Per-phase wave breakdown at the acceptance point (n = 10⁶,
     // K = 256): where does ensemble wave time actually go?  The breakdown
     // is reset after warmup so one-time setup never pollutes the shares.
+    // Three identical repetitions are measured (same seeds, so
+    // bit-identical trajectories and identical work) and the fastest
+    // kept — the min-over-reps convention of `ensemble_throughput`
+    // above, with one extra rep because the per-phase speedup gates are
+    // tighter than a throughput edge and a single preempted rep would
+    // fail them spuriously on the shared single-core host.  The `phases`
+    // rows pair each phase's measured cumulative ns with the committed
+    // pre-cached-sampler baseline (same workload, same warmup
+    // discipline), so the split-phase speedup is machine-checkable as
+    // `baseline_ns / ns` without digging through git history.
     {
         let n = 1_000_000u64;
         let k = 256usize;
         let input = Input::from_counts(vec![n / 2 + n / 20, n - n / 2 - n / 20]);
         let ic = p.initial_config(&input);
         let seeds: Vec<u64> = (0..k as u64).collect();
-        let mut ens = EnsembleSimulator::new(p.clone(), ic, &seeds);
-        ens.advance_uniform(n / 10);
-        ens.reset_phase_breakdown();
-        ens.advance_uniform(2 * n);
-        let ph = ens.phase_breakdown();
+        let mut best: Option<popproto_sim::WavePhaseBreakdown> = None;
+        for _ in 0..3 {
+            let mut ens = EnsembleSimulator::new(p.clone(), ic.clone(), &seeds);
+            ens.advance_uniform(n / 10);
+            ens.reset_phase_breakdown();
+            ens.advance_uniform(2 * n);
+            let ph = ens.phase_breakdown();
+            if best.as_ref().is_none_or(|b| ph.total_ns() < b.total_ns()) {
+                best = Some(ph);
+            }
+        }
+        let ph = best.expect("three reps measured");
         let total = ph.total_ns().max(1) as f64;
-        let pairing_share = ph.pairing_ns as f64 / total;
+        let pairing_share = ph.pairing_share();
+        let split_share = ph.split_share();
         println!(
             "[E8] wave phases at n = {n}, K = {k}: {} waves, pairing {:.1}% \
              (classification {:.1}%, split {:.1}%, apply {:.1}%, collision {:.1}%, silence {:.1}%)",
             ph.waves,
             100.0 * pairing_share,
             100.0 * ph.classification_ns as f64 / total,
-            100.0 * ph.split_ns as f64 / total,
+            100.0 * split_share,
             100.0 * ph.apply_ns as f64 / total,
             100.0 * ph.collision_ns as f64 / total,
             100.0 * ph.silence_ns as f64 / total,
         );
+        // Committed baseline: the wave_phase_breakdown recorded by the
+        // pre-cached-sampler build at this exact workload (waves 3265).
+        let baseline: [(&str, u64, u64); 6] = [
+            ("classification", ph.classification_ns, 9_899_798),
+            ("split", ph.split_ns, 436_684_483),
+            ("pairing", ph.pairing_ns, 294_634_259),
+            ("apply", ph.apply_ns, 1_121_846),
+            ("collision", ph.collision_ns, 25_429_450),
+            ("silence", ph.silence_ns, 3_241_620),
+        ];
+        let phase_rows: Vec<String> = baseline
+            .iter()
+            .map(|&(name, ns, base)| {
+                let speedup = base as f64 / ns.max(1) as f64;
+                format!(
+                    "      {{\"phase\": \"{name}\", \"ns\": {ns}, \"baseline_ns\": {base}, \"speedup_vs_baseline\": {speedup:.3}}}"
+                )
+            })
+            .collect();
+        println!(
+            "[E8] split phases: {} ns vs baseline 436684483 ns ({:.2}x), split share {:.1}%",
+            ph.split_ns,
+            436_684_483.0 / ph.split_ns.max(1) as f64,
+            100.0 * split_share,
+        );
         entries.push(format!(
-            "  \"wave_phase_breakdown\": {{\n    \"population\": {n},\n    \"lanes\": {k},\n    \"waves\": {},\n    \"classification_ns\": {},\n    \"split_ns\": {},\n    \"pairing_ns\": {},\n    \"apply_ns\": {},\n    \"collision_ns\": {},\n    \"silence_ns\": {},\n    \"pairing_share\": {pairing_share:.4}\n  }}",
+            "  \"wave_phase_breakdown\": {{\n    \"population\": {n},\n    \"lanes\": {k},\n    \"waves\": {},\n    \"classification_ns\": {},\n    \"split_ns\": {},\n    \"pairing_ns\": {},\n    \"apply_ns\": {},\n    \"collision_ns\": {},\n    \"silence_ns\": {},\n    \"pairing_share\": {pairing_share:.4},\n    \"split_share\": {split_share:.4},\n    \"baseline_waves\": 3265,\n    \"host_cpus\": {host_cpus},\n    \"time_sliced\": {time_sliced},\n    \"phases\": [\n{}\n    ]\n  }}",
             ph.waves,
             ph.classification_ns,
             ph.split_ns,
@@ -400,6 +447,7 @@ fn emit_bench_json(_c: &mut Criterion) {
             ph.apply_ns,
             ph.collision_ns,
             ph.silence_ns,
+            phase_rows.join(",\n"),
         ));
     }
 
@@ -508,6 +556,65 @@ fn emit_bench_json(_c: &mut Criterion) {
                 std::hint::black_box(&out2);
                 crossover_rows.push(format!(
                     "    {{\"family\": \"candidate_split\", \"m\": {m}, \"candidates\": {c}, \"leaf\": \"{leaf}\", \"ns_per_split\": {ns:.1}}}"
+                ));
+            }
+        }
+
+        // Setup amortisation: the scalar entry points replan on every call
+        // (parameter validation, leaf selection, and all float setup —
+        // ln-gamma constants for HRUA, BTRS constants, pmf0 for the CDF
+        // walk), while the cached handles pay that once at construction.
+        // The `_ext` / `_stirling` rows pin the two-level log-factorial
+        // regimes: totals ≤ 2 105 344 are table loads, beyond is the
+        // Stirling kernel.  Single-shot wall timings, so rows carry
+        // `host_cpus` / `time_sliced` like every other wall measurement.
+        {
+            use popproto_sim::{CachedBinomial, CachedHypergeometric};
+            for (total, successes, draws, leaf) in [
+                (4_000u64, 1_500u64, 900u64, "hrua_table"),
+                (1_000_000, 400_000, 300, "hrua_ext"),
+                (10_000_000, 4_000_000, 500, "hrua_stirling"),
+                (1_000_000, 500_000, 100, "half_pop"),
+            ] {
+                let t0 = Instant::now();
+                let mut acc = 0u64;
+                for _ in 0..reps {
+                    acc += hypergeometric(&mut rng, total, successes, draws);
+                }
+                let scalar_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+                let cached = CachedHypergeometric::new(total, successes, draws);
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    acc += cached.draw(&mut rng);
+                }
+                let cached_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+                std::hint::black_box(acc);
+                let amort = scalar_ns / cached_ns.max(1e-9);
+                crossover_rows.push(format!(
+                    "    {{\"family\": \"cached_hypergeometric\", \"total\": {total}, \"successes\": {successes}, \"draws\": {draws}, \"leaf\": \"{leaf}\", \"scalar_ns_per_draw\": {scalar_ns:.1}, \"cached_ns_per_draw\": {cached_ns:.1}, \"setup_amortisation\": {amort:.2}, \"host_cpus\": {host_cpus}, \"time_sliced\": {time_sliced}}}"
+                ));
+            }
+            for (n_bin, p_bin, leaf) in [
+                (800u64, 0.5f64, "pop"),
+                (10_000, 0.0009, "cdf"),
+                (1_000_000, 0.25, "btrs"),
+            ] {
+                let t0 = Instant::now();
+                let mut acc = 0u64;
+                for _ in 0..reps {
+                    acc += binomial(&mut rng, n_bin, p_bin);
+                }
+                let scalar_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+                let cached = CachedBinomial::new(n_bin, p_bin);
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    acc += cached.draw(&mut rng);
+                }
+                let cached_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+                std::hint::black_box(acc);
+                let amort = scalar_ns / cached_ns.max(1e-9);
+                crossover_rows.push(format!(
+                    "    {{\"family\": \"cached_binomial\", \"n\": {n_bin}, \"p\": {p_bin}, \"leaf\": \"{leaf}\", \"scalar_ns_per_draw\": {scalar_ns:.1}, \"cached_ns_per_draw\": {cached_ns:.1}, \"setup_amortisation\": {amort:.2}, \"host_cpus\": {host_cpus}, \"time_sliced\": {time_sliced}}}"
                 ));
             }
         }

@@ -166,7 +166,12 @@ impl BatchedSimulator {
             return 1;
         }
 
-        // 2. Draw initiators, then responders, without replacement.
+        // 2. Draw initiators, then responders, without replacement.  These
+        // chain draws have totals of order n (unlike the √n-length pairing
+        // draws below), so their HRUA log-factorials are served by the
+        // two-level table in `sampling` up to populations ≈ 2²¹ and by the
+        // Stirling kernel beyond — the same crossover the ensemble's split
+        // phases use, keeping lane-level bit-equivalence.
         multivariate_hypergeometric(&mut self.rng, &self.counts, l, &mut self.initiators);
         for (rem, (c, ini)) in self
             .remaining

@@ -157,6 +157,31 @@ impl WavePhaseBreakdown {
             + self.silence_ns
     }
 
+    /// Fraction of [`Self::total_ns`] spent in the split phases (the
+    /// initiator/responder multivariate-hypergeometric chains) — the
+    /// machine-checkable number behind split-wall claims, mirrored as
+    /// `split_share` in `BENCH_sim.json`.  Zero when nothing was timed.
+    pub fn split_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.split_ns as f64 / total as f64
+        }
+    }
+
+    /// Fraction of [`Self::total_ns`] spent in the pairing pass (mirrored
+    /// as `pairing_share` in `BENCH_sim.json`).  Zero when nothing was
+    /// timed.
+    pub fn pairing_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.pairing_ns as f64 / total as f64
+        }
+    }
+
     /// Publishes the breakdown into the global metrics registry as
     /// gauges `{prefix}.{phase}_ns` plus `{prefix}.waves`.
     pub fn publish(&self, prefix: &str) {
@@ -485,7 +510,13 @@ impl EnsembleSimulator {
         if batchers > 0 {
             // Phase 1: initiator split — one pass over the state axis, all
             // lanes per state (the conditional multivariate-hypergeometric
-            // chain of the scalar engine, per lane).
+            // chain of the scalar engine, per lane).  Each state-row is one
+            // batched `hypergeometric_lanes` call, which since PR 9 runs on
+            // the parameter-cached sampler machinery: rejection setup lives
+            // in the plan, a one-entry memo reuses it across consecutive
+            // same-parameter lanes (non-diverged or replicated lanes), and
+            // the per-iteration log-factorials are table loads up to
+            // populations ≈ 2²¹ (see `sampling::CachedHypergeometric`).
             for k in 0..active {
                 self.rem_total[k] = n;
                 self.rem_draws[k] = self.wave_l[k];
@@ -514,16 +545,18 @@ impl EnsembleSimulator {
                     self.hyp_jobs
                         .push((k as u32, self.rem_total[k], size, self.rem_draws[k]));
                 }
+                // The lane-batched sampler writes each lane's draw straight
+                // into this state's `ini` row (indexed by lane), so the
+                // writeback below only has to advance the chain state.
                 hypergeometric_lanes(
                     &mut self.rngs,
                     &self.hyp_jobs,
-                    &mut self.draw_out,
+                    &mut self.ini[row..row + stride],
                     &mut self.lane_scratch,
                 );
                 for &(lane, _, size, _) in &self.hyp_jobs {
                     let k = lane as usize;
-                    let d = self.draw_out[k];
-                    self.ini[row + k] = d;
+                    let d = self.ini[row + k];
                     self.rem_draws[k] -= d;
                     self.rem_total[k] -= size;
                 }
@@ -559,13 +592,12 @@ impl EnsembleSimulator {
                 hypergeometric_lanes(
                     &mut self.rngs,
                     &self.hyp_jobs,
-                    &mut self.draw_out,
+                    &mut self.resp[row..row + stride],
                     &mut self.lane_scratch,
                 );
                 for &(lane, _, size, _) in &self.hyp_jobs {
                     let k = lane as usize;
-                    let d = self.draw_out[k];
-                    self.resp[row + k] = d;
+                    let d = self.resp[row + k];
                     self.rem_draws[k] -= d;
                     self.rem_total[k] -= size;
                 }

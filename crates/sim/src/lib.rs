@@ -73,6 +73,6 @@ pub use ensemble::{
     fused_delta_apply, fused_delta_apply_same, EnsembleSimulator, WavePhaseBreakdown,
 };
 pub use runner::{run_experiment, EngineKind, SimulationExperiment};
-pub use sampling::{split_candidates_uniform, AliasTable};
+pub use sampling::{split_candidates_uniform, AliasTable, CachedBinomial, CachedHypergeometric};
 pub use scheduler::{PairScheduler, UniformScheduler};
 pub use stats::{aggregate_outcomes, ConvergenceStats, SummaryStats};

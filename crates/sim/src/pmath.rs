@@ -102,6 +102,20 @@ pub fn exp(x: f64) -> f64 {
     (1.0 + (r * c / (2.0 - c) - lo + hi)) * scale
 }
 
+/// Elementwise in-place [`ln`] over a packed slice — the bulk form the
+/// samplers use when many logarithms are needed at once (log-factorial
+/// table construction, deferred lane transforms).  The body is a plain
+/// elementwise loop over the scalar kernel, so the compiler may pack it
+/// into vector registers while every element stays bit-identical to a
+/// scalar [`ln`] call — the same argument that lets the ensemble batch
+/// transforms without perturbing lane streams.
+#[inline]
+pub fn ln_bulk(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x = ln(*x);
+    }
+}
+
 /// `cos(2πu)` for `u ∈ [0, 1)` (the Box–Muller angle): quarter-period
 /// folding plus one even Taylor polynomial — no π-sized range reduction
 /// needed because the caller's argument is already a fraction of a turn.

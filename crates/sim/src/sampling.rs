@@ -22,20 +22,29 @@
 //!
 //! Every draw resolves in two stages: a *planner* (`plan_hypergeometric` /
 //! `plan_binomial`) runs the branchy, RNG-free part — support checks,
-//! symmetry reductions, regime selection — and produces a `DrawPlan`
-//! naming one *leaf sampler* plus affine/clamp post-processing; an
+//! symmetry reductions, regime selection, and **all parameter-only float
+//! setup** (HRUA's hat/mode constants, BTRS's squeeze constants, the CDF
+//! walk's `pmf(0)`) — and produces a `DrawPlan` naming one *leaf sampler*
+//! with its finished setup plus affine/clamp post-processing; an
 //! *executor* then consumes the RNG.  The scalar entry points
-//! ([`hypergeometric`], [`binomial`]) plan and execute in one call.  The
-//! lane-batched entry points ([`hypergeometric_lanes`], [`binomial_lanes`],
+//! ([`hypergeometric`], [`binomial`]) plan and execute in one call; the
+//! parameter-cached entry points ([`CachedHypergeometric`],
+//! [`CachedBinomial`]) hold a finished plan and execute it any number of
+//! times (`draw` / `draw_many`), paying setup once per *distribution*
+//! instead of once per draw.  The lane-batched entry points
+//! ([`hypergeometric_lanes`], [`binomial_lanes`],
 //! [`BirthdaySampler::draw_lanes`]) used by the
-//! [`EnsembleSimulator`](crate::EnsembleSimulator) plan each lane, consume
-//! each lane's uniforms in the scalar order, and defer the expensive
-//! transcendental transforms (`ln`, `exp`, `cos`) to bulk loops over packed
-//! arrays that the compiler autovectorises — see [`crate::pmath`].  Because
-//! planner, leaves and transforms are *shared code*, a lane of the ensemble
-//! consumes its RNG and computes its floats bit-identically to a scalar
-//! sampler call, which is the foundation of lane-level bit-equivalence
-//! between the two engines.
+//! [`EnsembleSimulator`](crate::EnsembleSimulator) are built on the cached
+//! form (a one-entry plan memo reuses the setup across consecutive
+//! same-parameter lanes), consume each lane's uniforms in the scalar
+//! order, and defer the remaining deferrable transforms to bulk loops over
+//! packed arrays that the compiler autovectorises — see [`crate::pmath`].
+//! Because planner, leaves and transforms are *shared code*, a lane of the
+//! ensemble consumes its RNG and computes its floats bit-identically to a
+//! scalar sampler call, which is the foundation of lane-level
+//! bit-equivalence between the two engines — and for the same reason the
+//! cached path is value- and stream-position-identical to the uncached one
+//! *by construction* (pinned by 4000-case property suites).
 //!
 //! # The pairing-pass hot path: walks below the crossover, rejection above
 //!
@@ -58,6 +67,31 @@
 //! are `⌈n/64⌉` raw RNG words, so a couple of `popcnt` instructions
 //! deliver an exact draw.
 //!
+//! # The split-phase hot path: table loads, not Stirling; popcount, not ln
+//!
+//! The ensemble's *split* phases draw hypergeometrics whose totals are the
+//! population itself (not the √n batch length), so their per-iteration
+//! log-factorials used to fall past the 8192-entry table into the Stirling
+//! kernel — after PR 7 cracked the pairing pass, these draws were ~56 % of
+//! wave time.  Three mechanisms, stacked:
+//!
+//! * **setup caching** — every rejection leaf's parameter-only constants
+//!   live in the plan (see above), so re-executing a plan never repeats
+//!   them;
+//! * **a two-level `ln k!` table** — the dense level-1 table (≤ 8192,
+//!   byte-identical to PR 7's) is extended by 64 lazily built 32768-entry
+//!   chunks to `LOG_FACTORIAL_EXT_MAX` = 2 105 344 ≈ 2²¹, sized from the
+//!   measured split-draw totals; chunk construction batches its `ln`
+//!   evaluations through [`pmath::ln_bulk`] and carries a Kahan-compensated
+//!   running sum across chunk boundaries, so extension values are
+//!   demand-order-independent, a few ulp from exact, and *cheaper and more
+//!   accurate* than the Stirling calls they replace;
+//! * **an ln-free exact-half leaf** — when exactly half the (reduced)
+//!   population is marked, `HALF_POP` proposes from the popcount
+//!   `Binomial(d, ½)` and corrects with a multiply-only rejection walk
+//!   (envelope constant ≈ 1 + d/4s): no `ln`, no log-factorials, no
+//!   uniform-hungry hat.
+//!
 //! ## Crossover thresholds (microbenched on the build host, see
 //! `BENCH_sim.json` `sampler_crossovers` for the ns/draw curves)
 //!
@@ -66,7 +100,8 @@
 //! | `POPCOUNT_MAX_N` | 1024 | popcount of `⌈n/64⌉` RNG words (`p = ½` only) | BTRS rejection |
 //! | `BERN_MAX_N` | 32 | Bernoulli counting (`n` bool draws) | CDF walk / BTRS |
 //! | `BTRS_MIN_MEAN` | 10 | binomial CDF walk from 0 (one uniform, O(mean) steps) | BTRS rejection |
-//! | `URN_MAX_DRAWS` | 16 | exact urn walk (`d` integer draws) | HRUA rejection |
+//! | `URN_MAX_DRAWS` | 16 | exact urn walk (`d` integer draws) | HALF_POP / HRUA rejection |
+//! | `POPCOUNT_MAX_N` (reused) | 1024 | HALF_POP popcount-proposal rejection (`2s = total` only) | HRUA rejection |
 //! | `ALIAS_DRAWS_PER_CANDIDATE` | 8 | alias-table categorical draws (`m` uniforms, `c ≥ 3`) | binomial chain (`c−1` draws) |
 //!
 //! The thresholds only affect performance, never the sampled distribution
@@ -90,15 +125,45 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 use std::sync::OnceLock;
 
-/// Size of the shared `ln k!` table: below it [`ln_factorial`] is a load,
-/// above it the Stirling kernel in [`pmath::ln_gamma`] takes over.  The
-/// bound covers every pairing-pass argument (totals there are the batch
-/// length `Θ(√n)`), so the hottest HRUA draws never touch the kernel.
+/// Size of the *dense* (eagerly built) `ln k!` table: below it
+/// [`ln_factorial`] is a load from one shared 64 KiB array.  The bound
+/// covers every pairing-pass argument (totals there are the batch length
+/// `Θ(√n)`), so the hottest pairing HRUA draws never leave level 1.
 const LOG_FACTORIAL_TABLE_MAX: u64 = 8192;
 
+/// Entries per lazily built extension chunk of the `ln k!` table
+/// (256 KiB each).  Chunk granularity keeps the resident footprint
+/// proportional to the argument ranges a workload actually visits: a
+/// split-phase HRUA draw touches four small neighbourhoods (around the
+/// mode, `successes − mode`, `draws − mode`, `failures + mode − draws`),
+/// so a typical ensemble run faults in a handful of chunks, not the whole
+/// extension.
+const LF_CHUNK: usize = 1 << 15;
+
+/// Number of extension chunks, sizing the two-level table to
+/// `LOG_FACTORIAL_TABLE_MAX + 64 · LF_CHUNK = 2 105 344 ≈ 2²¹` — chosen
+/// from the *measured* split-draw argument profile: the ensemble's split
+/// phases draw hypergeometrics whose `ln k!` arguments are bounded by the
+/// (post-reduction) failure count, i.e. by the population itself, and the
+/// committed `wave_phase_breakdown` workload (n = 10⁶) sits squarely in
+/// this range while the Stirling kernel it previously hit costs ~2× per
+/// draw.  Fully built the extension is 16 MiB; populations beyond it fall
+/// back to the Stirling kernel exactly as before.
+const LF_NUM_CHUNKS: usize = 64;
+
+/// Largest `k` served by the two-level table; above it [`ln_factorial`]
+/// uses the Stirling kernel ([`pmath::ln_gamma`]).
+const LOG_FACTORIAL_EXT_MAX: u64 = LOG_FACTORIAL_TABLE_MAX + (LF_NUM_CHUNKS * LF_CHUNK) as u64;
+
 /// Below this many (post-reduction) draws the plain urn walk is cheaper
-/// than any setup-heavy path, so the urn is kept: at ~3.2 ns per integer
-/// draw it crosses HRUA's ~57 ns flat cost near 16 draws.
+/// than any setup-heavy path, so the urn is kept: at ~5 ns per integer
+/// draw it crosses the *uncached* (plan + execute) HRUA cost of
+/// ~125 ns/draw near 16 draws (re-swept under the cached-setup cost
+/// model, `sampler_crossovers` 2026-08).  With a cached plan HRUA's flat
+/// cost drops to ~37–42 ns, which would put the break-even near 8 draws —
+/// but the threshold is stream-pinned (see the module docs), and the
+/// scalar pairing path that dominates urn traffic plans per draw, so the
+/// uncached curve is the one that matters and 16 stands.
 const URN_MAX_DRAWS: u64 = 16;
 
 /// Largest `n` for the popcount binomial: `Binomial(n, ½)` is exactly the
@@ -113,7 +178,11 @@ const POPCOUNT_MAX_N: u64 = 1024;
 
 /// Below this `n` a binomial is sampled by direct Bernoulli counting —
 /// at ~2.4 ns per boolean draw the counting loop beats every setup-heavy
-/// path until it crosses BTRS's ~70 ns flat cost around n ≈ 32.
+/// path until it crosses the uncached BTRS cost (~145 ns/draw with
+/// per-draw setup; ~38 ns once a cached plan amortises it) around
+/// n ≈ 32.  Stream-pinned like every threshold here, and the scalar
+/// callers that hit this regime plan per draw, so the uncached curve
+/// governs.
 const BERN_MAX_N: u64 = 32;
 
 /// Crossover mean between the binomial CDF walk from zero (one uniform,
@@ -129,12 +198,33 @@ const BTRS_MIN_MEAN: f64 = 10.0;
 /// draws, so alias wins while `m ≤ ALIAS_DRAWS_PER_CANDIDATE · (c − 1)`.
 const ALIAS_DRAWS_PER_CANDIDATE: u64 = 8;
 
+/// The dense level-1 table plus the running-sum carry its extension
+/// chunks continue from.
+struct LfLevel1 {
+    values: Vec<f64>,
+    /// Plain cumulative sum after the last entry (the carry into chunk 0).
+    acc: f64,
+}
+
+/// One lazily built extension chunk: `LF_CHUNK` consecutive `ln k!`
+/// values plus the Kahan carry `(sum, compensation)` after its last
+/// entry, so the next chunk continues the *same* compensated summation
+/// regardless of which chunk was demanded first.
+struct LfChunk {
+    values: Box<[f64]>,
+    sum: f64,
+    comp: f64,
+}
+
 /// `ln k!` for `k = 0..=`[`LOG_FACTORIAL_TABLE_MAX`], built once per
 /// process and shared by every simulator (the ensemble engine's lanes all
 /// read the same table).  Cumulative-sum construction keeps the absolute
 /// error below ~1e-7, which cancels almost entirely in the pmf ratios.
-fn log_factorials() -> &'static [f64] {
-    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+/// The construction is kept byte-for-byte as it has been since PR 7, so
+/// every draw whose arguments stay below the level-1 bound (the whole
+/// pairing pass) is stream-identical to PR 7/8 builds.
+fn lf_level1() -> &'static LfLevel1 {
+    static TABLE: OnceLock<LfLevel1> = OnceLock::new();
     TABLE.get_or_init(|| {
         let n = LOG_FACTORIAL_TABLE_MAX as usize;
         let mut lf = Vec::with_capacity(n + 1);
@@ -144,20 +234,69 @@ fn log_factorials() -> &'static [f64] {
             acc += pmath::ln(k as f64);
             lf.push(acc);
         }
-        lf
+        LfLevel1 { values: lf, acc }
     })
 }
 
-/// `ln k!` for any `k`: table lookup below the shared table's bound,
-/// Stirling kernel ([`pmath::ln_gamma`]) beyond.  One function shared by
-/// every sampler and both engines, so the table/Stirling crossover is a
-/// deterministic function of `k` alone and can never desynchronise the
-/// scalar and lane-batched paths.
+/// The dense level-1 `ln k!` table (kept as a slice accessor for the
+/// test-only inversion oracle).
+#[cfg(test)]
+fn log_factorials() -> &'static [f64] {
+    &lf_level1().values
+}
+
+/// The level-2 extension chunk `i`, built on first demand.  Construction
+/// forces every earlier chunk first (each needs its predecessor's carry),
+/// fills a scratch with the raw arguments, takes their logs through the
+/// bulk kernel [`pmath::ln_bulk`] (one autovectorisable pass instead of
+/// per-lookup Stirling work — this is where the split phase's "residual
+/// ln" cost is batched), and finishes with a Kahan-compensated prefix sum
+/// whose carry crosses chunk boundaries.  Compensation keeps the absolute
+/// error of the 2-million-term running sum at the few-ulp level (a plain
+/// sum drifts to ~3e-6 by the end of the extension), so extension values
+/// are *more* accurate than the Stirling kernel they replace.  Values are
+/// a pure function of the chunk index — independent of demand order and
+/// of which thread builds them — so every engine reads identical bits.
+fn lf_ext_chunk(i: usize) -> &'static LfChunk {
+    static CHUNKS: [OnceLock<LfChunk>; LF_NUM_CHUNKS] = [const { OnceLock::new() }; LF_NUM_CHUNKS];
+    CHUNKS[i].get_or_init(|| {
+        let (mut sum, mut comp) = if i == 0 {
+            (lf_level1().acc, 0.0)
+        } else {
+            let prev = lf_ext_chunk(i - 1);
+            (prev.sum, prev.comp)
+        };
+        let start_k = LOG_FACTORIAL_TABLE_MAX + 1 + (i * LF_CHUNK) as u64;
+        let mut vals: Vec<f64> = (0..LF_CHUNK as u64).map(|j| (start_k + j) as f64).collect();
+        pmath::ln_bulk(&mut vals);
+        for v in vals.iter_mut() {
+            let y = *v - comp;
+            let t = sum + y;
+            comp = (t - sum) - y;
+            sum = t;
+            *v = sum;
+        }
+        LfChunk {
+            values: vals.into_boxed_slice(),
+            sum,
+            comp,
+        }
+    })
+}
+
+/// `ln k!` for any `k`: dense-table load below
+/// [`LOG_FACTORIAL_TABLE_MAX`], lazily built extension-chunk load up to
+/// [`LOG_FACTORIAL_EXT_MAX`], Stirling kernel ([`pmath::ln_gamma`])
+/// beyond.  One function shared by every sampler and both engines, so the
+/// table/Stirling crossover is a deterministic function of `k` alone and
+/// can never desynchronise the scalar and lane-batched paths.
 #[inline(always)]
 fn ln_factorial(k: u64) -> f64 {
-    let lf = log_factorials();
-    if (k as usize) < lf.len() {
-        lf[k as usize]
+    if k <= LOG_FACTORIAL_TABLE_MAX {
+        lf_level1().values[k as usize]
+    } else if k <= LOG_FACTORIAL_EXT_MAX {
+        let idx = (k - LOG_FACTORIAL_TABLE_MAX - 1) as usize;
+        lf_ext_chunk(idx / LF_CHUNK).values[idx % LF_CHUNK]
     } else {
         pmath::ln_gamma(k as f64 + 1.0)
     }
@@ -182,22 +321,175 @@ impl Affine {
     fn apply(self, x: u64) -> u64 {
         (self.offset + self.sign * x as i64) as u64
     }
+}
 
-    /// Composes `self` with the reduction `x ↦ c − x` applied *before* it.
-    #[inline(always)]
-    fn compose_flip(self, c: u64) -> Affine {
-        Affine {
-            offset: self.offset + self.sign * c as i64,
-            sign: -self.sign,
+/// Everything HRUA's rejection loop needs that depends only on the
+/// distribution's parameters — the mode's four log-factorials, the hat
+/// constants, the tail cut.  Computed once at plan time (the expressions
+/// are the ones historically at the top of the draw routine, moved
+/// verbatim so the values are bit-identical) and reused by every draw
+/// executed from the same plan.
+#[derive(Debug, Clone, Copy)]
+struct HruaSetup {
+    mingoodbad: u64,
+    maxgoodbad: u64,
+    m: u64,
+    d6: f64,
+    d8: f64,
+    d10: f64,
+    d11: f64,
+}
+
+impl HruaSetup {
+    /// `2·√(2/e)`, the ratio-of-uniforms hat width factor.
+    const D1: f64 = 1.715_527_769_921_413_5;
+    /// `3 − 2·√(3/e)`, the hat width offset.
+    const D2: f64 = 0.898_916_162_058_898_8;
+
+    /// The memory-free part of the setup: everything except `d10`, which
+    /// is left at `0.0`, plus the four log-factorial arguments that define
+    /// it.  Takes the division/square-root quantities of [`hyp_floats`];
+    /// the lane-batched planner builds all lanes' setups in a pure-
+    /// arithmetic pass and then resolves every lane's table loads in one
+    /// load-only gather loop, while the scalar planner recombines the two
+    /// parts immediately via the same [`lf_sum4`] — either way every
+    /// field is computed from the same expressions in the same order, so
+    /// the values are bit-identical.
+    #[inline]
+    fn new_deferred(total: u64, successes: u64, draws: u64, fl: HypFloats) -> (Self, [u64; 4]) {
+        debug_assert!(2 * successes <= total && 2 * draws <= total);
+        let mingoodbad = successes;
+        let maxgoodbad = total - successes;
+        let m = draws;
+        let mf = m as f64;
+        let HypFloats { d4, d7, d9 } = fl;
+        let d6 = mf * d4 + 0.5;
+        let d8 = Self::D1 * d7 + Self::D2;
+        let d9u = d9 as u64; // the mode
+        let d11 = ((m.min(mingoodbad) + 1) as f64).min((d6 + 16.0 * d7).floor());
+        (
+            HruaSetup {
+                mingoodbad,
+                maxgoodbad,
+                m,
+                d6,
+                d8,
+                d10: 0.0,
+                d11,
+            },
+            [d9u, mingoodbad - d9u, m - d9u, maxgoodbad + d9u - m],
+        )
+    }
+}
+
+/// The three division/square-root quantities of the HRUA setup — the
+/// latency chains of planning.  `d4` is the success fraction, `d7` the
+/// hat width (≥ the standard deviation, plus slack), `d9` the mode.
+#[derive(Debug, Clone, Copy, Default)]
+struct HypFloats {
+    d4: f64,
+    d7: f64,
+    d9: f64,
+}
+
+/// Computes [`HypFloats`] for *reduced* parameters (`2·successes ≤ total`,
+/// `2·draws ≤ total`).  This is the single source of these expressions,
+/// shared by every planner path, so the quantities are identical bits
+/// wherever they are evaluated.
+#[inline(always)]
+fn hyp_floats(total: u64, successes: u64, draws: u64) -> HypFloats {
+    let popsize = total as f64;
+    let mingoodbad = successes;
+    let mf = draws as f64;
+    let d4 = mingoodbad as f64 / popsize;
+    let d5 = 1.0 - d4;
+    let d7 = ((popsize - mf) * mf * d4 * d5 / (popsize - 1.0) + 0.5).sqrt();
+    let d9 = ((mf + 1.0) * (mingoodbad + 1) as f64 / (popsize + 2.0)).floor();
+    HypFloats { d4, d7, d9 }
+}
+
+/// `Σ ln aᵢ!` over the four arguments, in argument order — the exact sum
+/// the HRUA setup historically computed inline, shared by the fused and
+/// deferred setup paths so both produce identical bits.
+#[inline(always)]
+fn lf_sum4(args: [u64; 4]) -> f64 {
+    ln_factorial(args[0]) + ln_factorial(args[1]) + ln_factorial(args[2]) + ln_factorial(args[3])
+}
+
+/// BTRS's parameter-only setup: squeeze and hat constants plus the mode's
+/// log-factorial pair, hoisted out of the rejection loop (expressions
+/// moved verbatim from the historical top of the draw routine, so values
+/// are bit-identical).
+#[derive(Debug, Clone, Copy)]
+struct BtrsSetup {
+    n: u64,
+    nf: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    v_r: f64,
+    alpha: f64,
+    lpq: f64,
+    m: f64,
+    h: f64,
+}
+
+impl BtrsSetup {
+    fn new(n: u64, p: f64) -> Self {
+        debug_assert!(p <= 0.5 && n as f64 * p >= 10.0);
+        let nf = n as f64;
+        let q = 1.0 - p;
+        let spq = (nf * p * q).sqrt();
+        let b = 1.15 + 2.53 * spq;
+        let a = -0.0873 + 0.0248 * b + 0.01 * p;
+        let c = nf * p + 0.5;
+        let v_r = 0.92 - 4.2 / b;
+        let alpha = (2.83 + 5.1 / b) * spq;
+        let lpq = pmath::ln(p / q);
+        let m = ((nf + 1.0) * p).floor(); // the mode
+        let mu = m as u64;
+        let h = ln_factorial(mu) + ln_factorial(n - mu);
+        BtrsSetup {
+            n,
+            nf,
+            a,
+            b,
+            c,
+            v_r,
+            alpha,
+            lpq,
+            m,
+            h,
         }
     }
+}
+
+/// The exact-half leaf's parameter-only setup: the envelope's argmax and
+/// the scale used to keep the acceptance product in f64 range.  All
+/// integer decisions — no float whose rounding could shift between scalar
+/// and lane paths.
+#[derive(Debug, Clone, Copy)]
+struct HalfPopSetup {
+    /// Post-reduction marked count (`= total / 2`).
+    s: u64,
+    /// Post-reduction draw count.
+    d: u64,
+    /// Argmax of the target/proposal pmf ratio, `⌊(d + 1)/2⌋` (an exact
+    /// integer property of the ratio recurrence, not a float estimate).
+    z_m: u64,
+    /// `1 / s`, pre-divided so the acceptance walk is multiply-only.
+    inv_s: f64,
 }
 
 /// A fully resolved single draw: which leaf sampler runs with which
 /// parameters, plus the clamp/affine post-processing.  Planning consumes no
 /// randomness, so a plan can be executed immediately (scalar path) or have
 /// its uniforms drawn now and its transforms evaluated later in bulk
-/// (lane-batched path) — both yield bit-identical results.
+/// (lane-batched path) — both yield bit-identical results.  Since PR 9 the
+/// rejection leaves carry their full parameter-only setup (hat/squeeze
+/// constants, mode log-factorials, `pmf(0)` for the CDF walk), so a plan
+/// held in a [`CachedHypergeometric`] / [`CachedBinomial`] pays setup once
+/// however many draws it executes.
 ///
 /// Post-processing order: `outer(inner(leaf))`, where `inner` is the
 /// binomial `p > ½` flip and `outer` composes the hypergeometric symmetry
@@ -215,20 +507,24 @@ enum DrawPlan {
         outer: Affine,
     },
     /// Exact HRUA ratio-of-uniforms rejection (O(1) expected uniforms).
-    Hrua {
-        total: u64,
-        successes: u64,
-        draws: u64,
-        outer: Affine,
-    },
+    Hrua { setup: HruaSetup, outer: Affine },
+    /// Exact half-population hypergeometric by popcount proposal +
+    /// multiply-only rejection (O(1) expected words, **no** `ln` at all).
+    HalfPop { setup: HalfPopSetup, outer: Affine },
     /// Exact `Binomial(n, ½)` by popcount of `⌈n/64⌉` RNG words.
     Pop { n: u64 },
     /// Direct Bernoulli counting (`n` boolean draws).
     Bern { n: u64, p: f64, inner: Affine },
-    /// Binomial CDF walk from zero (one uniform).
-    Cdf { n: u64, p: f64, inner: Affine },
+    /// Binomial CDF walk from zero (one uniform); `pmf0 = (1−p)ⁿ` is part
+    /// of the plan so repeated executions skip the `ln`/`exp` pair.
+    Cdf {
+        n: u64,
+        p: f64,
+        pmf0: f64,
+        inner: Affine,
+    },
     /// Exact BTRS transformed rejection (O(1) expected uniforms).
-    Btrs { n: u64, p: f64, inner: Affine },
+    Btrs { setup: BtrsSetup, inner: Affine },
 }
 
 /// Resolves `Binomial(n, p)` to a leaf plan (no RNG consumed).
@@ -262,67 +558,131 @@ fn plan_binomial(n: u64, p: f64) -> DrawPlan {
     }
     if mean < BTRS_MIN_MEAN {
         // Inversion from 0: the CDF walk terminates in O(mean) expected
-        // steps.
-        return DrawPlan::Cdf { n, p, inner };
+        // steps.  pmf(0) = qⁿ = exp(n ln q), computed here so re-executed
+        // plans skip the transcendental pair (same expression the executor
+        // historically evaluated per draw, so the value is bit-identical).
+        let pmf0 = pmath::exp(n as f64 * pmath::ln(1.0 - p));
+        return DrawPlan::Cdf { n, p, pmf0, inner };
     }
     // Constant expected-time transformed rejection; exact, and valid here
     // because mean = n·min(p, 1−p) ≥ BTRS_MIN_MEAN ≥ 10.
-    DrawPlan::Btrs { n, p, inner }
+    DrawPlan::Btrs {
+        setup: BtrsSetup::new(n, p),
+        inner,
+    }
 }
 
 /// Resolves `Hypergeometric(total, successes, draws)` to a leaf plan (no
 /// RNG consumed): support checks, symmetry reductions keeping `draws` and
 /// `successes` at most `total/2`, then regime selection.
 fn plan_hypergeometric(total: u64, successes: u64, draws: u64) -> DrawPlan {
-    debug_assert!(successes <= total && draws <= total);
-    let mut outer = IDENTITY;
+    let (mut plan, args) = plan_hypergeometric_parts(total, successes, draws);
+    if let (DrawPlan::Hrua { ref mut setup, .. }, Some(a)) = (&mut plan, args) {
+        setup.d10 = lf_sum4(a);
+    }
+    plan
+}
+
+/// [`plan_hypergeometric`] in two parts: the finished plan except for an
+/// HRUA setup's `d10` (left `0.0`), plus the four log-factorial arguments
+/// that complete it (`None` for non-HRUA leaves).  The lane-batched entry
+/// points plan all lanes through this and then resolve every lane's `d10`
+/// in one gather pass; the fused wrapper above resolves immediately.
+/// Either way `d10` is the same sum in the same order — identical bits.
+/// The branchless symmetry reductions of the hypergeometric planner:
+/// `H(t, s, d) = s − H(t, s, t−d)` (flip the draw set) and `H(t, s, d) =
+/// d − H(t, t−s, d)` (flip the marking).  With the degenerate supports
+/// excluded by the caller, at most one flip of each kind applies and the
+/// draw flip can only *shrink* `d`, so applying them in this order
+/// reaches `s, d ≤ total/2` in one straight-line pass.  The select
+/// arithmetic produces exactly the values the historical flip loop
+/// produced — it is the same integer math, minus the data-dependent
+/// branches that went unpredicted when consecutive lanes straddle the
+/// `total/2` boundary.  Shared by the scalar planner and the lane-batched
+/// prepass so both reduce identically.
+#[inline(always)]
+fn hyp_flips(total: u64, successes: u64, draws: u64) -> (u64, u64, Affine) {
     let (mut s, mut d) = (successes, draws);
-    loop {
+    let mut outer = IDENTITY;
+    let half = total / 2;
+    let flip_d = (d > half) as u64;
+    outer = Affine {
+        offset: outer.offset + outer.sign * (flip_d * s) as i64,
+        sign: outer.sign * (1 - 2 * flip_d as i64),
+    };
+    d = flip_d * (total - d) + (1 - flip_d) * d;
+    let flip_s = (s > half) as u64;
+    outer = Affine {
+        offset: outer.offset + outer.sign * (flip_s * d) as i64,
+        sign: outer.sign * (1 - 2 * flip_s as i64),
+    };
+    s = flip_s * (total - s) + (1 - flip_s) * s;
+    (s, d, outer)
+}
+
+#[inline]
+fn plan_hypergeometric_parts(
+    total: u64,
+    successes: u64,
+    draws: u64,
+) -> (DrawPlan, Option<[u64; 4]>) {
+    debug_assert!(successes <= total && draws <= total);
+    let (s, d) = (successes, draws);
+    if d == 0 || s == 0 || s == total || d == total {
+        // Degenerate supports.  The lane-batched call sites filter these
+        // inline, so this branch is all-but-never taken on the hot path.
         if d == 0 || s == 0 {
-            return DrawPlan::Done(outer.apply(0));
+            return (DrawPlan::Done(0), None);
         }
         if s == total {
-            return DrawPlan::Done(outer.apply(d));
+            return (DrawPlan::Done(d), None);
         }
-        if d == total {
-            return DrawPlan::Done(outer.apply(s));
-        }
-        if d > total / 2 {
-            // H(t, s, d) = s − H(t, s, t−d)
-            outer = outer.compose_flip(s);
-            d = total - d;
-            continue;
-        }
-        if s > total / 2 {
-            // H(t, s, d) = d − H(t, t−s, d)
-            outer = outer.compose_flip(d);
-            s = total - s;
-            continue;
-        }
-        break;
+        return (DrawPlan::Done(s), None);
     }
+    let (s, d, outer) = hyp_flips(total, s, d);
     if d <= URN_MAX_DRAWS {
         // Exact sequential urn simulation: cheapest when the walk is
         // short (one Lemire-rejection integer draw per urn pull).
-        return DrawPlan::Urn {
-            total,
-            successes: s,
-            draws: d,
-            outer,
-        };
+        return (
+            DrawPlan::Urn {
+                total,
+                successes: s,
+                draws: d,
+                outer,
+            },
+            None,
+        );
+    }
+    if 2 * s == total && d <= POPCOUNT_MAX_N {
+        // Exactly half the population is marked: propose from
+        // Binomial(d, ½) — raw popcount words — and correct with a
+        // multiply-only rejection walk.  Entirely ln-free (no
+        // log-factorials, no transcendental calls), and the proposal is so
+        // close to the target that ~1.03 iterations are expected; see
+        // `halfpop_draw`.  The trigger is an exact integer predicate, so it
+        // can never desynchronise engines.
+        return (
+            DrawPlan::HalfPop {
+                setup: HalfPopSetup {
+                    s,
+                    d,
+                    z_m: d.div_ceil(2),
+                    inv_s: 1.0 / s as f64,
+                },
+                outer,
+            },
+            None,
+        );
     }
     // Constant expected-time ratio-of-uniforms rejection: exact for every
-    // parameter (the log-factorials above the table fall back to the
-    // Stirling kernel), so no large-population approximation is needed at
-    // all.  The mode-centered inversion walk that served this band in PR 6
-    // lost to HRUA at every measured spread (see `sampler_crossovers`), so
-    // it survives only as the independent test oracle below.
-    DrawPlan::Hrua {
-        total,
-        successes: s,
-        draws: d,
-        outer,
-    }
+    // parameter (the log-factorials above the two-level table fall back to
+    // the Stirling kernel), so no large-population approximation is needed
+    // at all.  The mode-centered inversion walk that served this band in
+    // PR 6 lost to HRUA at every measured spread (see
+    // `sampler_crossovers`), so it survives only as the independent test
+    // oracle below.
+    let (setup, args) = HruaSetup::new_deferred(total, s, d, hyp_floats(total, s, d));
+    (DrawPlan::Hrua { setup, outer }, Some(args))
 }
 
 // ---------------------------------------------------------------------------
@@ -553,20 +913,26 @@ fn bern_count<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 /// and `p`.  Callers guarantee `p ≤ ½` (the planner's `inner` flip) and
 /// `n·p ≥ 10` (the squeeze constants' validity floor, enforced by
 /// `BTRS_MIN_MEAN`).
+#[cfg(test)]
 fn btrs_walk<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    debug_assert!(p <= 0.5 && n as f64 * p >= 10.0);
-    let nf = n as f64;
-    let q = 1.0 - p;
-    let spq = (nf * p * q).sqrt();
-    let b = 1.15 + 2.53 * spq;
-    let a = -0.0873 + 0.0248 * b + 0.01 * p;
-    let c = nf * p + 0.5;
-    let v_r = 0.92 - 4.2 / b;
-    let alpha = (2.83 + 5.1 / b) * spq;
-    let lpq = pmath::ln(p / q);
-    let m = ((nf + 1.0) * p).floor(); // the mode
-    let mu = m as u64;
-    let h = ln_factorial(mu) + ln_factorial(n - mu);
+    btrs_loop(rng, &BtrsSetup::new(n, p))
+}
+
+/// The BTRS rejection loop, given a prepared [`BtrsSetup`] — the part of
+/// the draw that actually consumes randomness.
+fn btrs_loop<R: RngCore + ?Sized>(rng: &mut R, s: &BtrsSetup) -> u64 {
+    let &BtrsSetup {
+        n,
+        nf,
+        a,
+        b,
+        c,
+        v_r,
+        alpha,
+        lpq,
+        m,
+        h,
+    } = s;
     loop {
         let u: f64 = rng.gen_range(0.0..1.0);
         let v: f64 = rng.gen_range(0.0..1.0);
@@ -590,6 +956,47 @@ fn btrs_walk<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     }
 }
 
+/// Exact `Hypergeometric(2s, s, d)` — the half-population case — by
+/// rejection from a popcount `Binomial(d, ½)` proposal.
+///
+/// The target/proposal pmf ratio obeys the exact integer recurrence
+/// `r(z+1)/r(z) = (s − z)/(s − d + z + 1)`, which is ≥ 1 iff
+/// `z ≤ (d−1)/2`, so `r` is unimodal with argmax `z* = ⌊(d+1)/2⌋` and the
+/// rejection `u ≤ r(z)/r(z*)` is exact with envelope constant
+/// `r(z*) = (1 − (d−1)/(2s−1))^(−1/2) ≈ 1 + d/4s`: essentially every
+/// proposal is accepted.  The ratio is evaluated as a product of at most
+/// `|z − z*| ≤ d` factors, each pre-scaled by `1/s` to keep both sides of
+/// the comparison in f64 range — multiplies only, **no** `ln`, `exp` or
+/// log-factorial anywhere (the one leaf that beats even the table).  The
+/// expected walk length is the proposal's deviation `O(√d)`, and the
+/// accumulated rounding of ≤ d scaled factors stays below ~d·ε ≈ 1e-13 —
+/// inside the module's "exact up to f64 rounding of pmf recurrences"
+/// contract.  (Proposals far enough in the tail to underflow the scaled
+/// products themselves have probability < 1e-300; unreachable in
+/// practice.)
+fn halfpop_draw<R: RngCore + ?Sized>(rng: &mut R, s: &HalfPopSetup) -> u64 {
+    let &HalfPopSetup { s, d, z_m, inv_s } = s;
+    loop {
+        let z = popcount_binomial(rng, d);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        if z == z_m {
+            return z; // r(z)/r(z*) = 1 ≥ u
+        }
+        let (lo, hi) = if z > z_m { (z_m, z) } else { (z, z_m) };
+        let mut num = 1.0f64;
+        let mut den = 1.0f64;
+        for j in lo..hi {
+            num *= (s - j) as f64 * inv_s;
+            den *= (s - d + j + 1) as f64 * inv_s;
+        }
+        // r(z)/r(z*) is num/den walking up from z*, den/num walking down.
+        let (num, den) = if z > z_m { (num, den) } else { (den, num) };
+        if u * den <= num {
+            return z;
+        }
+    }
+}
+
 /// Exact `Hypergeometric(total, successes, draws)` by HRUA — Stadlober's
 /// universal ratio-of-uniforms rejection (E. Stadlober, *The ratio of
 /// uniforms approach for generating discrete random variates*, 1990; the
@@ -603,29 +1010,29 @@ fn btrs_walk<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 /// exact for *every* parameter — no large-population approximation.
 /// Expected cost is ~2.5 uniforms and ~1.5 iterations.  Callers guarantee
 /// the planner's reductions `draws ≤ total/2` and `successes ≤ total/2`.
+#[cfg(test)]
 fn hrua_draw<R: RngCore + ?Sized>(rng: &mut R, total: u64, successes: u64, draws: u64) -> u64 {
-    debug_assert!(2 * successes <= total && 2 * draws <= total);
-    /// `2·√(2/e)`, the ratio-of-uniforms hat width factor.
-    const D1: f64 = 1.715_527_769_921_413_5;
-    /// `3 − 2·√(3/e)`, the hat width offset.
-    const D2: f64 = 0.898_916_162_058_898_8;
-    let popsize = total as f64;
-    let mingoodbad = successes;
-    let maxgoodbad = total - successes;
-    let m = draws;
-    let mf = m as f64;
-    let d4 = mingoodbad as f64 / popsize;
-    let d5 = 1.0 - d4;
-    let d6 = mf * d4 + 0.5;
-    let d7 = ((popsize - mf) * mf * d4 * d5 / (popsize - 1.0) + 0.5).sqrt();
-    let d8 = D1 * d7 + D2;
-    let d9 = ((mf + 1.0) * (mingoodbad + 1) as f64 / (popsize + 2.0)).floor();
-    let d9u = d9 as u64; // the mode
-    let d10 = ln_factorial(d9u)
-        + ln_factorial(mingoodbad - d9u)
-        + ln_factorial(m - d9u)
-        + ln_factorial(maxgoodbad + d9u - m);
-    let d11 = ((m.min(mingoodbad) + 1) as f64).min((d6 + 16.0 * d7).floor());
+    let fl = hyp_floats(total, successes, draws);
+    let (mut setup, args) = HruaSetup::new_deferred(total, successes, draws, fl);
+    setup.d10 = lf_sum4(args);
+    hrua_loop(rng, &setup)
+}
+
+/// The HRUA rejection loop, given a prepared [`HruaSetup`] — the part of
+/// the draw that actually consumes randomness.  Each iteration still pays
+/// four [`ln_factorial`] evaluations; with the two-level table those are
+/// loads for every argument up to [`LOG_FACTORIAL_EXT_MAX`].
+#[inline]
+fn hrua_loop<R: RngCore + ?Sized>(rng: &mut R, s: &HruaSetup) -> u64 {
+    let &HruaSetup {
+        mingoodbad,
+        maxgoodbad,
+        m,
+        d6,
+        d8,
+        d10,
+        d11,
+    } = s;
     loop {
         let x: f64 = rng.gen_range(0.0..1.0);
         let y: f64 = rng.gen_range(0.0..1.0);
@@ -657,8 +1064,8 @@ fn hrua_draw<R: RngCore + ?Sized>(rng: &mut R, total: u64, successes: u64, draws
 
 /// Executes a plan against one RNG, consuming exactly the draws the plan's
 /// leaf requires.
-fn execute_plan<R: RngCore + ?Sized>(rng: &mut R, plan: DrawPlan) -> u64 {
-    match plan {
+fn execute_plan<R: RngCore + ?Sized>(rng: &mut R, plan: &DrawPlan) -> u64 {
+    match *plan {
         DrawPlan::Done(v) => v,
         DrawPlan::Urn {
             total,
@@ -666,21 +1073,15 @@ fn execute_plan<R: RngCore + ?Sized>(rng: &mut R, plan: DrawPlan) -> u64 {
             draws,
             outer,
         } => outer.apply(urn_walk(rng, total, successes, draws)),
-        DrawPlan::Hrua {
-            total,
-            successes,
-            draws,
-            outer,
-        } => outer.apply(hrua_draw(rng, total, successes, draws)),
+        DrawPlan::Hrua { ref setup, outer } => outer.apply(hrua_loop(rng, setup)),
+        DrawPlan::HalfPop { ref setup, outer } => outer.apply(halfpop_draw(rng, setup)),
         DrawPlan::Pop { n } => popcount_binomial(rng, n),
         DrawPlan::Bern { n, p, inner } => inner.apply(bern_count(rng, n, p)),
-        DrawPlan::Cdf { n, p, inner } => {
-            // pmf(0) = qⁿ = exp(n ln q); no RNG consumed by the transform.
-            let pmf0 = pmath::exp(n as f64 * pmath::ln(1.0 - p));
+        DrawPlan::Cdf { n, p, pmf0, inner } => {
             let u: f64 = rng.gen_range(0.0..1.0);
             inner.apply(cdf_walk(u, pmf0, n, p))
         }
-        DrawPlan::Btrs { n, p, inner } => inner.apply(btrs_walk(rng, n, p)),
+        DrawPlan::Btrs { ref setup, inner } => inner.apply(btrs_loop(rng, setup)),
     }
 }
 
@@ -691,7 +1092,7 @@ fn execute_plan<R: RngCore + ?Sized>(rng: &mut R, plan: DrawPlan) -> u64 {
 /// Samples `Binomial(n, p)`: the number of successes in `n` independent
 /// trials of probability `p`.
 pub fn binomial<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    execute_plan(rng, plan_binomial(n, p))
+    execute_plan(rng, &plan_binomial(n, p))
 }
 
 /// Samples `Hypergeometric(total, successes, draws)`: the number of marked
@@ -703,7 +1104,7 @@ pub fn hypergeometric<R: RngCore + ?Sized>(
     successes: u64,
     draws: u64,
 ) -> u64 {
-    execute_plan(rng, plan_hypergeometric(total, successes, draws))
+    execute_plan(rng, &plan_hypergeometric(total, successes, draws))
 }
 
 /// Splits `draws` draws without replacement across buckets with the given
@@ -740,6 +1141,90 @@ pub fn multivariate_hypergeometric<R: RngCore + ?Sized>(
     debug_assert_eq!(remaining_draws, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Parameter-cached samplers
+// ---------------------------------------------------------------------------
+
+/// A `Hypergeometric(total, successes, draws)` sampler with all
+/// parameter-only setup done up front.
+///
+/// [`hypergeometric`] plans (support checks, symmetry reductions, regime
+/// selection, HRUA's hat/mode constants — four log-factorials and a
+/// square root) and executes in one call, so a loop of scalar calls pays
+/// the setup once per *draw*.  `CachedHypergeometric` holds the finished
+/// `DrawPlan` so the setup is paid once per *distribution*; [`Self::draw`]
+/// runs only the part that consumes randomness.  This is the kernel
+/// boundary the lane-batched entry points, and eventually SIMD/GPU
+/// backends, build on: one plan, many executions.
+///
+/// **Stream contract:** `draw` is value- and stream-position-identical to
+/// a scalar [`hypergeometric`] call with the same parameters — both
+/// execute the *same* plan through the *same* leaf code, the cached form
+/// just skips replanning.  [`Self::draw_many`] is exactly a loop of
+/// `draw`.  Pinned by the `cached_*_bit_identical_*` property suites.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedHypergeometric {
+    plan: DrawPlan,
+}
+
+impl CachedHypergeometric {
+    /// Plans `Hypergeometric(total, successes, draws)` once.
+    pub fn new(total: u64, successes: u64, draws: u64) -> Self {
+        CachedHypergeometric {
+            plan: plan_hypergeometric(total, successes, draws),
+        }
+    }
+
+    /// Draws one variate, consuming the RNG exactly as the scalar
+    /// [`hypergeometric`] would.
+    #[inline]
+    pub fn draw<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        execute_plan(rng, &self.plan)
+    }
+
+    /// Fills `out` with independent variates — exactly a loop of
+    /// [`Self::draw`], provided as the batch entry point SIMD/GPU
+    /// backends and the bench harness share.
+    pub fn draw_many<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u64]) {
+        for o in out.iter_mut() {
+            *o = execute_plan(rng, &self.plan);
+        }
+    }
+}
+
+/// A `Binomial(n, p)` sampler with all parameter-only setup (planning,
+/// BTRS hat/squeeze constants, the CDF walk's `pmf(0) = qⁿ`) done up
+/// front — the binomial counterpart of [`CachedHypergeometric`], with the
+/// same stream contract: `draw` ≡ scalar [`binomial`] in both value and
+/// RNG stream position, and `draw_many` ≡ a loop of `draw`.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedBinomial {
+    plan: DrawPlan,
+}
+
+impl CachedBinomial {
+    /// Plans `Binomial(n, p)` once.
+    pub fn new(n: u64, p: f64) -> Self {
+        CachedBinomial {
+            plan: plan_binomial(n, p),
+        }
+    }
+
+    /// Draws one variate, consuming the RNG exactly as the scalar
+    /// [`binomial`] would.
+    #[inline]
+    pub fn draw<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        execute_plan(rng, &self.plan)
+    }
+
+    /// Fills `out` with independent variates (a loop of [`Self::draw`]).
+    pub fn draw_many<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u64]) {
+        for o in out.iter_mut() {
+            *o = execute_plan(rng, &self.plan);
+        }
+    }
+}
+
 /// The Rayleigh-tail inversion shared by the scalar and lane-batched
 /// birthday paths: maps one uniform to a (pre-clamp) collision time.
 #[inline(always)]
@@ -773,11 +1258,40 @@ struct Pending {
 }
 
 /// Deferred-transform records and packed argument arrays, reused across the
-/// ensemble's draw sites to keep waves allocation-free.
+/// ensemble's draw sites to keep waves allocation-free.  `plans` stages the
+/// planning pass of the lane-batched entry points: planning is RNG-free,
+/// so all lanes' plans are built in one tight loop (whose independent
+/// division/square-root setup chains pipeline in the CPU instead of
+/// serialising behind each lane's rejection loop) before any randomness is
+/// consumed, without perturbing any lane's stream.
 #[derive(Debug, Default, Clone)]
 pub struct LaneDrawScratch {
     cdf: Vec<Pending>,
     fa: Vec<f64>,
+    plans: Vec<DrawPlan>,
+    fixups: Vec<(u32, [u64; 4])>,
+    hrua_active: Vec<(u32, u32)>,
+    hrua_pend: Vec<HruaPend>,
+    hrua_g: Vec<f64>,
+    hrua_exact: Vec<(u32, f64)>,
+    hrua_lnx: Vec<f64>,
+}
+
+/// One lane's in-flight HRUA proposal between the uniform pass and the
+/// acceptance pass of a lockstep round: the hat draw `x`, the proposed
+/// variate `z`, and everything the later passes need (log-factorial
+/// arguments, acceptance constant, post-map) copied out of the setup while
+/// it is already in registers — so the gather and acceptance passes stream
+/// sequentially over this record instead of re-loading `plans[idx]`.
+#[derive(Debug, Clone, Copy)]
+struct HruaPend {
+    lane: u32,
+    idx: u32,
+    x: f64,
+    z: u64,
+    d10: f64,
+    outer: Affine,
+    args: [u64; 4],
 }
 
 impl LaneDrawScratch {
@@ -789,42 +1303,52 @@ impl LaneDrawScratch {
     /// and either finishes it immediately (integer-only and rejection
     /// leaves — the latter consume a data-dependent number of uniforms but
     /// constant expected work, so there is nothing to batch) or queues its
-    /// transform.
+    /// transform.  The leaves are called directly (not through
+    /// [`execute_plan`]) so the per-lane hot path does a single match on a
+    /// borrowed plan instead of copying the plan enum into a second
+    /// dispatch — the leaf code is the same, so values and stream
+    /// positions are untouched.
     #[inline]
-    fn dispatch(&mut self, rng: &mut StdRng, lane: u32, plan: DrawPlan, out: &mut [u64]) {
-        match plan {
+    fn dispatch(&mut self, rng: &mut StdRng, lane: u32, plan: &DrawPlan, out: &mut [u64]) {
+        match *plan {
             DrawPlan::Done(v) => out[lane as usize] = v,
-            DrawPlan::Urn { .. }
-            | DrawPlan::Pop { .. }
-            | DrawPlan::Bern { .. }
-            | DrawPlan::Btrs { .. }
-            | DrawPlan::Hrua { .. } => {
-                out[lane as usize] = execute_plan(rng, plan);
+            DrawPlan::Urn {
+                total,
+                successes,
+                draws,
+                outer,
+            } => out[lane as usize] = outer.apply(urn_walk(rng, total, successes, draws)),
+            DrawPlan::Hrua { ref setup, outer } => {
+                out[lane as usize] = outer.apply(hrua_loop(rng, setup));
+            }
+            DrawPlan::HalfPop { ref setup, outer } => {
+                out[lane as usize] = outer.apply(halfpop_draw(rng, setup));
+            }
+            DrawPlan::Pop { n } => out[lane as usize] = popcount_binomial(rng, n),
+            DrawPlan::Bern { n, p, inner } => {
+                out[lane as usize] = inner.apply(bern_count(rng, n, p));
+            }
+            DrawPlan::Btrs { ref setup, inner } => {
+                out[lane as usize] = inner.apply(btrs_loop(rng, setup));
             }
             DrawPlan::Cdf { .. } => {
                 let u1: f64 = rng.gen_range(0.0..1.0);
-                self.cdf.push(Pending { lane, u1, plan });
+                self.cdf.push(Pending {
+                    lane,
+                    u1,
+                    plan: *plan,
+                });
             }
         }
     }
 
-    /// Runs the deferred transforms in bulk and writes every queued lane's
-    /// result.  The packed loops over `fa` are the vectorisation surface:
-    /// identical elementwise expressions to the scalar path, just many
-    /// lanes at a time.
+    /// Runs the deferred walks in bulk and writes every queued lane's
+    /// result.  The `pmf(0)` transform that used to be packed and
+    /// exponentiated here is now part of each plan (computed once at plan
+    /// time from the same expression), so the flush goes straight to the
+    /// lockstep walks.
     fn flush(&mut self, out: &mut [u64]) {
-        // CDF-walk leaves: pack n·ln(q), exponentiate in bulk, then walk.
         if !self.cdf.is_empty() {
-            self.fa.clear();
-            for r in &self.cdf {
-                let DrawPlan::Cdf { n, p, .. } = r.plan else {
-                    unreachable!("cdf queue only holds Cdf plans")
-                };
-                self.fa.push(n as f64 * pmath::ln(1.0 - p));
-            }
-            for a in self.fa.iter_mut() {
-                *a = pmath::exp(*a);
-            }
             let mut base = 0;
             while base < self.cdf.len() {
                 let m = (self.cdf.len() - base).min(WALK_LANES);
@@ -835,11 +1359,11 @@ impl LaneDrawScratch {
                 let mut wres = [0u64; WALK_LANES];
                 for j in 0..m {
                     let r = &self.cdf[base + j];
-                    let DrawPlan::Cdf { n, p, .. } = r.plan else {
-                        unreachable!()
+                    let DrawPlan::Cdf { n, p, pmf0, .. } = r.plan else {
+                        unreachable!("cdf queue only holds Cdf plans")
                     };
                     wu[j] = r.u1;
-                    wpmf0[j] = self.fa[base + j];
+                    wpmf0[j] = pmf0;
                     wn[j] = n;
                     wp[j] = p;
                 }
@@ -872,11 +1396,172 @@ pub fn hypergeometric_lanes(
     scratch: &mut LaneDrawScratch,
 ) {
     scratch.clear();
-    for &(lane, total, successes, draws) in jobs {
-        let plan = plan_hypergeometric(total, successes, draws);
-        scratch.dispatch(&mut rngs[lane as usize], lane, plan, out);
+    // One-entry plan memo: when consecutive lanes draw from the *same*
+    // distribution (lanes whose state counts have not yet diverged, or
+    // replicated-initial-condition sweeps), the cached plan — HRUA setup
+    // included — is reused instead of replanned.  Planning is a pure
+    // function of the parameters, so reuse is value-identical by
+    // construction.
+    let mut memo_key: Option<(u64, u64, u64)> = None;
+    let mut memo_plan = DrawPlan::Done(0);
+    let mut memo_args: Option<[u64; 4]> = None;
+    let mut plans = std::mem::take(&mut scratch.plans);
+    let mut fixups = std::mem::take(&mut scratch.fixups);
+    plans.clear();
+    fixups.clear();
+    for &(_, total, successes, draws) in jobs {
+        let key = (total, successes, draws);
+        if memo_key != Some(key) {
+            (memo_plan, memo_args) = plan_hypergeometric_parts(total, successes, draws);
+            memo_key = Some(key);
+        }
+        if let Some(args) = memo_args {
+            fixups.push((plans.len() as u32, args));
+        }
+        plans.push(memo_plan);
     }
+    // Load-only gather pass: every HRUA plan's deferred `d10` ln-factorial
+    // sum is resolved in one tight loop, so the extension-table loads of
+    // independent lanes overlap in the memory system instead of each
+    // serialising behind its own lane's division/square-root setup chain.
+    // `lf_sum4` is a pure function of the recorded arguments, so the
+    // resulting setup is identical to the fused scalar path's.
+    for &(idx, args) in &fixups {
+        if let DrawPlan::Hrua { ref mut setup, .. } = plans[idx as usize] {
+            setup.d10 = lf_sum4(args);
+        }
+    }
+    let mut active = std::mem::take(&mut scratch.hrua_active);
+    active.clear();
+    for (i, (plan, &(lane, ..))) in plans.iter().zip(jobs).enumerate() {
+        if matches!(plan, DrawPlan::Hrua { .. }) {
+            // HRUA lanes run their rejection loops in lockstep below, so
+            // every lane's four log-factorial lookups land in one bulk
+            // load pass instead of stalling each lane's loop in turn.
+            // (Each job targets a distinct lane, so deferring a lane's
+            // draw cannot reorder that lane's uniform consumption.)
+            active.push((lane, i as u32));
+        } else {
+            scratch.dispatch(&mut rngs[lane as usize], lane, plan, out);
+        }
+    }
+    let mut pend = std::mem::take(&mut scratch.hrua_pend);
+    let mut gs = std::mem::take(&mut scratch.hrua_g);
+    let mut exact = std::mem::take(&mut scratch.hrua_exact);
+    let mut lnx = std::mem::take(&mut scratch.hrua_lnx);
+    hrua_lockstep(
+        rngs,
+        &plans,
+        &mut active,
+        &mut pend,
+        &mut gs,
+        &mut exact,
+        &mut lnx,
+        out,
+    );
+    scratch.hrua_active = active;
+    scratch.hrua_pend = pend;
+    scratch.hrua_g = gs;
+    scratch.hrua_exact = exact;
+    scratch.hrua_lnx = lnx;
+    scratch.plans = plans;
+    scratch.fixups = fixups;
     scratch.flush(out);
+}
+
+/// Runs the HRUA rejection loops of many independent lanes in lockstep
+/// rounds.  Each round makes three passes over the still-active lanes:
+///
+/// 1. **uniform pass** — draw `x, y` from the lane's own RNG, form the
+///    hat proposal `w`, and bounds-test it (no memory traffic);
+/// 2. **gather pass** — compute every surviving proposal's
+///    `Σ ln aᵢ!` in one tight loop, so the log-factorial extension-table
+///    loads of independent lanes overlap in the memory system instead of
+///    serialising one rejection loop at a time;
+/// 3. **acceptance pass** — the scalar loop's squeeze tests, verbatim;
+///    the proposals neither squeeze resolves are set aside, their `ln x`
+///    computed through [`pmath::ln_bulk`] (elementwise the same [`pmath::ln`]
+///    the scalar loop calls, so identical bits), and the exact test applied
+///    last.
+///
+/// Every lane draws its uniforms from its own stream in the scalar
+/// iteration order and the accept/reject arithmetic is expression-for-
+/// expression the scalar [`hrua_loop`]'s, so each lane's value *and*
+/// stream position are bit-identical to a scalar draw — only the
+/// interleaving across (independent) lanes changes.
+#[allow(clippy::too_many_arguments)]
+fn hrua_lockstep(
+    rngs: &mut [StdRng],
+    plans: &[DrawPlan],
+    active: &mut Vec<(u32, u32)>,
+    pend: &mut Vec<HruaPend>,
+    gs: &mut Vec<f64>,
+    exact: &mut Vec<(u32, f64)>,
+    lnx: &mut Vec<f64>,
+    out: &mut [u64],
+) {
+    while !active.is_empty() {
+        pend.clear();
+        let mut kept = 0;
+        for slot in 0..active.len() {
+            let (lane, idx) = active[slot];
+            let DrawPlan::Hrua { ref setup, outer } = plans[idx as usize] else {
+                unreachable!("hrua_lockstep only receives Hrua plans")
+            };
+            let rng = &mut rngs[lane as usize];
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            let w = setup.d6 + setup.d8 * (y - 0.5) / x;
+            if w < 0.0 || w >= setup.d11 {
+                active[kept] = (lane, idx);
+                kept += 1;
+            } else {
+                let z = w.floor() as u64;
+                pend.push(HruaPend {
+                    lane,
+                    idx,
+                    x,
+                    z,
+                    d10: setup.d10,
+                    outer,
+                    args: [
+                        z,
+                        setup.mingoodbad - z,
+                        setup.m - z,
+                        setup.maxgoodbad + z - setup.m,
+                    ],
+                });
+            }
+        }
+        active.truncate(kept);
+        gs.clear();
+        for p in pend.iter() {
+            gs.push(lf_sum4(p.args));
+        }
+        exact.clear();
+        lnx.clear();
+        for (j, (p, &g)) in pend.iter().zip(gs.iter()).enumerate() {
+            let t = p.d10 - g;
+            let x = p.x;
+            if x * (4.0 - x) - 3.0 <= t {
+                out[p.lane as usize] = p.outer.apply(p.z);
+            } else if x * (x - t) >= 1.0 {
+                active.push((p.lane, p.idx));
+            } else {
+                exact.push((j as u32, t));
+                lnx.push(x);
+            }
+        }
+        pmath::ln_bulk(lnx);
+        for (&(j, t), &lx) in exact.iter().zip(lnx.iter()) {
+            let p = &pend[j as usize];
+            if 2.0 * lx <= t {
+                out[p.lane as usize] = p.outer.apply(p.z);
+            } else {
+                active.push((p.lane, p.idx));
+            }
+        }
+    }
 }
 
 /// Draws `Binomial(n, p)` for each job `(lane, n, p)`, writing `out[lane]`
@@ -889,9 +1574,21 @@ pub fn binomial_lanes(
     scratch: &mut LaneDrawScratch,
 ) {
     scratch.clear();
+    // Same one-entry plan memo as `hypergeometric_lanes` (BTRS setup and
+    // the CDF walk's pmf(0) are the reusable parts here).  Binomial leaves
+    // all execute in constant rounds, so there is no lockstep pass to
+    // stage plans for — each lane dispatches as soon as it is planned.
+    let mut memo_key: Option<(u64, u64)> = None;
+    let mut memo = CachedBinomial {
+        plan: DrawPlan::Done(0),
+    };
     for &(lane, n, p) in jobs {
-        let plan = plan_binomial(n, p);
-        scratch.dispatch(&mut rngs[lane as usize], lane, plan, out);
+        let key = (n, p.to_bits());
+        if memo_key != Some(key) {
+            memo = CachedBinomial::new(n, p);
+            memo_key = Some(key);
+        }
+        scratch.dispatch(&mut rngs[lane as usize], lane, &memo.plan, out);
     }
     scratch.flush(out);
 }
@@ -1338,6 +2035,294 @@ mod tests {
                 lane_rngs[lane as usize].next_u64(),
                 solo.next_u64(),
                 "stream of lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_hypergeometric_is_bit_identical_to_scalar() {
+        // The cached-sampler contract: CachedHypergeometric::draw consumes
+        // the RNG and produces its value exactly like an uncached scalar
+        // call, across every leaf (urn, HRUA in/beyond the table, HALF_POP,
+        // Done).  Every 8th case is forced to the exact-half trigger so
+        // the HALF_POP leaf gets dense coverage.
+        let mut meta = StdRng::seed_from_u64(0xCAC4E);
+        for case in 0..4_000u64 {
+            let total: u64 = match case % 4 {
+                0 => meta.gen_range(2..100u64),
+                1 => meta.gen_range(100..8192u64),
+                2 => meta.gen_range(8193..100_000u64),
+                _ => meta.gen_range(100_000..10_000_000u64),
+            };
+            let (total, successes) = if case % 8 == 3 {
+                let t = total & !1; // even, exactly half marked
+                (t.max(2), t.max(2) / 2)
+            } else {
+                (total, meta.gen_range(0..=total))
+            };
+            let draws = meta.gen_range(0..=total);
+            let seed = meta.gen_range(0..u64::MAX);
+            let mut scalar_rng = StdRng::seed_from_u64(seed);
+            let expected = hypergeometric(&mut scalar_rng, total, successes, draws);
+            let cached = CachedHypergeometric::new(total, successes, draws);
+            let mut cached_rng = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                cached.draw(&mut cached_rng),
+                expected,
+                "value (t={total}, s={successes}, d={draws})"
+            );
+            assert_eq!(
+                cached_rng.next_u64(),
+                scalar_rng.next_u64(),
+                "RNG stream position (t={total}, s={successes}, d={draws})"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_binomial_is_bit_identical_to_scalar() {
+        let mut meta = StdRng::seed_from_u64(0xCAB10);
+        for _ in 0..4_000 {
+            let n = meta.gen_range(0..5_000u64);
+            let p = meta.gen_range(0.0..1.0f64);
+            let seed = meta.gen_range(0..u64::MAX);
+            let mut scalar_rng = StdRng::seed_from_u64(seed);
+            let expected = binomial(&mut scalar_rng, n, p);
+            let cached = CachedBinomial::new(n, p);
+            let mut cached_rng = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                cached.draw(&mut cached_rng),
+                expected,
+                "value (n={n}, p={p})"
+            );
+            assert_eq!(
+                cached_rng.next_u64(),
+                scalar_rng.next_u64(),
+                "RNG stream position (n={n}, p={p})"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_draw_many_is_bit_identical_to_repeated_scalar_draws() {
+        // draw_many is defined as a loop of draw; pin the whole batch and
+        // the stream position after it, for both distributions, across
+        // leaves.
+        for (total, successes, draws) in [
+            (50u64, 20u64, 3u64),         // urn
+            (1_000, 500, 100),            // HALF_POP
+            (4_000, 1_500, 900),          // HRUA in the table
+            (1_000_000, 400_000, 300),    // HRUA in the extension
+            (10_000_000, 4_000_000, 500), // HRUA beyond the extension
+        ] {
+            let cached = CachedHypergeometric::new(total, successes, draws);
+            let mut batch_rng = StdRng::seed_from_u64(total ^ draws);
+            let mut out = [0u64; 16];
+            cached.draw_many(&mut batch_rng, &mut out);
+            let mut scalar_rng = StdRng::seed_from_u64(total ^ draws);
+            for (i, &got) in out.iter().enumerate() {
+                let expected = hypergeometric(&mut scalar_rng, total, successes, draws);
+                assert_eq!(
+                    got, expected,
+                    "draw {i} (t={total}, s={successes}, d={draws})"
+                );
+            }
+            assert_eq!(
+                batch_rng.next_u64(),
+                scalar_rng.next_u64(),
+                "stream after batch (t={total}, s={successes}, d={draws})"
+            );
+        }
+        for (n, p) in [
+            (40u64, 0.3f64),
+            (10_000, 0.0009),
+            (1_000_000, 0.25),
+            (800, 0.5),
+        ] {
+            let cached = CachedBinomial::new(n, p);
+            let mut batch_rng = StdRng::seed_from_u64(n);
+            let mut out = [0u64; 16];
+            cached.draw_many(&mut batch_rng, &mut out);
+            let mut scalar_rng = StdRng::seed_from_u64(n);
+            for (i, &got) in out.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    binomial(&mut scalar_rng, n, p),
+                    "draw {i} (n={n}, p={p})"
+                );
+            }
+            assert_eq!(
+                batch_rng.next_u64(),
+                scalar_rng.next_u64(),
+                "stream after batch (n={n}, p={p})"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_hypergeometric_draw_many_matches_exact_pmf() {
+        // GOF through the batch entry point itself (not just equivalence to
+        // the scalar path): HRUA inside the table and in the lazy
+        // extension.
+        for (total, successes, draws, seed, ctx) in [
+            (8_000u64, 3_000u64, 200u64, 70u64, "inside the table"),
+            (1_000_000, 400_000, 300, 71, "extension chunks"),
+        ] {
+            let cached = CachedHypergeometric::new(total, successes, draws);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 100_000usize;
+            let pmf = hypergeometric_pmf(total, successes, draws);
+            let lo = draws.saturating_sub(total - successes);
+            let mut observed = vec![0.0f64; pmf.len()];
+            let mut out = vec![0u64; 1_000];
+            for _ in 0..trials / 1_000 {
+                cached.draw_many(&mut rng, &mut out);
+                for &k in &out {
+                    observed[(k - lo) as usize] += 1.0;
+                }
+            }
+            assert_chi_square_gof(&observed, &pmf, trials, ctx);
+        }
+    }
+
+    #[test]
+    fn cached_binomial_draw_many_matches_exact_pmf() {
+        // BTRS through the cached batch entry point.
+        let (n, p) = (1_000u64, 0.4f64);
+        let cached = CachedBinomial::new(n, p);
+        let mut rng = StdRng::seed_from_u64(72);
+        let trials = 100_000usize;
+        let pmf = binomial_pmf(n, p);
+        let mut observed = vec![0.0f64; pmf.len()];
+        let mut out = vec![0u64; 1_000];
+        for _ in 0..trials / 1_000 {
+            cached.draw_many(&mut rng, &mut out);
+            for &k in &out {
+                observed[k as usize] += 1.0;
+            }
+        }
+        assert_chi_square_gof(&observed, &pmf, trials, "cached BTRS");
+    }
+
+    #[test]
+    fn halfpop_hypergeometric_matches_exact_pmf() {
+        // The exact-half leaf against the analytic pmf, from the crossover
+        // boundary (d = 17) through the popcount cap (d = s = 1024) to a
+        // large population.  First pin the routing itself.
+        assert!(matches!(
+            plan_hypergeometric(1_000, 500, 100),
+            DrawPlan::HalfPop { .. }
+        ));
+        assert!(matches!(
+            plan_hypergeometric(1_000, 500, 16),
+            DrawPlan::Urn { .. }
+        ));
+        assert!(matches!(
+            plan_hypergeometric(1_000, 499, 100),
+            DrawPlan::Hrua { .. }
+        ));
+        assert!(matches!(
+            plan_hypergeometric(4_096, 2_048, 1_025),
+            DrawPlan::Hrua { .. }
+        ));
+        // For the deep exact-half cases pmf(lo) ≈ 2^(−d) underflows the
+        // lo-anchored recurrence in `hypergeometric_pmf`, so compute the
+        // reference pmf pointwise from the level-1 log-factorial table
+        // (valid while total ≤ LOG_FACTORIAL_TABLE_MAX).
+        let table_pmf = |total: u64, successes: u64, draws: u64| -> Vec<f64> {
+            assert!(total <= LOG_FACTORIAL_TABLE_MAX);
+            let lf = log_factorials();
+            let f = total - successes;
+            let lo = draws.saturating_sub(f);
+            let hi = draws.min(successes);
+            let (t, s, f, d) = (
+                total as usize,
+                successes as usize,
+                f as usize,
+                draws as usize,
+            );
+            let ln_denom = lf[t] - lf[d] - lf[t - d];
+            (lo..=hi)
+                .map(|k| {
+                    let k = k as usize;
+                    let ln_p = (lf[s] - lf[k] - lf[s - k]) + (lf[f] - lf[d - k] - lf[f - (d - k)])
+                        - ln_denom;
+                    pmath::exp(ln_p)
+                })
+                .collect()
+        };
+        for (total, successes, draws, seed, ctx) in [
+            (34u64, 17u64, 17u64, 80u64, "crossover boundary"),
+            (1_000, 500, 100, 81, "mid-size"),
+            (2_048, 1_024, 1_024, 82, "popcount cap, d = s"),
+            (1_000_000, 500_000, 500, 83, "large population"),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 100_000usize;
+            let pmf = if total <= LOG_FACTORIAL_TABLE_MAX {
+                table_pmf(total, successes, draws)
+            } else {
+                hypergeometric_pmf(total, successes, draws)
+            };
+            let lo = draws.saturating_sub(total - successes);
+            let mut observed = vec![0.0f64; pmf.len()];
+            for _ in 0..trials {
+                let k = hypergeometric(&mut rng, total, successes, draws);
+                observed[(k - lo) as usize] += 1.0;
+            }
+            assert_chi_square_gof(&observed, &pmf, trials, ctx);
+        }
+    }
+
+    #[test]
+    fn halfpop_agrees_with_hrua_on_shared_parameters() {
+        // The same exact-half distribution drawn through both leaves (the
+        // planner picks HALF_POP; calling the HRUA kernel directly bypasses
+        // it): identical law, two independent implementations.
+        let (total, successes, draws) = (1_000u64, 500u64, 100u64);
+        let mut rng = StdRng::seed_from_u64(84);
+        let trials = 200_000usize;
+        let pmf = hypergeometric_pmf(total, successes, draws);
+        let mut observed = vec![0.0f64; pmf.len()];
+        for _ in 0..trials {
+            let k = hrua_draw(&mut rng, total, successes, draws);
+            observed[k as usize] += 1.0;
+        }
+        assert_chi_square_gof(&observed, &pmf, trials, "hrua on halfpop params");
+    }
+
+    #[test]
+    fn ln_factorial_extension_agrees_with_the_stirling_kernel() {
+        // The lazy extension must continue level 1 seamlessly and stay
+        // within rounding of the Stirling kernel it replaces (Stirling's
+        // own truncation error at these arguments is ≤ ~1e-13 relative).
+        for k in [
+            LOG_FACTORIAL_TABLE_MAX,     // last level-1 entry
+            LOG_FACTORIAL_TABLE_MAX + 1, // first extension entry
+            LOG_FACTORIAL_TABLE_MAX + (LF_CHUNK as u64),
+            LOG_FACTORIAL_TABLE_MAX + (LF_CHUNK as u64) + 1, // chunk boundary
+            100_000,
+            1_000_000,
+            LOG_FACTORIAL_EXT_MAX,     // last extension entry
+            LOG_FACTORIAL_EXT_MAX + 1, // first Stirling argument
+        ] {
+            let got = ln_factorial(k);
+            let stirling = pmath::ln_gamma(k as f64 + 1.0);
+            let rel = ((got - stirling) / stirling).abs();
+            assert!(rel < 1e-12, "k={k}: table {got} vs Stirling {stirling}");
+        }
+        // Adjacent entries across the level-1/extension seam and across a
+        // chunk seam must differ by exactly ln(k) up to rounding.
+        for k in [
+            LOG_FACTORIAL_TABLE_MAX + 1,
+            LOG_FACTORIAL_TABLE_MAX + (LF_CHUNK as u64) + 1,
+            LOG_FACTORIAL_EXT_MAX,
+        ] {
+            let step = ln_factorial(k) - ln_factorial(k - 1);
+            let expect = pmath::ln(k as f64);
+            assert!(
+                (step - expect).abs() < 1e-8,
+                "seam at k={k}: step {step} vs ln(k) {expect}"
             );
         }
     }
