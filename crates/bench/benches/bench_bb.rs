@@ -294,6 +294,43 @@ fn emit_bench_json(_c: &mut Criterion) {
          stats, best and witness set bit-identical"
     );
 
+    // 4b. Checkpoint encoding: the v2 delta-packed memo tables against the
+    // v1 raw record arrays, measured on a real mid-run checkpoint (the
+    // kill/resume assert above already proves the packed bytes resume
+    // bit-identically).
+    let mut enc_search = e12_segmented_search(MAX_INPUT, SegmentOrder::Index);
+    enc_search.run(smoke_workers, budget / 2);
+    let enc_checkpoint = enc_search.checkpoint();
+    let bytes_packed = serde_json::to_string(&enc_checkpoint)
+        .expect("checkpoint serialises")
+        .len();
+    let mut memo_entries_total = 0u64;
+    let mut packed_fields = 0usize;
+    let mut legacy_fields = 0usize;
+    let mut field_delta = |packed: &popproto::candidate_pipeline::PackedMemo| {
+        let records = packed.unpack().expect("packed memo decodes");
+        memo_entries_total += packed.entries;
+        packed_fields += serde_json::to_string(packed).unwrap().len();
+        legacy_fields += serde_json::to_string(&records).unwrap().len();
+    };
+    field_delta(&enc_checkpoint.shared_memo);
+    for entry in &enc_checkpoint.segments {
+        field_delta(&entry.local_memo);
+    }
+    let bytes_legacy = bytes_packed - packed_fields + legacy_fields;
+    println!(
+        "[E12] checkpoint encoding: {memo_entries_total} memo entries, \
+         {:.2} MB as v1 raw records -> {:.2} MB delta-packed ({:.1}x smaller)",
+        bytes_legacy as f64 / 1e6,
+        bytes_packed as f64 / 1e6,
+        bytes_legacy as f64 / bytes_packed as f64,
+    );
+    let encoding_json = format!(
+        "  \"checkpoint_encoding\": {{\n    \"version\": 2,\n    \"orbit_budget\": {},\n    \"memo_entries\": {memo_entries_total},\n    \"bytes_v1_raw_records\": {bytes_legacy},\n    \"bytes_v2_packed\": {bytes_packed},\n    \"shrink_factor\": {:.2},\n    \"resume_bit_identical\": true\n  }}",
+        budget / 2,
+        bytes_legacy as f64 / bytes_packed as f64,
+    );
+
     // 5. Fingerprint canonicalization: the hit-rate delta.
     let canon_budget = budget.min(100_000);
     let (with_rate, without_rate, with_entries, without_entries) =
@@ -359,7 +396,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     let stats_json = serde_json::to_string(&report.stats).expect("stats serialise");
     let entropy_stats_json = serde_json::to_string(&entropy_report.stats).expect("stats serialise");
     let json = format!(
-        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }},\n  \"parallel_scaling\": {{\n    \"orbit_budget\": {budget},\n    \"segment_size\": {},\n    \"host_cpus\": {host_cpus},\n    \"pool_workers\": {},\n    \"time_sliced\": {},\n    \"order\": \"index\",\n    \"note\": \"funnel, best eta and witness set asserted bit-identical to the sequential stream at every worker count; resume asserted across differing worker counts; speedups are bounded by host_cpus — a single-core host time-slices the workers\",\n    \"runs\": [\n{}\n    ]\n  }},\n  \"fingerprint_canonicalization\": {{\n    \"orbit_budget\": {canon_budget},\n    \"hit_rate_without\": {without_rate:.4},\n    \"hit_rate_with\": {with_rate:.4},\n    \"memo_entries_without\": {without_entries},\n    \"memo_entries_with\": {with_entries}\n  }},\n  \"entropy_order\": {{\n    \"orbit_budget\": {entropy_budget},\n    \"seconds\": {entropy_seconds:.3},\n    \"stats\": {entropy_stats_json},\n    \"best_eta\": {}\n  }}{bb3_entry}\n}}\n",
+        "{{\n  \"e12_bb4_prefix\": {{\n    \"num_states\": 4,\n    \"orbit_budget\": {budget},\n    \"max_input\": {MAX_INPUT},\n    \"eta_floor\": {},\n    \"engine\": \"frontier\",\n    \"seconds\": {seconds:.3},\n    \"orbits_per_second\": {:.0},\n    \"stats\": {stats_json},\n    \"memo_entries\": {},\n    \"candidates_consumed\": {},\n    \"best_eta\": {},\n    \"finished\": {},\n    \"resume_check\": {{\n      \"sessions\": {sessions},\n      \"identical_stats\": true,\n      \"largest_checkpoint_bytes\": {checkpoint_bytes}\n    }}\n  }},\n  \"parallel_scaling\": {{\n    \"orbit_budget\": {budget},\n    \"segment_size\": {},\n    \"host_cpus\": {host_cpus},\n    \"pool_workers\": {},\n    \"time_sliced\": {},\n    \"order\": \"index\",\n    \"note\": \"funnel, best eta and witness set asserted bit-identical to the sequential stream at every worker count; resume asserted across differing worker counts; speedups are bounded by host_cpus — a single-core host time-slices the workers\",\n    \"runs\": [\n{}\n    ]\n  }},\n{encoding_json},\n  \"fingerprint_canonicalization\": {{\n    \"orbit_budget\": {canon_budget},\n    \"hit_rate_without\": {without_rate:.4},\n    \"hit_rate_with\": {with_rate:.4},\n    \"memo_entries_without\": {without_entries},\n    \"memo_entries_with\": {with_entries}\n  }},\n  \"entropy_order\": {{\n    \"orbit_budget\": {entropy_budget},\n    \"seconds\": {entropy_seconds:.3},\n    \"stats\": {entropy_stats_json},\n    \"best_eta\": {}\n  }}{bb3_entry}\n}}\n",
         report.eta_floor,
         budget as f64 / seconds,
         report.memo_entries,

@@ -383,12 +383,183 @@ pub enum MemoVerdict {
 }
 
 /// One serialised transposition-table entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemoRecord {
     /// The restriction fingerprint (exact canonical encoding).
     pub fingerprint: Vec<u8>,
     /// The memoized triage outcome.
     pub verdict: MemoVerdict,
+}
+
+/// Delta-packed serialisation of a [`MemoRecord`] list.
+///
+/// A checkpointed memo table is dominated by its fingerprints: the records
+/// are emitted sorted, so neighbours share long common prefixes (the
+/// encoding leads with the state count and the restriction support), and
+/// the JSON layer renders a `Vec<u8>` as a number array at roughly four
+/// characters per byte plus a tagged verdict object per entry.  Packing
+/// therefore (a) delta-encodes each fingerprint against its predecessor —
+/// a shared-prefix length plus the fresh suffix — (b) squeezes each
+/// verdict into one code byte (with an LEB128 threshold where one
+/// exists), and (c) renders the whole byte stream as a single hex string
+/// at two characters per byte.  Decoding is exact: [`PackedMemo::unpack`]
+/// reproduces the input record list entry for entry, so checkpoint resume
+/// stays bit-identical — the encoding changes checkpoint *bytes*, never
+/// what a resumed search computes.  (Prefix sharing is a pure compression
+/// win: unsorted input still round-trips, it just shares less.)
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PackedMemo {
+    /// Number of packed records.
+    pub entries: u64,
+    /// Hex rendering of the delta byte stream: per record an LEB128
+    /// shared-prefix length, an LEB128 suffix length, the suffix bytes, a
+    /// verdict code (0 symbolic, 1 η-floor, 2/3 profiled-unverified with
+    /// the truncation bit, 4/5 profiled-verified likewise), and for codes
+    /// 4/5 the LEB128 verified threshold.
+    pub stream: String,
+}
+
+/// Appends `v` to `out` as an LEB128 varint (7 payload bits per byte,
+/// high bit = continuation).
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint starting at `*pos`, advancing `*pos` past it.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes
+            .get(*pos)
+            .ok_or_else(|| "packed memo stream truncated inside a varint".to_owned())?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("packed memo varint overflows u64".to_owned());
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl PackedMemo {
+    /// Packs a record list.  Lossless for any input order; sorted input
+    /// (what [`SharedMemo::records_with_min_hits`] and
+    /// [`CandidatePipeline::memo_records`] emit) compresses best.
+    pub fn pack(records: &[MemoRecord]) -> Self {
+        let mut bytes = Vec::new();
+        let mut previous: &[u8] = &[];
+        for record in records {
+            let shared = previous
+                .iter()
+                .zip(&record.fingerprint)
+                .take_while(|(a, b)| a == b)
+                .count();
+            push_varint(&mut bytes, shared as u64);
+            push_varint(&mut bytes, (record.fingerprint.len() - shared) as u64);
+            bytes.extend_from_slice(&record.fingerprint[shared..]);
+            let (code, verified) = match record.verdict {
+                MemoVerdict::RejectedSymbolic => (0u8, None),
+                MemoVerdict::RejectedEta => (1, None),
+                MemoVerdict::Profiled {
+                    verified: None,
+                    truncated,
+                } => (2 + u8::from(truncated), None),
+                MemoVerdict::Profiled {
+                    verified: Some(eta),
+                    truncated,
+                } => (4 + u8::from(truncated), Some(eta)),
+            };
+            bytes.push(code);
+            if let Some(eta) = verified {
+                push_varint(&mut bytes, eta);
+            }
+            previous = &record.fingerprint;
+        }
+        let mut stream = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            stream.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+            stream.push(char::from_digit(u32::from(b & 0xf), 16).unwrap());
+        }
+        PackedMemo {
+            entries: records.len() as u64,
+            stream,
+        }
+    }
+
+    /// Reconstructs the exact record list [`PackedMemo::pack`] consumed.
+    pub fn unpack(&self) -> Result<Vec<MemoRecord>, String> {
+        let hex = self.stream.as_bytes();
+        if !hex.len().is_multiple_of(2) {
+            return Err("packed memo hex stream has odd length".to_owned());
+        }
+        let digit = |c: u8| {
+            (c as char)
+                .to_digit(16)
+                .ok_or_else(|| format!("invalid hex digit {:?} in packed memo", c as char))
+        };
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for pair in hex.chunks_exact(2) {
+            bytes.push((digit(pair[0])? * 16 + digit(pair[1])?) as u8);
+        }
+        let mut records = Vec::with_capacity(usize::try_from(self.entries).unwrap_or(0));
+        let mut previous: Vec<u8> = Vec::new();
+        let mut pos = 0usize;
+        for _ in 0..self.entries {
+            let shared = usize::try_from(read_varint(&bytes, &mut pos)?)
+                .map_err(|_| "packed memo prefix length overflows usize".to_owned())?;
+            let suffix = usize::try_from(read_varint(&bytes, &mut pos)?)
+                .map_err(|_| "packed memo suffix length overflows usize".to_owned())?;
+            if shared > previous.len() || pos + suffix > bytes.len() {
+                return Err("packed memo stream truncated inside a fingerprint".to_owned());
+            }
+            let mut fingerprint = previous[..shared].to_vec();
+            fingerprint.extend_from_slice(&bytes[pos..pos + suffix]);
+            pos += suffix;
+            let code = *bytes
+                .get(pos)
+                .ok_or_else(|| "packed memo stream truncated before a verdict".to_owned())?;
+            pos += 1;
+            let verdict = match code {
+                0 => MemoVerdict::RejectedSymbolic,
+                1 => MemoVerdict::RejectedEta,
+                2 | 3 => MemoVerdict::Profiled {
+                    verified: None,
+                    truncated: code == 3,
+                },
+                4 | 5 => MemoVerdict::Profiled {
+                    verified: Some(read_varint(&bytes, &mut pos)?),
+                    truncated: code == 5,
+                },
+                other => return Err(format!("unknown packed memo verdict code {other}")),
+            };
+            records.push(MemoRecord {
+                fingerprint: fingerprint.clone(),
+                verdict,
+            });
+            previous = fingerprint;
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes after the last packed memo record".to_owned());
+        }
+        Ok(records)
+    }
+
+    /// Returns `true` if no records are packed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
 }
 
 /// The best verified candidate seen so far, as `(η, encoding index)` — ties
@@ -1233,6 +1404,84 @@ mod tests {
         assert_eq!(a.best_eta, b.best_eta);
         assert_eq!(a.witness, b.witness);
         assert_eq!(a.protocols_examined, b.protocols_examined);
+    }
+
+    #[test]
+    fn packed_memo_round_trips_and_shrinks_real_tables() {
+        // A real table: stream a chunk of the 3-state space and pack the
+        // pipeline's sorted memo records.
+        let mut search = StreamingSearch::new(3, config(6));
+        search.run_for(2_000);
+        let records = search.checkpoint().memo;
+        assert!(records.len() > 100, "table too small to exercise packing");
+        let packed = PackedMemo::pack(&records);
+        assert_eq!(packed.unpack().expect("packed memo decodes"), records);
+        let packed_json = serde_json::to_string(&packed).unwrap();
+        let raw_json = serde_json::to_string(&records).unwrap();
+        assert!(
+            packed_json.len() * 4 < raw_json.len(),
+            "packing must shrink the serialised table at least 4x \
+             ({} vs {} bytes)",
+            packed_json.len(),
+            raw_json.len()
+        );
+
+        // Adversarial records: every verdict shape, unsorted order (legal,
+        // just compresses worse), empty and extreme fingerprints.
+        let awkward = vec![
+            MemoRecord {
+                fingerprint: vec![7; 40],
+                verdict: MemoVerdict::Profiled {
+                    verified: Some(u64::MAX),
+                    truncated: true,
+                },
+            },
+            MemoRecord {
+                fingerprint: Vec::new(),
+                verdict: MemoVerdict::RejectedEta,
+            },
+            MemoRecord {
+                fingerprint: vec![0],
+                verdict: MemoVerdict::Profiled {
+                    verified: None,
+                    truncated: true,
+                },
+            },
+            MemoRecord {
+                fingerprint: vec![0, 255, 128],
+                verdict: MemoVerdict::Profiled {
+                    verified: Some(0),
+                    truncated: false,
+                },
+            },
+            MemoRecord {
+                fingerprint: vec![0, 255, 128],
+                verdict: MemoVerdict::RejectedSymbolic,
+            },
+            MemoRecord {
+                fingerprint: vec![0, 255],
+                verdict: MemoVerdict::Profiled {
+                    verified: None,
+                    truncated: false,
+                },
+            },
+        ];
+        let packed = PackedMemo::pack(&awkward);
+        assert_eq!(packed.unpack().expect("awkward records decode"), awkward);
+        assert_eq!(PackedMemo::pack(&[]).unpack().unwrap(), Vec::new());
+
+        // Corruption is detected, not silently misread.
+        let mut broken = PackedMemo::pack(&awkward);
+        broken.stream.truncate(broken.stream.len() - 2);
+        assert!(broken.unpack().is_err());
+        let mut odd = PackedMemo::pack(&awkward);
+        odd.stream.pop();
+        assert!(odd.unpack().is_err());
+        let garbage = PackedMemo {
+            entries: 1,
+            stream: "zz".to_owned(),
+        };
+        assert!(garbage.unpack().is_err());
     }
 
     #[test]

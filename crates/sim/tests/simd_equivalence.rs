@@ -1,0 +1,130 @@
+//! Whole-trajectory equivalence for the `simd` feature.
+//!
+//! The unit suites in `sampling.rs` and `pmath.rs` prove each vector
+//! kernel bit-identical in isolation; this suite closes the loop at the
+//! engine level: a full ensemble trajectory with the vector kernels
+//! active is bit-identical to (a) the same build forced onto the scalar
+//! path, and (b) independent solo runs — so the feature can never change
+//! a simulation outcome, only how fast it arrives.
+
+#![cfg(feature = "simd")]
+
+use popproto_model::{Input, Output, Protocol, ProtocolBuilder, StateId};
+use popproto_sim::{simd_control, BatchedSimulator, EnsembleSimulator, SimulationEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random protocol: 3–6 states with random outputs, a random
+/// transition set, and a guaranteed nondeterministic pair (two transitions
+/// for the same pre-pair) so the candidate-split binomials are exercised.
+fn random_protocol(rng: &mut StdRng, tag: u64) -> Protocol {
+    let q = rng.gen_range(3..=6usize);
+    let mut b = ProtocolBuilder::new(format!("simd_random_{tag}"));
+    let states: Vec<StateId> = (0..q)
+        .map(|i| {
+            let out = if rng.gen_bool(0.5) {
+                Output::True
+            } else {
+                Output::False
+            };
+            b.add_state(format!("s{i}"), out)
+        })
+        .collect();
+    b.set_input_state("x", states[0]);
+    b.set_input_state("y", states[1]);
+    let _ = b.add_transition_idempotent((states[0], states[1]), (states[2], states[0]));
+    let _ = b.add_transition_idempotent((states[0], states[1]), (states[1], states[2]));
+    let extra = rng.gen_range(3..=q * q);
+    for _ in 0..extra {
+        let pre = (states[rng.gen_range(0..q)], states[rng.gen_range(0..q)]);
+        let post = (states[rng.gen_range(0..q)], states[rng.gen_range(0..q)]);
+        let _ = b.add_transition_idempotent(pre, post);
+    }
+    b.build().expect("random protocol is well-formed")
+}
+
+/// Per-round observable snapshot of every lane of an ensemble.
+type Trace = Vec<Vec<(Vec<u64>, u64, u64, bool)>>;
+
+/// Runs `rounds` waves of `stride` interactions and records every lane's
+/// full observable state after each wave.
+fn trace(p: &Protocol, seeds: &[u64], rounds: usize, stride: u64) -> Trace {
+    let ic = p.initial_config(&Input::from_counts(vec![1_100, 900]));
+    let mut ens = EnsembleSimulator::new(p.clone(), ic, seeds);
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        ens.advance_uniform(stride);
+        out.push(
+            (0..ens.lanes())
+                .map(|lane| {
+                    (
+                        ens.lane_counts(lane).to_vec(),
+                        ens.lane_interactions(lane),
+                        ens.lane_effective_interactions(lane),
+                        ens.lane_is_silent(lane),
+                    )
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+/// The same build, the same seeds: vector kernels active vs forced onto
+/// the scalar path must produce bit-identical trajectories wave by wave.
+#[test]
+fn vector_and_forced_scalar_trajectories_are_bit_identical() {
+    let _guard = simd_control::force_scalar_guard();
+    let mut rng = StdRng::seed_from_u64(0x51D_E15E);
+    for proto_tag in 0..4u64 {
+        let p = random_protocol(&mut rng, proto_tag);
+        let seeds: Vec<u64> = (0..48u64).map(|i| 7_000 * proto_tag + i).collect();
+        simd_control::set_force_scalar(false);
+        let vector = trace(&p, &seeds, 4, 20_000);
+        simd_control::set_force_scalar(true);
+        let scalar = trace(&p, &seeds, 4, 20_000);
+        simd_control::set_force_scalar(false);
+        assert_eq!(
+            vector, scalar,
+            "vector vs forced-scalar trajectories diverge on protocol {proto_tag}"
+        );
+    }
+}
+
+/// Lane-vs-solo equivalence with the vector kernels engaged: lane `i` of
+/// an ensemble still matches an independent solo simulator seed-for-seed.
+#[test]
+fn lanes_match_solo_runs_with_vector_kernels_active() {
+    let _guard = simd_control::force_scalar_guard();
+    simd_control::set_force_scalar(false);
+    let mut rng = StdRng::seed_from_u64(0xACE_0FD1A);
+    for proto_tag in 0..3u64 {
+        let p = random_protocol(&mut rng, 100 + proto_tag);
+        let ic = p.initial_config(&Input::from_counts(vec![1_200, 800]));
+        let seeds: Vec<u64> = (0..16u64).map(|i| 500 * proto_tag + i).collect();
+        let mut ens = EnsembleSimulator::new(p.clone(), ic.clone(), &seeds);
+        let mut solos: Vec<BatchedSimulator> = seeds
+            .iter()
+            .map(|&s| BatchedSimulator::new(p.clone(), ic.clone(), s))
+            .collect();
+        for round in 0..4 {
+            ens.advance_uniform(15_000);
+            for (lane, solo) in solos.iter_mut().enumerate() {
+                solo.advance(15_000);
+                let ctx = format!("protocol {proto_tag}, lane {lane}, round {round}");
+                assert_eq!(ens.lane_counts(lane), solo.counts(), "counts: {ctx}");
+                assert_eq!(
+                    ens.lane_interactions(lane),
+                    solo.interactions(),
+                    "interactions: {ctx}"
+                );
+                assert_eq!(
+                    ens.lane_effective_interactions(lane),
+                    solo.effective_interactions(),
+                    "effective: {ctx}"
+                );
+                assert_eq!(ens.lane_is_silent(lane), solo.is_silent(), "silence: {ctx}");
+            }
+        }
+    }
+}

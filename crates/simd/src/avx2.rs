@@ -1,0 +1,337 @@
+//! AVX2 kernels: 4 × u64 / 4 × f64 per vector (the entry points loop, so
+//! a caller chunking by 8 is served by two 4-wide iterations).
+//!
+//! AVX2 lacks three instructions the AVX-512 path uses; each is replaced
+//! by *exact* integer/float arithmetic, so the bit-identity argument is
+//! unchanged:
+//!
+//! - **64-bit wrapping multiply by 5 / 9** (xoshiro): written as the
+//!   shift-adds `x + (x << 2)` and `x + (x << 3)`, which are wrapping-
+//!   identical to the multiplies.
+//! - **u64 → f64** (the uniform words and the planner parameters): hi/lo
+//!   32-bit split through the `2⁵²` magic constant — `(2⁵² | hi) − 2⁵²`
+//!   and `(2⁵² | lo) − 2⁵²` are exact, and `hi·2³² + lo` is one add of
+//!   two exactly representable values, so it rounds once: the correctly
+//!   rounded scalar `as f64` for *every* u64 (exact below `2⁵³`).
+//! - **i64 → f64** (the ln exponent, `|e| ≤ 1075`): the `1.5·2⁵²` magic —
+//!   integer-adding the bias pushes the two's-complement value into the
+//!   mantissa, and subtracting the magic back out is exact for
+//!   `|v| < 2⁵¹`.
+
+// The ln constants are the published fdlibm values, kept verbatim (extra
+// printed digits and all) so they can be audited against `pmath::ln` —
+// same rationale as the allowance in `pmath.rs`.
+#![allow(clippy::excessive_precision)]
+
+use crate::HypSetupBatch;
+use core::arch::x86_64::*;
+
+const W: usize = 4;
+
+/// `2⁻⁵³`, the scalar `gen_range(0.0..1.0)` scale factor.
+const INV_2_53: f64 = 1.0 / (1u64 << 53) as f64;
+/// `2⁵²` — both the f64 value and (as bits) the u64→f64 magic OR-mask.
+const TWO_52: f64 = 4_503_599_627_370_496.0;
+/// `1.5·2⁵²`, the signed-conversion shifter.
+const SHIFT_I64: f64 = 6_755_399_441_055_744.0;
+
+/// `rotl(v, K)` as shift-or.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn rotl<const K: i32, const INV_K: i32>(v: __m256i) -> __m256i {
+    _mm256_or_si256(_mm256_slli_epi64::<K>(v), _mm256_srli_epi64::<INV_K>(v))
+}
+
+/// One xoshiro256** step over 4 packed states; returns the output words.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn step(s0: &mut __m256i, s1: &mut __m256i, s2: &mut __m256i, s3: &mut __m256i) -> __m256i {
+    // s1·5 = s1 + (s1 << 2); (…)·9 = … + (… << 3) — wrapping-identical.
+    let m5 = _mm256_add_epi64(*s1, _mm256_slli_epi64::<2>(*s1));
+    let rot = rotl::<7, 57>(m5);
+    let r = _mm256_add_epi64(rot, _mm256_slli_epi64::<3>(rot));
+    let t = _mm256_slli_epi64::<17>(*s1);
+    *s2 = _mm256_xor_si256(*s2, *s0);
+    *s3 = _mm256_xor_si256(*s3, *s1);
+    *s1 = _mm256_xor_si256(*s1, *s2);
+    *s0 = _mm256_xor_si256(*s0, *s3);
+    *s2 = _mm256_xor_si256(*s2, t);
+    *s3 = rotl::<45, 19>(*s3);
+    r
+}
+
+/// Transposes 4 AoS states into four lane vectors.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn load_states(chunk: &[[u64; 4]]) -> (__m256i, __m256i, __m256i, __m256i) {
+    let mut t = [[0u64; W]; 4];
+    for (j, s) in chunk.iter().enumerate().take(W) {
+        t[0][j] = s[0];
+        t[1][j] = s[1];
+        t[2][j] = s[2];
+        t[3][j] = s[3];
+    }
+    // SAFETY: each `t[k]` is 4 contiguous u64 (32 bytes); unaligned load.
+    unsafe {
+        (
+            _mm256_loadu_si256(t[0].as_ptr().cast()),
+            _mm256_loadu_si256(t[1].as_ptr().cast()),
+            _mm256_loadu_si256(t[2].as_ptr().cast()),
+            _mm256_loadu_si256(t[3].as_ptr().cast()),
+        )
+    }
+}
+
+/// Scatters four lane vectors back into 4 AoS states.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn store_states(chunk: &mut [[u64; 4]], s0: __m256i, s1: __m256i, s2: __m256i, s3: __m256i) {
+    let mut t = [[0u64; W]; 4];
+    // SAFETY: each `t[k]` is 4 contiguous u64 (32 bytes); unaligned store.
+    unsafe {
+        _mm256_storeu_si256(t[0].as_mut_ptr().cast(), s0);
+        _mm256_storeu_si256(t[1].as_mut_ptr().cast(), s1);
+        _mm256_storeu_si256(t[2].as_mut_ptr().cast(), s2);
+        _mm256_storeu_si256(t[3].as_mut_ptr().cast(), s3);
+    }
+    for (j, s) in chunk.iter_mut().enumerate().take(W) {
+        s[0] = t[0][j];
+        s[1] = t[1][j];
+        s[2] = t[2][j];
+        s[3] = t[3][j];
+    }
+}
+
+/// Correctly rounded u64 → f64 for *every* u64 (hi/lo magic split, see
+/// module docs): `hi·2³²` and `lo` are both exactly representable, so the
+/// single add rounds once — the scalar `as f64`.  For values `< 2⁵³`
+/// (the uniform words) the result is exact.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn cvt_u64(v: __m256i) -> __m256d {
+    let magic = _mm256_set1_epi64x(TWO_52.to_bits() as i64);
+    let lo = _mm256_and_si256(v, _mm256_set1_epi64x(0xFFFF_FFFF));
+    let hi = _mm256_srli_epi64::<32>(v);
+    let lo_f = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(lo, magic)),
+        _mm256_set1_pd(TWO_52),
+    );
+    let hi_f = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(hi, magic)),
+        _mm256_set1_pd(TWO_52),
+    );
+    _mm256_add_pd(_mm256_mul_pd(hi_f, _mm256_set1_pd(4_294_967_296.0)), lo_f)
+}
+
+/// Exact i64 → f64 for `|v| < 2⁵¹` (the `1.5·2⁵²` shifter, see module docs).
+#[inline]
+#[target_feature(enable = "avx2")]
+fn cvt_i64_small(v: __m256i) -> __m256d {
+    let shifted = _mm256_add_epi64(v, _mm256_set1_epi64x(SHIFT_I64.to_bits() as i64));
+    _mm256_sub_pd(_mm256_castsi256_pd(shifted), _mm256_set1_pd(SHIFT_I64))
+}
+
+/// `(word >> 11) as f64 · 2⁻⁵³` — the scalar uniform bits, packed.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn uniform_from_words(r: __m256i) -> __m256d {
+    _mm256_mul_pd(
+        cvt_u64(_mm256_srli_epi64::<11>(r)),
+        _mm256_set1_pd(INV_2_53),
+    )
+}
+
+/// See [`crate::xoshiro_uniform_prefix`].
+#[target_feature(enable = "avx2")]
+pub(crate) fn xoshiro_uniform(states: &mut [[u64; 4]], out: &mut [f64]) -> usize {
+    let n = states.len().min(out.len()) & !(W - 1);
+    let mut i = 0;
+    while i < n {
+        let chunk = &mut states[i..i + W];
+        let (mut s0, mut s1, mut s2, mut s3) = load_states(chunk);
+        let r = step(&mut s0, &mut s1, &mut s2, &mut s3);
+        store_states(chunk, s0, s1, s2, s3);
+        // SAFETY: `i + W <= n <= out.len()`; unaligned store.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(i), uniform_from_words(r)) };
+        i += W;
+    }
+    n
+}
+
+/// See [`crate::xoshiro_next_prefix`].
+#[target_feature(enable = "avx2")]
+pub(crate) fn xoshiro_next(states: &mut [[u64; 4]], out: &mut [u64]) -> usize {
+    let n = states.len().min(out.len()) & !(W - 1);
+    let mut i = 0;
+    while i < n {
+        let chunk = &mut states[i..i + W];
+        let (mut s0, mut s1, mut s2, mut s3) = load_states(chunk);
+        let r = step(&mut s0, &mut s1, &mut s2, &mut s3);
+        store_states(chunk, s0, s1, s2, s3);
+        // SAFETY: `i + W <= n <= out.len()`; unaligned store.
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), r) };
+        i += W;
+    }
+    n
+}
+
+/// The fdlibm `ln` kernel over one vector — expression-for-expression the
+/// scalar `pmath::ln` (constants included by value, pinned bitwise by the
+/// property suites in `popproto-sim`).
+#[inline]
+#[target_feature(enable = "avx2")]
+fn ln4(x: __m256d) -> __m256d {
+    const LN2_HI: f64 = 6.931_471_803_691_238_164_90e-01;
+    const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+    const SQRT2: f64 = std::f64::consts::SQRT_2;
+    const LG1: f64 = 6.666_666_666_666_735_130e-01;
+    const LG2: f64 = 3.999_999_999_940_941_908e-01;
+    const LG3: f64 = 2.857_142_874_366_239_149e-01;
+    const LG4: f64 = 2.222_219_843_214_978_396e-01;
+    const LG5: f64 = 1.818_357_216_161_805_012e-01;
+    const LG6: f64 = 1.531_383_769_920_937_332e-01;
+    const LG7: f64 = 1.479_819_860_511_658_591e-01;
+
+    let bits = _mm256_castpd_si256(x);
+    let m_raw = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi64x(0x000F_FFFF_FFFF_FFFF)),
+        _mm256_set1_epi64x(1023i64 << 52),
+    ));
+    let big = _mm256_cmp_pd::<_CMP_GT_OQ>(m_raw, _mm256_set1_pd(SQRT2));
+    // m = big ? 0.5·m_raw : m_raw
+    let m = _mm256_blendv_pd(m_raw, _mm256_mul_pd(_mm256_set1_pd(0.5), m_raw), big);
+    // e = (exponent − 1023 + big) as f64, exact for |e| ≤ 1075.
+    let e_i = _mm256_add_epi64(
+        _mm256_sub_epi64(_mm256_srli_epi64::<52>(bits), _mm256_set1_epi64x(1023)),
+        _mm256_and_si256(_mm256_castpd_si256(big), _mm256_set1_epi64x(1)),
+    );
+    let e = cvt_i64_small(e_i);
+
+    let one = _mm256_set1_pd(1.0);
+    let f = _mm256_sub_pd(m, one);
+    // hfsq = (0.5·f)·f — the scalar parse of `0.5 * f * f`.
+    let hfsq = _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), f), f);
+    let s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+    let z = _mm256_mul_pd(s, s);
+    let w = _mm256_mul_pd(z, z);
+    let t1 = _mm256_mul_pd(
+        w,
+        _mm256_add_pd(
+            _mm256_set1_pd(LG2),
+            _mm256_mul_pd(
+                w,
+                _mm256_add_pd(_mm256_set1_pd(LG4), _mm256_mul_pd(w, _mm256_set1_pd(LG6))),
+            ),
+        ),
+    );
+    let t2 = _mm256_mul_pd(
+        z,
+        _mm256_add_pd(
+            _mm256_set1_pd(LG1),
+            _mm256_mul_pd(
+                w,
+                _mm256_add_pd(
+                    _mm256_set1_pd(LG3),
+                    _mm256_mul_pd(
+                        w,
+                        _mm256_add_pd(_mm256_set1_pd(LG5), _mm256_mul_pd(w, _mm256_set1_pd(LG7))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let r = _mm256_add_pd(t2, t1);
+    // s·(hfsq + r) + e·LN2_LO − hfsq + f + e·LN2_HI, strictly left to right.
+    _mm256_add_pd(
+        _mm256_add_pd(
+            _mm256_sub_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(s, _mm256_add_pd(hfsq, r)),
+                    _mm256_mul_pd(e, _mm256_set1_pd(LN2_LO)),
+                ),
+                hfsq,
+            ),
+            f,
+        ),
+        _mm256_mul_pd(e, _mm256_set1_pd(LN2_HI)),
+    )
+}
+
+/// See [`crate::ln_prefix`].
+#[target_feature(enable = "avx2")]
+pub(crate) fn ln_slice(xs: &mut [f64]) -> usize {
+    let n = xs.len() & !(W - 1);
+    let mut i = 0;
+    while i < n {
+        // SAFETY: `i + W <= n <= xs.len()`; unaligned load/store.
+        unsafe {
+            let p = xs.as_mut_ptr().add(i);
+            _mm256_storeu_pd(p, ln4(_mm256_loadu_pd(p)));
+        }
+        i += W;
+    }
+    n
+}
+
+/// See [`crate::hyp_setup_prefix`].
+#[target_feature(enable = "avx2")]
+pub(crate) fn hyp_setup(batch: &mut HypSetupBatch<'_>, d1: f64, d2: f64) -> usize {
+    let n = batch.common_len() & !(W - 1);
+    let half = _mm256_set1_pd(0.5);
+    let one = _mm256_set1_pd(1.0);
+    let vd1 = _mm256_set1_pd(d1);
+    let vd2 = _mm256_set1_pd(d2);
+    let mut i = 0;
+    while i < n {
+        // SAFETY: every slice holds at least `n` elements (common_len);
+        // unaligned loads/stores at offset `i + W <= n`.
+        unsafe {
+            let vt = _mm256_loadu_si256(batch.t.as_ptr().add(i).cast());
+            let vs = _mm256_loadu_si256(batch.s.as_ptr().add(i).cast());
+            let vd = _mm256_loadu_si256(batch.d.as_ptr().add(i).cast());
+            // The `+ 1` and `min` run in the integer domain first, exactly
+            // like the scalar planner's expressions; the reduced
+            // parameters satisfy `s, d ≤ t/2 < 2⁶³`, so the signed
+            // compare is an unsigned min here.
+            let pop = cvt_u64(vt);
+            let mf = cvt_u64(vd);
+            let sf = cvt_u64(vs);
+            let one_i = _mm256_set1_epi64x(1);
+            let s1f = cvt_u64(_mm256_add_epi64(vs, one_i));
+            let min_ds = _mm256_blendv_epi8(vd, vs, _mm256_cmpgt_epi64(vd, vs));
+            let capf = cvt_u64(_mm256_add_epi64(min_ds, one_i));
+
+            let d4 = _mm256_div_pd(sf, pop);
+            let d5 = _mm256_sub_pd(one, d4);
+            // d7 = √((((pop − mf)·mf)·d4)·d5/(pop − 1) + ½)
+            let d7 = _mm256_sqrt_pd(_mm256_add_pd(
+                _mm256_div_pd(
+                    _mm256_mul_pd(
+                        _mm256_mul_pd(_mm256_mul_pd(_mm256_sub_pd(pop, mf), mf), d4),
+                        d5,
+                    ),
+                    _mm256_sub_pd(pop, one),
+                ),
+                half,
+            ));
+            // d9 = ⌊(mf + 1)·s1f/(pop + 2)⌋
+            let d9 = _mm256_floor_pd(_mm256_div_pd(
+                _mm256_mul_pd(_mm256_add_pd(mf, one), s1f),
+                _mm256_add_pd(pop, _mm256_set1_pd(2.0)),
+            ));
+            let d6 = _mm256_add_pd(_mm256_mul_pd(mf, d4), half);
+            let d8 = _mm256_add_pd(_mm256_mul_pd(vd1, d7), vd2);
+            // d11 = min(capf, ⌊d6 + 16·d7⌋)
+            let d11 = _mm256_min_pd(
+                capf,
+                _mm256_floor_pd(_mm256_add_pd(d6, _mm256_mul_pd(_mm256_set1_pd(16.0), d7))),
+            );
+            _mm256_storeu_pd(batch.d6.as_mut_ptr().add(i), d6);
+            _mm256_storeu_pd(batch.d8.as_mut_ptr().add(i), d8);
+            _mm256_storeu_pd(batch.d9.as_mut_ptr().add(i), d9);
+            _mm256_storeu_pd(batch.d11.as_mut_ptr().add(i), d11);
+        }
+        i += W;
+    }
+    n
+}

@@ -1,0 +1,290 @@
+//! AVX-512F + AVX-512DQ kernels: 8 × u64 / 8 × f64 per vector.
+//!
+//! Every arithmetic instruction here is the packed form of a correctly
+//! rounded IEEE-754 scalar op (or an exact integer op), issued in the same
+//! association order as the scalar expressions in `popproto-sim` — see the
+//! crate docs for the bit-identity argument.  DQ supplies the three
+//! instructions the kernels lean on beyond F: `vpmullq` (64-bit wrapping
+//! multiply), `vcvtuqq2pd` and `vcvtqq2pd` (correctly rounded 64-bit
+//! integer → double conversions).
+
+// The ln constants are the published fdlibm values, kept verbatim (extra
+// printed digits and all) so they can be audited against `pmath::ln` —
+// same rationale as the allowance in `pmath.rs`.
+#![allow(clippy::excessive_precision)]
+
+use crate::HypSetupBatch;
+use core::arch::x86_64::*;
+
+const W: usize = 8;
+
+/// `2⁻⁵³`, the scalar `gen_range(0.0..1.0)` scale factor.
+const INV_2_53: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// One xoshiro256** step over 8 packed states; returns the output words.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+fn step(s0: &mut __m512i, s1: &mut __m512i, s2: &mut __m512i, s3: &mut __m512i) -> __m512i {
+    // result = rotl(s1 * 5, 7) * 9 — wrapping multiplies via vpmullq.
+    let r = _mm512_mullo_epi64(
+        _mm512_rol_epi64::<7>(_mm512_mullo_epi64(*s1, _mm512_set1_epi64(5))),
+        _mm512_set1_epi64(9),
+    );
+    let t = _mm512_slli_epi64::<17>(*s1);
+    *s2 = _mm512_xor_si512(*s2, *s0);
+    *s3 = _mm512_xor_si512(*s3, *s1);
+    *s1 = _mm512_xor_si512(*s1, *s2);
+    *s0 = _mm512_xor_si512(*s0, *s3);
+    *s2 = _mm512_xor_si512(*s2, t);
+    *s3 = _mm512_rol_epi64::<45>(*s3);
+    r
+}
+
+/// Transposes 8 AoS states into four lane vectors.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+fn load_states(chunk: &[[u64; 4]]) -> (__m512i, __m512i, __m512i, __m512i) {
+    let mut t = [[0u64; W]; 4];
+    for (j, s) in chunk.iter().enumerate().take(W) {
+        t[0][j] = s[0];
+        t[1][j] = s[1];
+        t[2][j] = s[2];
+        t[3][j] = s[3];
+    }
+    // SAFETY: each `t[k]` is 8 contiguous u64 (64 bytes); unaligned load.
+    unsafe {
+        (
+            _mm512_loadu_si512(t[0].as_ptr().cast()),
+            _mm512_loadu_si512(t[1].as_ptr().cast()),
+            _mm512_loadu_si512(t[2].as_ptr().cast()),
+            _mm512_loadu_si512(t[3].as_ptr().cast()),
+        )
+    }
+}
+
+/// Scatters four lane vectors back into 8 AoS states.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+fn store_states(chunk: &mut [[u64; 4]], s0: __m512i, s1: __m512i, s2: __m512i, s3: __m512i) {
+    let mut t = [[0u64; W]; 4];
+    // SAFETY: each `t[k]` is 8 contiguous u64 (64 bytes); unaligned store.
+    unsafe {
+        _mm512_storeu_si512(t[0].as_mut_ptr().cast(), s0);
+        _mm512_storeu_si512(t[1].as_mut_ptr().cast(), s1);
+        _mm512_storeu_si512(t[2].as_mut_ptr().cast(), s2);
+        _mm512_storeu_si512(t[3].as_mut_ptr().cast(), s3);
+    }
+    for (j, s) in chunk.iter_mut().enumerate().take(W) {
+        s[0] = t[0][j];
+        s[1] = t[1][j];
+        s[2] = t[2][j];
+        s[3] = t[3][j];
+    }
+}
+
+/// `(word >> 11) as f64 · 2⁻⁵³` — the scalar uniform bits, packed.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+fn uniform_from_words(r: __m512i) -> __m512d {
+    _mm512_mul_pd(
+        _mm512_cvtepu64_pd(_mm512_srli_epi64::<11>(r)),
+        _mm512_set1_pd(INV_2_53),
+    )
+}
+
+/// See [`crate::xoshiro_uniform_prefix`].
+#[target_feature(enable = "avx512f,avx512dq")]
+pub(crate) fn xoshiro_uniform(states: &mut [[u64; 4]], out: &mut [f64]) -> usize {
+    let n = states.len().min(out.len()) & !(W - 1);
+    let mut i = 0;
+    while i < n {
+        let chunk = &mut states[i..i + W];
+        let (mut s0, mut s1, mut s2, mut s3) = load_states(chunk);
+        let r = step(&mut s0, &mut s1, &mut s2, &mut s3);
+        store_states(chunk, s0, s1, s2, s3);
+        // SAFETY: `i + W <= n <= out.len()`; unaligned store.
+        unsafe { _mm512_storeu_pd(out.as_mut_ptr().add(i), uniform_from_words(r)) };
+        i += W;
+    }
+    n
+}
+
+/// See [`crate::xoshiro_next_prefix`].
+#[target_feature(enable = "avx512f,avx512dq")]
+pub(crate) fn xoshiro_next(states: &mut [[u64; 4]], out: &mut [u64]) -> usize {
+    let n = states.len().min(out.len()) & !(W - 1);
+    let mut i = 0;
+    while i < n {
+        let chunk = &mut states[i..i + W];
+        let (mut s0, mut s1, mut s2, mut s3) = load_states(chunk);
+        let r = step(&mut s0, &mut s1, &mut s2, &mut s3);
+        store_states(chunk, s0, s1, s2, s3);
+        // SAFETY: `i + W <= n <= out.len()`, so the 8-word store is in
+        // bounds; unaligned store.
+        unsafe { _mm512_storeu_si512(out.as_mut_ptr().add(i).cast(), r) };
+        i += W;
+    }
+    n
+}
+
+/// The fdlibm `ln` kernel over one vector — expression-for-expression the
+/// scalar `pmath::ln` (constants included by value, pinned bitwise by the
+/// property suites in `popproto-sim`).
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+fn ln8(x: __m512d) -> __m512d {
+    const LN2_HI: f64 = 6.931_471_803_691_238_164_90e-01;
+    const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+    const SQRT2: f64 = std::f64::consts::SQRT_2;
+    const LG1: f64 = 6.666_666_666_666_735_130e-01;
+    const LG2: f64 = 3.999_999_999_940_941_908e-01;
+    const LG3: f64 = 2.857_142_874_366_239_149e-01;
+    const LG4: f64 = 2.222_219_843_214_978_396e-01;
+    const LG5: f64 = 1.818_357_216_161_805_012e-01;
+    const LG6: f64 = 1.531_383_769_920_937_332e-01;
+    const LG7: f64 = 1.479_819_860_511_658_591e-01;
+
+    let bits = _mm512_castpd_si512(x);
+    let m_raw = _mm512_castsi512_pd(_mm512_or_si512(
+        _mm512_and_si512(bits, _mm512_set1_epi64(0x000F_FFFF_FFFF_FFFF)),
+        _mm512_set1_epi64(1023i64 << 52),
+    ));
+    let big = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(m_raw, _mm512_set1_pd(SQRT2));
+    // m = big ? 0.5·m_raw : m_raw
+    let m = _mm512_mask_mul_pd(m_raw, big, _mm512_set1_pd(0.5), m_raw);
+    // e = (exponent − 1023 + big) as f64; vcvtqq2pd is correctly rounded,
+    // and these small integers convert exactly — same value as the scalar
+    // i32 → f64 cast.
+    let e_base = _mm512_sub_epi64(_mm512_srli_epi64::<52>(bits), _mm512_set1_epi64(1023));
+    let e_i = _mm512_mask_add_epi64(e_base, big, e_base, _mm512_set1_epi64(1));
+    let e = _mm512_cvtepi64_pd(e_i);
+
+    let one = _mm512_set1_pd(1.0);
+    let f = _mm512_sub_pd(m, one);
+    // hfsq = (0.5·f)·f — the scalar parse of `0.5 * f * f`.
+    let hfsq = _mm512_mul_pd(_mm512_mul_pd(_mm512_set1_pd(0.5), f), f);
+    let s = _mm512_div_pd(f, _mm512_add_pd(_mm512_set1_pd(2.0), f));
+    let z = _mm512_mul_pd(s, s);
+    let w = _mm512_mul_pd(z, z);
+    let t1 = _mm512_mul_pd(
+        w,
+        _mm512_add_pd(
+            _mm512_set1_pd(LG2),
+            _mm512_mul_pd(
+                w,
+                _mm512_add_pd(_mm512_set1_pd(LG4), _mm512_mul_pd(w, _mm512_set1_pd(LG6))),
+            ),
+        ),
+    );
+    let t2 = _mm512_mul_pd(
+        z,
+        _mm512_add_pd(
+            _mm512_set1_pd(LG1),
+            _mm512_mul_pd(
+                w,
+                _mm512_add_pd(
+                    _mm512_set1_pd(LG3),
+                    _mm512_mul_pd(
+                        w,
+                        _mm512_add_pd(_mm512_set1_pd(LG5), _mm512_mul_pd(w, _mm512_set1_pd(LG7))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let r = _mm512_add_pd(t2, t1);
+    // s·(hfsq + r) + e·LN2_LO − hfsq + f + e·LN2_HI, strictly left to right.
+    _mm512_add_pd(
+        _mm512_add_pd(
+            _mm512_sub_pd(
+                _mm512_add_pd(
+                    _mm512_mul_pd(s, _mm512_add_pd(hfsq, r)),
+                    _mm512_mul_pd(e, _mm512_set1_pd(LN2_LO)),
+                ),
+                hfsq,
+            ),
+            f,
+        ),
+        _mm512_mul_pd(e, _mm512_set1_pd(LN2_HI)),
+    )
+}
+
+/// See [`crate::ln_prefix`].
+#[target_feature(enable = "avx512f,avx512dq")]
+pub(crate) fn ln_slice(xs: &mut [f64]) -> usize {
+    let n = xs.len() & !(W - 1);
+    let mut i = 0;
+    while i < n {
+        // SAFETY: `i + W <= n <= xs.len()`; unaligned load/store.
+        unsafe {
+            let p = xs.as_mut_ptr().add(i);
+            _mm512_storeu_pd(p, ln8(_mm512_loadu_pd(p)));
+        }
+        i += W;
+    }
+    n
+}
+
+/// See [`crate::hyp_setup_prefix`].
+#[target_feature(enable = "avx512f,avx512dq")]
+pub(crate) fn hyp_setup(batch: &mut HypSetupBatch<'_>, d1: f64, d2: f64) -> usize {
+    let n = batch.common_len() & !(W - 1);
+    let half = _mm512_set1_pd(0.5);
+    let one = _mm512_set1_pd(1.0);
+    let vd1 = _mm512_set1_pd(d1);
+    let vd2 = _mm512_set1_pd(d2);
+    let mut i = 0;
+    while i < n {
+        // SAFETY: every slice holds at least `n` elements (common_len);
+        // unaligned loads/stores at offset `i + W <= n`.
+        unsafe {
+            let vt = _mm512_loadu_si512(batch.t.as_ptr().add(i).cast());
+            let vs = _mm512_loadu_si512(batch.s.as_ptr().add(i).cast());
+            let vd = _mm512_loadu_si512(batch.d.as_ptr().add(i).cast());
+            // vcvtuqq2pd is correctly rounded for every u64 — the scalar
+            // `as f64`.  The `+ 1` and `min` run in the integer domain
+            // first, exactly like the scalar planner's expressions.
+            let pop = _mm512_cvtepu64_pd(vt);
+            let mf = _mm512_cvtepu64_pd(vd);
+            let sf = _mm512_cvtepu64_pd(vs);
+            let one_i = _mm512_set1_epi64(1);
+            let s1f = _mm512_cvtepu64_pd(_mm512_add_epi64(vs, one_i));
+            let capf = _mm512_cvtepu64_pd(_mm512_add_epi64(_mm512_min_epu64(vd, vs), one_i));
+
+            let d4 = _mm512_div_pd(sf, pop);
+            let d5 = _mm512_sub_pd(one, d4);
+            // d7 = √((((pop − mf)·mf)·d4)·d5/(pop − 1) + ½)
+            let d7 = _mm512_sqrt_pd(_mm512_add_pd(
+                _mm512_div_pd(
+                    _mm512_mul_pd(
+                        _mm512_mul_pd(_mm512_mul_pd(_mm512_sub_pd(pop, mf), mf), d4),
+                        d5,
+                    ),
+                    _mm512_sub_pd(pop, one),
+                ),
+                half,
+            ));
+            // d9 = ⌊(mf + 1)·s1f/(pop + 2)⌋
+            let d9 = _mm512_roundscale_pd::<0x09>(_mm512_div_pd(
+                _mm512_mul_pd(_mm512_add_pd(mf, one), s1f),
+                _mm512_add_pd(pop, _mm512_set1_pd(2.0)),
+            ));
+            let d6 = _mm512_add_pd(_mm512_mul_pd(mf, d4), half);
+            let d8 = _mm512_add_pd(_mm512_mul_pd(vd1, d7), vd2);
+            // d11 = min(capf, ⌊d6 + 16·d7⌋)
+            let d11 = _mm512_min_pd(
+                capf,
+                _mm512_roundscale_pd::<0x09>(_mm512_add_pd(
+                    d6,
+                    _mm512_mul_pd(_mm512_set1_pd(16.0), d7),
+                )),
+            );
+            _mm512_storeu_pd(batch.d6.as_mut_ptr().add(i), d6);
+            _mm512_storeu_pd(batch.d8.as_mut_ptr().add(i), d8);
+            _mm512_storeu_pd(batch.d9.as_mut_ptr().add(i), d9);
+            _mm512_storeu_pd(batch.d11.as_mut_ptr().add(i), d11);
+        }
+        i += W;
+    }
+    n
+}

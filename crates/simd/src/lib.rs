@@ -1,0 +1,372 @@
+//! Feature-detected SIMD kernels for the simulation hot loops — the one
+//! crate in the workspace allowed to contain `unsafe`.
+//!
+//! Every other crate keeps `#![forbid(unsafe_code)]`; this crate confines
+//! the unsafety to `#[target_feature]` kernels behind runtime
+//! [`is_x86_feature_detected!`] dispatch, audited under
+//! `deny(unsafe_op_in_unsafe_fn)`.  The exported entry points are safe:
+//! each processes only the aligned-width **prefix** of its inputs that the
+//! active vector width covers and returns how many elements it handled
+//! (`0` when no SIMD level is active), so the caller always finishes the
+//! tail — and, at the scalar level, the whole batch — with the *same
+//! scalar code the engine runs today*.  The scalar fallback is therefore
+//! not a reimplementation that could drift: it is the absence of the
+//! kernel.
+//!
+//! # Bit-identity contract
+//!
+//! The engines above this crate pin per-seed RNG streams bit-for-bit, so a
+//! vector kernel is only admissible if it produces *exactly* the scalar
+//! bits:
+//!
+//! - **Integer kernels** ([`xoshiro_next_prefix`]): xoshiro256** is
+//!   xor/shift/rotate plus wrapping multiplies by 5 and 9; every lane runs
+//!   the same integer ops as the scalar generator (the AVX2 path writes
+//!   the multiplies as shift-adds, which are wrapping-identical), so
+//!   equality is exact by construction.
+//! - **Float kernels** ([`ln_prefix`], [`hyp_setup_prefix`]): IEEE-754
+//!   requires elementwise add, sub, mul,
+//!   div and sqrt to be correctly rounded, and the packed forms of those
+//!   ops round exactly like the scalar forms.  The kernels are written
+//!   with explicit intrinsics in the *same association order* as the
+//!   scalar expressions and never use FMA, so no contraction can perturb
+//!   a rounding.  Integer↔float conversions (`u64 → f64` for uniform
+//!   words and planner parameters, exponent `i64 → f64`) are correctly
+//!   rounded in both forms; where AVX2 lacks the conversion instruction
+//!   it is synthesised from exact magic-constant arithmetic (see
+//!   `avx2.rs`).
+//!
+//! The contract is enforced, not assumed: the 4000-case
+//! `simd_*_bit_identical_*` property suites in `popproto-sim` compare
+//! every kernel against the scalar code for both value and RNG stream
+//! position, and the whole-trajectory equivalence suites re-check it end
+//! to end.
+//!
+//! # Dispatch
+//!
+//! [`detected()`] probes the CPU once (AVX-512F+DQ, else AVX2, else
+//! scalar).  [`set_force_scalar`] drops the active level to scalar at
+//! runtime — because the kernels are bit-identical, flipping it changes
+//! performance and nothing else, which is what makes single-binary A/B
+//! benchmarking (`split_profile --simd off`) and in-process equivalence
+//! tests possible.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+
+/// The vector width tier the dispatcher selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// No SIMD kernels: every prefix call returns 0 and the caller's
+    /// scalar code handles everything.
+    Scalar,
+    /// 4 × u64/f64 per vector (AVX2).
+    Avx2,
+    /// 8 × u64/f64 per vector (AVX-512F + AVX-512DQ).
+    Avx512,
+}
+
+static DETECTED: OnceLock<Level> = OnceLock::new();
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// The best level this CPU supports, probed once per process.
+pub fn detected() -> Level {
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq") {
+                return Level::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return Level::Avx2;
+            }
+            Level::Scalar
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Level::Scalar
+        }
+    })
+}
+
+/// The level the kernels actually run at: [`detected()`], unless forced
+/// down to scalar.
+pub fn active() -> Level {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        Level::Scalar
+    } else {
+        detected()
+    }
+}
+
+/// Forces every kernel to report 0 processed (scalar fallback) when `on`.
+/// Bit-identity makes this observationally pure — it exists so one binary
+/// can A/B the vector and scalar paths.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether the scalar override is currently set.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Human-readable description of the *detected* CPU tier (ignores the
+/// scalar override), for bench provenance records.
+pub fn features() -> &'static str {
+    match detected() {
+        Level::Scalar => "scalar",
+        Level::Avx2 => "avx2",
+        Level::Avx512 => "avx512f+avx512dq",
+    }
+}
+
+/// Advances each `states[i]` (a xoshiro256** state) one step and writes
+/// its output word to `out[i]`, for the widest prefix the active level
+/// covers.  Returns the number of streams advanced (a multiple of the
+/// vector width; 0 at scalar level).  Lanes beyond the returned count are
+/// untouched.
+pub fn xoshiro_next_prefix(states: &mut [[u64; 4]], out: &mut [u64]) -> usize {
+    match active() {
+        Level::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detected()` verified the target features at runtime.
+        Level::Avx2 => unsafe { avx2::xoshiro_next(states, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Level::Avx512 => unsafe { avx512::xoshiro_next(states, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => 0,
+    }
+}
+
+/// Draws one uniform in `[0, 1)` from each `states[i]` (a xoshiro256**
+/// state) and writes it to `out[i]`, for the widest prefix the active
+/// level covers — bitwise the scalar `gen_range(0.0..1.0)`: one xoshiro
+/// step, then `((word >> 11) as f64) · 2⁻⁵³` (both conversions correctly
+/// rounded, and exact below 2⁵³).  Returns the number of streams advanced
+/// (a multiple of the vector width; 0 at scalar level); lanes beyond it
+/// are untouched.
+///
+/// This is the multi-*stream* shape: one uniform per call per stream, so
+/// the per-call state traffic amortises only when the caller batches many
+/// independent streams — see the crate README for the measured
+/// block-throughput numbers and for why 2-uniforms-per-gather consumers
+/// (the HRUA rejection loop) stay scalar.
+pub fn xoshiro_uniform_prefix(states: &mut [[u64; 4]], out: &mut [f64]) -> usize {
+    match active() {
+        Level::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detected()` verified the target features at runtime.
+        Level::Avx2 => unsafe { avx2::xoshiro_uniform(states, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Level::Avx512 => unsafe { avx512::xoshiro_uniform(states, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => 0,
+    }
+}
+
+/// Elementwise natural logarithm over the processed prefix of `xs`,
+/// bit-identical to `popproto-sim`'s scalar `pmath::ln` (same fdlibm
+/// polynomial, same association order, no FMA).  Inputs must be positive,
+/// finite and normal — the same preconditions the scalar kernel documents.
+/// Returns the number of elements processed.
+pub fn ln_prefix(xs: &mut [f64]) -> usize {
+    match active() {
+        Level::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detected()` verified the target features at runtime.
+        Level::Avx2 => unsafe { avx2::ln_slice(xs) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Level::Avx512 => unsafe { avx512::ln_slice(xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => 0,
+    }
+}
+
+/// Input/output arrays for the batched HRUA planning pass
+/// ([`hyp_setup_prefix`]); one element per plan.  Parameters are the raw
+/// *reduced* integers (`2·s ≤ t`, `2·d ≤ t`, `t ≥ 2` — the planner's
+/// symmetry reductions guarantee all three): the kernel performs the
+/// `u64 → f64` conversions itself with correctly rounded packed converts,
+/// so the caller stages 24 bytes per plan instead of five pre-converted
+/// floats.
+#[derive(Debug)]
+pub struct HypSetupBatch<'a> {
+    /// Population size `total`.
+    pub t: &'a [u64],
+    /// Marked count (post-reduction, `mingoodbad`).
+    pub s: &'a [u64],
+    /// Draw count (post-reduction).
+    pub d: &'a [u64],
+    /// Out: hat centre `d6 = mf·d4 + ½`.
+    pub d6: &'a mut [f64],
+    /// Out: hat width `d8 = d1·d7 + d2`.
+    pub d8: &'a mut [f64],
+    /// Out: mode `d9 = ⌊(mf + 1)·s1f/(pop + 2)⌋`.
+    pub d9: &'a mut [f64],
+    /// Out: tail cut `d11 = min(capf, ⌊d6 + 16·d7⌋)`.
+    pub d11: &'a mut [f64],
+}
+
+impl HypSetupBatch<'_> {
+    fn common_len(&self) -> usize {
+        self.t
+            .len()
+            .min(self.s.len())
+            .min(self.d.len())
+            .min(self.d6.len())
+            .min(self.d8.len())
+            .min(self.d9.len())
+            .min(self.d11.len())
+    }
+}
+
+/// The divider/sqrt-bound HRUA planning pass, vectorised over plans: for
+/// each element of the processed prefix converts `pop = t as f64`,
+/// `mf = d as f64`, `sf = s as f64`, `s1f = (s + 1) as f64`,
+/// `capf = (min(d, s) + 1) as f64` (integer increment/min first, then a
+/// correctly rounded convert — exactly the scalar order), then computes,
+/// in the scalar expressions' exact association order,
+///
+/// ```text
+/// d4  = sf/pop                 d5 = 1 − d4
+/// d7  = √((((pop − mf)·mf)·d4)·d5/(pop − 1) + ½)
+/// d9  = ⌊(mf + 1)·s1f/(pop + 2)⌋
+/// d6  = mf·d4 + ½              d8 = d1·d7 + d2
+/// d11 = min(capf, ⌊d6 + 16·d7⌋)
+/// ```
+///
+/// (`d1`, `d2` are the caller's HRUA hat constants, passed in so this
+/// crate holds no copy of them).  Returns the number of plans processed.
+pub fn hyp_setup_prefix(batch: &mut HypSetupBatch<'_>, d1: f64, d2: f64) -> usize {
+    match active() {
+        Level::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detected()` verified the target features at runtime.
+        Level::Avx2 => unsafe { avx2::hyp_setup(batch, d1, d2) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Level::Avx512 => unsafe { avx512::hyp_setup(batch, d1, d2) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::sync::Mutex;
+
+    /// Serialises tests that toggle the process-global scalar override.
+    fn force_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn force_scalar_drops_every_kernel_to_zero() {
+        let _guard = force_lock();
+        set_force_scalar(true);
+        assert_eq!(active(), Level::Scalar);
+        let mut states = [[1u64; 4]; 16];
+        let mut out = [0u64; 16];
+        assert_eq!(xoshiro_next_prefix(&mut states, &mut out), 0);
+        let mut xs = [1.5f64; 16];
+        assert_eq!(ln_prefix(&mut xs), 0);
+        assert_eq!(
+            xs, [1.5f64; 16],
+            "forced-scalar kernels must not touch data"
+        );
+        set_force_scalar(false);
+        assert_eq!(active(), detected());
+    }
+
+    #[test]
+    fn xoshiro_prefix_matches_stdrng_streams() {
+        let _guard = force_lock();
+        set_force_scalar(false);
+        let mut rngs: Vec<StdRng> = (0..16).map(|i| StdRng::seed_from_u64(1000 + i)).collect();
+        // Mirror the states through the public accessors.
+        let mut states: Vec<[u64; 4]> = rngs.iter().map(|r| r.state()).collect();
+        let mut out = [0u64; 16];
+        for round in 0..250 {
+            let done = xoshiro_next_prefix(&mut states, &mut out);
+            assert_eq!(done % width_of(detected()).max(1), 0);
+            for i in 0..16 {
+                let want = rngs[i].next_u64();
+                if i < done {
+                    assert_eq!(out[i], want, "round {round} lane {i} word");
+                    assert_eq!(states[i], rngs[i].state(), "round {round} lane {i} state");
+                } else {
+                    // Tail lanes were untouched; advance them by hand so the
+                    // reference streams stay aligned.
+                    let mut tail = StdRng::seed_from_u64(0);
+                    tail.set_state(states[i]);
+                    assert_eq!(tail.next_u64(), want, "round {round} tail lane {i}");
+                    states[i] = tail.state();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xoshiro_uniform_prefix_matches_gen_range() {
+        use rand::Rng;
+        let _guard = force_lock();
+        set_force_scalar(false);
+        let mut rngs: Vec<StdRng> = (0..16).map(|i| StdRng::seed_from_u64(77 + i)).collect();
+        let mut states: Vec<[u64; 4]> = rngs.iter().map(|r| r.state()).collect();
+        let mut out = [0.0f64; 16];
+        for round in 0..250 {
+            let done = xoshiro_uniform_prefix(&mut states, &mut out);
+            for i in 0..16 {
+                let want: f64 = rngs[i].gen_range(0.0..1.0);
+                if i < done {
+                    assert_eq!(out[i].to_bits(), want.to_bits(), "round {round} lane {i}");
+                    assert_eq!(states[i], rngs[i].state(), "round {round} lane {i} state");
+                } else {
+                    let mut tail = StdRng::seed_from_u64(0);
+                    tail.set_state(states[i]);
+                    let got: f64 = tail.gen_range(0.0..1.0);
+                    assert_eq!(got.to_bits(), want.to_bits(), "round {round} tail {i}");
+                    states[i] = tail.state();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_process_a_full_width_multiple_when_detected() {
+        let _guard = force_lock();
+        set_force_scalar(false);
+        let w = width_of(detected());
+        let mut xs: Vec<f64> = (0..37).map(|i| 0.25 + i as f64 * 0.1).collect();
+        let done = ln_prefix(&mut xs);
+        // At scalar level (w = 0) nothing is processed; otherwise the
+        // largest width multiple of the input length is.
+        assert_eq!(done, 37 / w.max(1) * w);
+    }
+
+    fn width_of(level: Level) -> usize {
+        match level {
+            Level::Scalar => 0,
+            Level::Avx2 => 4,
+            Level::Avx512 => 8,
+        }
+    }
+}

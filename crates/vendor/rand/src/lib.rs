@@ -135,6 +135,39 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for kernels that advance many
+        /// generators in lockstep (the SIMD multi-stream entry points) and
+        /// must round-trip the exact stream position.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Replaces the raw state (the inverse of [`Self::state`]).  The
+        /// stream continues exactly where the installed state left off.
+        #[inline]
+        pub fn set_state(&mut self, s: [u64; 4]) {
+            self.s = s;
+        }
+
+        /// Advances each generator one step, writing its output word to
+        /// `out` — the scalar reference loop for the vectorised
+        /// multi-stream kernels (each SIMD lane owns one generator's
+        /// stream; this loop *is* the fallback semantics they must match
+        /// bit for bit).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `out` is shorter than `rngs`.
+        pub fn next_u64_multi(rngs: &mut [StdRng], out: &mut [u64]) {
+            assert!(out.len() >= rngs.len(), "output buffer too short");
+            for (rng, o) in rngs.iter_mut().zip(out.iter_mut()) {
+                *o = rng.next_u64();
+            }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
